@@ -1,0 +1,66 @@
+"""Ablation: double buffering and packing (design choices of paper Fig. 3c/d).
+
+The stationary templates use double buffers so stage loads overlap compute;
+packing replicates small loops across the array.  Toggling each quantifies
+its contribution on workloads the paper highlights.
+"""
+
+from bench_util import print_table, resolve_best
+
+from repro.core.dataflow import DataflowType
+from repro.hw.plan import StagePlan
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+
+
+def serialized_cycles(spec, cfg):
+    """Stage cost without load/compute overlap (no double buffering)."""
+    plan = StagePlan(spec, cfg.rows, cfg.cols)
+    t = plan.timing
+    skew = plan.lead + plan.out_lag + 1
+    return plan.n_stages() * (plan.t_span + t.load_len + t.drain_len + skew)
+
+
+def compute():
+    cfg = ArrayConfig()
+    model = PerfModel(cfg)
+    rows = []
+    for wname, stmt, dataflow in [
+        ("gemm", workloads.gemm(256, 256, 64), "MNK-STS"),
+        ("gemm", workloads.gemm(256, 256, 64), "MNK-SST"),
+        ("conv2d-L5", workloads.conv2d_resnet_layer5(), "KCX-SST"),
+    ]:
+        spec = resolve_best(stmt, dataflow, model)
+        overlapped = model.evaluate(spec).cycles
+        serial = serialized_cycles(spec, cfg)
+        rows.append((wname, dataflow, overlapped, serial, serial / overlapped))
+    # packing ablation on the depthwise small-p workload
+    dw = workloads.depthwise_conv(k=64, y=56, x=56, p=3, q=3)
+    packed_model = PerfModel(cfg, allow_packing=True)
+    unpacked_model = PerfModel(cfg, allow_packing=False)
+    spec = resolve_best(dw, "XPQ-MMT", packed_model)
+    pack_row = (
+        "depthwise",
+        "XPQ-MMT pack",
+        packed_model.evaluate(spec).cycles,
+        unpacked_model.evaluate(spec).cycles,
+        unpacked_model.evaluate(spec).cycles / packed_model.evaluate(spec).cycles,
+    )
+    return rows, pack_row
+
+
+def test_ablation_double_buffer_and_packing(benchmark):
+    rows, pack_row = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Ablation: double buffering (overlap) and packing",
+        ["workload", "dataflow", "optimized cyc", "ablated cyc", "speedup"],
+        [
+            [w, d, f"{o:.3g}", f"{s:.3g}", f"{x:.2f}x"]
+            for w, d, o, s, x in rows + [pack_row]
+        ],
+    )
+    for _, dataflow, overlapped, serial, _ in rows:
+        has_stationary = "T" in dataflow.split("-")[1]
+        if has_stationary:
+            assert serial > overlapped, dataflow
+    assert pack_row[4] > 1.5  # packing p=3 onto 16 rows is a big win

@@ -1,0 +1,38 @@
+"""Ablation: multicast vs systolic pipeline overhead as the time loop grows.
+
+The paper explains MTM > SST on GEMM by pipeline overhead: a systolic array
+pays array-depth fill/drain skew per stage, a multicast array does not.  The
+gap must therefore shrink as the reduction loop (stage length) grows — this
+bench sweeps K and prints both series.
+"""
+
+from bench_util import print_table, resolve_best
+
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+
+
+def compute():
+    model = PerfModel(ArrayConfig())
+    rows = []
+    for k in (32, 64, 128, 256, 1024):
+        gemm = workloads.gemm(256, 256, k)
+        sst = model.evaluate(resolve_best(gemm, "MNK-SST", model))
+        mtm = model.evaluate(resolve_best(gemm, "MNK-MTM", model))
+        rows.append((k, sst.normalized, mtm.normalized))
+    return rows
+
+
+def test_ablation_pipeline_overhead(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Ablation: pipeline overhead vs reduction length (GEMM 256x256xK)",
+        ["K", "MNK-SST", "MNK-MTM", "gap"],
+        [
+            [k, f"{sst:.3f}", f"{mtm:.3f}", f"{mtm - sst:.3f}"]
+            for k, sst, mtm in rows
+        ],
+    )
+    gaps = [mtm - sst for _, sst, mtm in rows]
+    assert all(g > 0 for g in gaps), "multicast always ahead"
+    assert gaps[-1] < gaps[0], "gap shrinks as the stage lengthens"

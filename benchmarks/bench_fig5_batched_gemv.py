@@ -1,0 +1,35 @@
+"""Paper Fig. 5(b): Batched-GEMV dataflows.
+
+Tensor A is touched exactly once per iteration (full-rank access), so only
+unicast dataflows exist for it, and the 32 GB/s on-chip bandwidth caps
+normalized performance around 20% (paper §VI-A).
+"""
+
+from bench_util import evaluate_names, print_series
+
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+
+BATCHED_GEMV_DATAFLOWS = [
+    "MNK-USS",
+    "MNK-UST",
+    "MNK-UTS",
+    "MNK-UMM",
+    "MNK-UMT",
+    "MNK-UMS",
+]
+
+
+def compute():
+    model = PerfModel(ArrayConfig())
+    bg = workloads.batched_gemv(64, 512, 512)
+    return evaluate_names(bg, BATCHED_GEMV_DATAFLOWS, model)
+
+
+def test_fig5b_batched_gemv(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("Fig. 5(b) Batched-GEMV, 16x16 PEs", rows)
+    for name, result in rows:
+        # bandwidth-bound: every dataflow stalls on A's unicast traffic
+        assert result.bandwidth_stall > 3.0, name
+        assert result.normalized < 0.35, name

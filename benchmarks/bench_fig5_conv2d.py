@@ -1,0 +1,55 @@
+"""Paper Fig. 5(f, g): Conv2D on ResNet layer 2 and layer 5.
+
+Paper findings reproduced here:
+
+- selecting KCX makes Conv2D a large-bound GEMM and performs best,
+- dataflows that put x/y/p on the array lose utilization on layer 5 where
+  x = y = 7,
+- KPX-MST-style dataflows idle on communication delay when execution windows
+  are short.
+
+Infeasible figure labels (KCP-BUS, KPX-MMM, XYP-MMM — see EXPERIMENTS.md)
+are replaced by their nearest feasible neighbours.
+"""
+
+from bench_util import evaluate_names, print_series
+
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+
+CONV_DATAFLOWS = [
+    "KXY-SBU",
+    "KCX-SST",
+    "KCX-STS",
+    "KCX-STM",
+    "CPQ-UUB",
+    "XPQ-MMT",
+    "XPQ-SSM",
+    "XYP-MST",
+    "KPX-MST",
+]
+
+
+def compute():
+    model = PerfModel(ArrayConfig())
+    out = {}
+    for layer in (workloads.conv2d_resnet_layer2(), workloads.conv2d_resnet_layer5()):
+        out[layer.name] = evaluate_names(layer, CONV_DATAFLOWS, model)
+    return out
+
+
+def test_fig5fg_conv2d(benchmark):
+    per_layer = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for layer_name, rows in per_layer.items():
+        print_series(f"Fig. 5(f/g) {layer_name}, 16x16 PEs", rows)
+    l2 = dict(per_layer["conv2d_resnet_layer2"])
+    l5 = dict(per_layer["conv2d_resnet_layer5"])
+    # KCX (GEMM-ized conv) is the best family on both layers.
+    for layer in (l2, l5):
+        kcx_best = max(layer[n].normalized for n in ("KCX-SST", "KCX-STS", "KCX-STM"))
+        others = max(
+            layer[n].normalized for n in ("XYP-MST", "KPX-MST", "CPQ-UUB", "KXY-SBU")
+        )
+        assert kcx_best > others
+    # Layer 5's tiny x=y=7 hurts spatial x/y dataflows more than layer 2.
+    assert l5["XYP-MST"].utilization <= l2["XYP-MST"].utilization

@@ -1,0 +1,38 @@
+"""Paper Fig. 5(d): MTTKRP dataflows.
+
+Paper finding: "the unicast dataflows (e.g. IKL-UBBB ...) perform worse than
+others because unicast dataflows require all PEs to transfer data with
+on-chip memory simultaneously and bandwidth becomes insufficient."
+"""
+
+from bench_util import evaluate_names, print_series
+
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+
+MTTKRP_DATAFLOWS = [
+    "IJK-SSBT",
+    "IJK-SSBM",
+    "IJK-TSBS",
+    "IJK-MSBT",
+    "IJL-SBTS",
+    "IKL-UBBB",  # unicast A: the paper's bandwidth-bound case
+]
+
+
+def compute():
+    model = PerfModel(ArrayConfig())
+    mt = workloads.mttkrp(128, 128, 128, 128)
+    return evaluate_names(mt, MTTKRP_DATAFLOWS, model)
+
+
+def test_fig5d_mttkrp(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("Fig. 5(d) MTTKRP, 16x16 PEs", rows)
+    results = dict(rows)
+    unicast = results["IKL-UBBB"]
+    assert unicast.bandwidth_stall > 3.0
+    best_reuse = max(
+        r.normalized for n, r in results.items() if n != "IKL-UBBB"
+    )
+    assert unicast.normalized < best_reuse

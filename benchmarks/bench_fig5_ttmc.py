@@ -1,0 +1,38 @@
+"""Paper Fig. 5(e): TTMc dataflows.
+
+Same qualitative story as MTTKRP: unicast dataflows (IJK-BBBU touches the
+output once per cycle per PE, ILM-UBBB streams A per PE) lose to dataflows
+that keep reuse on chip.
+"""
+
+from bench_util import evaluate_names, print_series
+
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+
+TTMC_DATAFLOWS = [
+    "IJL-SSBT",
+    "IJL-SSBM",
+    "IJL-STBS",
+    "JKM-BSTS",
+    "IJK-BBBU",  # unicast output
+    "ILM-UBBB",  # unicast A
+]
+
+
+def compute():
+    model = PerfModel(ArrayConfig())
+    tt = workloads.ttmc(64, 64, 64, 64, 64)
+    return evaluate_names(tt, TTMC_DATAFLOWS, model)
+
+
+def test_fig5e_ttmc(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("Fig. 5(e) TTMc, 16x16 PEs", rows)
+    results = dict(rows)
+    best_reuse = max(
+        results[n].normalized for n in ("IJL-SSBT", "IJL-SSBM", "IJL-STBS")
+    )
+    assert results["IJK-BBBU"].normalized < best_reuse
+    assert results["ILM-UBBB"].normalized < best_reuse
+    assert results["ILM-UBBB"].bandwidth_stall > 3.0

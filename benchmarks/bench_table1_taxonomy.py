@@ -1,0 +1,68 @@
+"""Paper Table I: the reuse-subspace -> dataflow taxonomy.
+
+Regenerates the table by classifying a canonical example of every row and
+benchmarks classification throughput over the full bound-1 STT space (the
+inner loop of every design-space sweep)."""
+
+from bench_util import print_table
+
+from repro.core.dataflow import DataflowSpec, DataflowType, classify
+from repro.core.naming import stt_candidates
+from repro.core.reuse import reuse_space
+from repro.core.stt import STT
+from repro.ir import workloads
+
+
+def taxonomy_examples():
+    """One (workload, tensor, STT) witness per Table I row."""
+    gemm = workloads.gemm(8, 8, 8)
+    ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+    conv = workloads.conv2d(k=4, c=4, y=4, x=4, p=3, q=3)
+    bgemv = workloads.batched_gemv(4, 4, 4)
+    ident = STT([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+    paper_t = STT([[1, 0, 0], [0, 1, 0], [1, 1, 1]])
+    cases = [
+        ("unicast", bgemv, "A", ("m", "n", "k"), ident),
+        ("stationary", gemm, "C", ("m", "n", "k"), paper_t),
+        ("systolic", gemm, "A", ("m", "n", "k"), paper_t),
+        ("multicast", gemm, "A", ("m", "n", "k"), ident),
+        ("broadcast", ttmc, "A", ("i", "j", "k"), STT([[0, 1, 0], [0, 0, 1], [1, 0, 0]])),
+        ("multicast_stationary", ttmc, "B", ("i", "j", "k"), ident),
+        ("systolic_multicast", ttmc, "B", ("i", "j", "k"), STT([[1, 0, 0], [0, 1, 1], [0, 0, 1]])),
+        ("full_reuse", conv, "C", ("c", "p", "q"), ident),
+    ]
+    rows = []
+    for expected, stmt, tensor, sel, stt in cases:
+        rs = reuse_space(stmt.access(tensor).restrict(sel), stt)
+        kind = classify(rs)
+        assert kind.value == expected, (expected, kind)
+        rows.append(
+            [kind.reuse_dim, kind.value, kind.letter, f"{stmt.name}:{tensor}", str(rs.basis)]
+        )
+    return rows
+
+
+def classify_design_space():
+    """Classify GEMM under every bound-1 STT (sweep inner loop)."""
+    gemm = workloads.gemm(8, 8, 8)
+    counts: dict[str, int] = {}
+    for stt in stt_candidates(1):
+        spec = DataflowSpec(gemm, ("m", "n", "k"), stt)
+        counts[spec.letters] = counts.get(spec.letters, 0) + 1
+    return counts
+
+
+def test_table1_taxonomy(benchmark):
+    rows = taxonomy_examples()
+    counts = benchmark.pedantic(classify_design_space, rounds=1, iterations=1)
+    print_table(
+        "Table I: reuse subspace dimension -> tensor dataflow",
+        ["dim", "dataflow", "letter", "witness", "space-time reuse basis"],
+        rows,
+    )
+    total = sum(counts.values())
+    print(f"\n  classified {total} full-rank STTs for GEMM; letter histogram:")
+    for letters, n in sorted(counts.items(), key=lambda kv: -kv[1])[:8]:
+        print(f"    {letters}: {n}")
+    # GEMM: every tensor has rank-2 access, so dims 0/2/3 never occur.
+    assert set("".join(counts)) <= set("STM")

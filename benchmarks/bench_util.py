@@ -1,0 +1,69 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` file regenerates one table or figure of the paper: it
+computes the series with the library, prints it in the paper's layout (so the
+output can be compared side by side with the PDF), and times the computation
+under pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.dataflow import DataflowSpec
+from repro.core.naming import best_spec_from_name
+from repro.ir.einsum import Statement
+from repro.perf.model import PerfModel, PerfResult
+
+__all__ = ["resolve_best", "print_table", "print_series", "evaluate_names"]
+
+
+def resolve_best(
+    statement: Statement, name: str, model: PerfModel, limit: int = 24
+) -> DataflowSpec:
+    """The best-performing STT realization of a paper dataflow name.
+
+    The paper's authors tune each named dataflow; we emulate that by scoring
+    every matching STT with the performance model and keeping the best.
+    """
+    return best_spec_from_name(
+        statement, name, lambda s: model.evaluate(s).normalized, limit=limit
+    )
+
+
+def evaluate_names(
+    statement: Statement, names: Sequence[str], model: PerfModel
+) -> list[tuple[str, PerfResult]]:
+    """Evaluate a list of paper dataflow names, best STT per name."""
+    rows = []
+    for name in names:
+        spec = resolve_best(statement, name, model)
+        rows.append((name, model.evaluate(spec)))
+    return rows
+
+
+def print_series(title: str, rows: Sequence[tuple[str, PerfResult]]) -> None:
+    """Print one Fig. 5 sub-plot as a text bar chart."""
+    print(f"\n== {title} ==")
+    print(f"{'dataflow':<14} {'normalized':>10}  {'util':>5} {'stall':>6}  bar")
+    for name, result in rows:
+        bar = "#" * int(round(result.normalized * 40))
+        print(
+            f"{name:<14} {result.normalized:>9.1%}  {result.utilization:>5.2f}"
+            f" {result.bandwidth_stall:>5.2f}x  {bar}"
+        )
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

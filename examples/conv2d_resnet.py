@@ -1,0 +1,53 @@
+"""Conv2D dataflow study on ResNet layers (paper Fig. 5 f/g workflow).
+
+Compares classic convolution dataflows on an early (56x56) and a late (7x7)
+ResNet layer, shows why GEMM-ized KCX selections win, then generates the
+winning accelerator and functionally verifies a scaled-down instance.
+
+Run:  python examples/conv2d_resnet.py
+"""
+
+from repro.core import naming
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+from repro.sim.harness import run_functional
+
+DATAFLOWS = ["KCX-SST", "KCX-STS", "XPQ-MMT", "XYP-MST", "KPX-MST", "CPQ-UUB"]
+
+
+def study(layer, model):
+    print(f"\n{layer.name}: {layer.macs() / 1e6:.0f} M MACs")
+    results = []
+    for name in DATAFLOWS:
+        spec = naming.best_spec_from_name(
+            layer, name, lambda s: model.evaluate(s).normalized
+        )
+        r = model.evaluate(spec)
+        results.append((name, r))
+        bar = "#" * int(r.normalized * 40)
+        print(f"  {name:<10} {r.normalized:6.1%} util={r.utilization:4.2f} {bar}")
+    return max(results, key=lambda nr: nr[1].normalized)
+
+
+def main() -> None:
+    model = PerfModel(ArrayConfig())  # 16x16 PEs @ 320 MHz, 32 GB/s
+    best2 = study(workloads.conv2d_resnet_layer2(), model)
+    best5 = study(workloads.conv2d_resnet_layer5(), model)
+    print(f"\nbest on layer 2: {best2[0]} ({best2[1].normalized:.1%})")
+    print(f"best on layer 5: {best5[0]} ({best5[1].normalized:.1%})")
+    print(
+        "(paper: KCX selections deliver the best performance because conv\n"
+        " becomes a large-bound GEMM; our model agrees on layer 5 and puts\n"
+        " KCX within the top group on layer 2, far above the x/y/p-spatial\n"
+        " dataflows that idle on communication delay)"
+    )
+
+    # Functionally verify the winning dataflow on a small conv instance.
+    small = workloads.conv2d(k=4, c=4, y=4, x=4, p=3, q=3)
+    spec = naming.spec_from_name(small, best2[0])
+    run_functional(spec, rows=4, cols=4)
+    print(f"\n{best2[0]} netlist verified against numpy on a 4x4 array.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""MTTKRP: a three-input tensor kernel end to end.
+
+MTTKRP (``D[i,j] += A[i,k,l] * B[k,j] * C[l,j]``) drives recommendation-
+system tensor factorizations (paper §I).  Three input tensors exercise the
+generator beyond matrix-multiply shapes: the PE compute cell chains two
+multipliers, tensor C gets a 2-D reuse dataflow (bus + stationary), and the
+paper's bandwidth warning about unicast dataflows shows up clearly.
+
+Run:  python examples/mttkrp_accelerator.py
+"""
+
+import numpy as np
+
+from repro.core import naming
+from repro.hw.generator import AcceleratorGenerator
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+from repro.sim.harness import FunctionalHarness
+
+
+def main() -> None:
+    # -- dataflow comparison at paper scale --------------------------------
+    big = workloads.mttkrp(i=128, j=128, k=128, l=128)
+    model = PerfModel(ArrayConfig())
+    print("MTTKRP dataflows on a 16x16 array (normalized performance):")
+    for name in ["IJK-SSBT", "IJK-SSBM", "IJL-SBTS", "IKL-UBBB"]:
+        spec = naming.best_spec_from_name(
+            big, name, lambda s: model.evaluate(s).normalized
+        )
+        r = model.evaluate(spec)
+        note = "  <- unicast, bandwidth-bound" if r.bandwidth_stall > 2 else ""
+        print(f"  {name:<10} {r.normalized:6.1%} stall={r.bandwidth_stall:4.1f}x{note}")
+
+    # -- generate and verify the good one ----------------------------------
+    small = workloads.mttkrp(i=4, j=4, k=4, l=3)
+    spec = naming.spec_from_name(small, "IJK-SSBT")
+    design = AcceleratorGenerator(spec, rows=4, cols=4).generate()
+    cells = design.top.cell_count()
+    print(
+        f"\ngenerated {design.name}: {cells['mul']} multipliers "
+        f"(2 per PE: three-tensor product), {cells['reg']} registers"
+    )
+
+    harness = FunctionalHarness(spec, rows=4, cols=4, design=design)
+    inputs = small.random_inputs(np.random.default_rng(42))
+    out = harness.run(inputs)
+    expected = np.einsum("ikl,kj,lj->ij", inputs["A"], inputs["B"], inputs["C"])
+    np.testing.assert_array_equal(out, expected)
+    print(f"netlist matched numpy einsum over {harness.cycles_run} cycles.")
+
+
+if __name__ == "__main__":
+    main()

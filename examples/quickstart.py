@@ -1,0 +1,63 @@
+"""Quickstart: generate, inspect, and functionally verify an accelerator.
+
+The classic output-stationary systolic GEMM array (paper dataflow MNK-SST),
+in five steps:
+
+1. describe the kernel as a perfect loop nest,
+2. pick a dataflow by name (an STT matrix is searched automatically),
+3. generate the complete hardware (PEs, interconnect, controller, memory),
+4. emit Verilog,
+5. run the generated netlist on real data and compare against numpy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import naming
+from repro.hw.generator import AcceleratorGenerator
+from repro.ir import workloads
+from repro.sim.harness import FunctionalHarness
+
+
+def main() -> None:
+    # 1. The kernel: C[m,n] += A[m,k] * B[n,k]
+    gemm = workloads.gemm(m=8, n=8, k=8)
+    print(f"workload: {gemm.name}, {gemm.macs()} MACs, loops {gemm.space.names}")
+
+    # 2. The dataflow: map (m, n) across the PE array, run k over time,
+    #    keep C stationary in each PE while A and B flow systolically.
+    spec = naming.spec_from_name(gemm, "MNK-SST")
+    print(f"dataflow {spec.name}: STT matrix rows {spec.stt.matrix}")
+    for flow in spec.flows:
+        print(f"  {flow}")
+
+    # 3. Generate a 4x4 accelerator.
+    design = AcceleratorGenerator(spec, rows=4, cols=4).generate()
+    cells = design.top.cell_count()
+    print(
+        f"generated {design.name}: {cells['mul']} multipliers, "
+        f"{cells['reg']} registers, {len(design.array.instances)} PEs"
+    )
+    print(f"stage schedule: {design.timing}")
+
+    # 4. Verilog.
+    verilog = design.verilog()
+    print(f"emitted {verilog.count(chr(10))} lines of Verilog; PE module head:")
+    pe_start = verilog.index("module pe (")
+    print("\n".join(verilog[pe_start:].splitlines()[:10]))
+
+    # 5. Simulate the netlist cycle by cycle against the numpy reference.
+    harness = FunctionalHarness(spec, rows=4, cols=4, design=design)
+    a = np.arange(64, dtype=np.int64).reshape(8, 8) % 7 - 3
+    b = np.arange(64, dtype=np.int64).reshape(8, 8) % 5 - 2
+    out = harness.run({"A": a, "B": b})
+    np.testing.assert_array_equal(out, a @ b.T)
+    print(
+        f"netlist simulation matched numpy over {harness.cycles_run} cycles "
+        f"({design.plan.n_stages()} stages). All good."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""TensorLib reproduction — spatial accelerator generation for tensor algebra.
+
+This package reproduces *TensorLib: A Spatial Accelerator Generation Framework
+for Tensor Algebra* (DAC 2021).  The pipeline mirrors the paper:
+
+1. Describe a tensor algebra kernel as a perfect loop nest (:mod:`repro.ir`).
+2. Pick three loops and a Space-Time Transformation matrix; classify the
+   dataflow of every tensor from its reuse subspace (:mod:`repro.core`).
+3. Generate the accelerator — PE templates, interconnect, reduction trees,
+   controller, memory configuration — as a structural netlist and emit
+   Verilog (:mod:`repro.hw`).
+4. Simulate the generated netlist cycle-by-cycle and validate against numpy
+   (:mod:`repro.sim`), or evaluate analytically for paper-scale workloads
+   (:mod:`repro.perf`, :mod:`repro.cost`, :mod:`repro.fpga`).
+
+Quickstart::
+
+    from repro import workloads, naming
+    from repro.hw.generator import AcceleratorGenerator
+
+    gemm = workloads.gemm(64, 64, 64)
+    spec = naming.spec_from_name(gemm, "MNK-SST")      # output stationary
+    design = AcceleratorGenerator(spec, rows=4, cols=4).generate()
+"""
+
+from repro.ir import workloads
+from repro.core import naming
+from repro.core.dataflow import DataflowSpec, DataflowType, TensorDataflow
+from repro.core.stt import STT
+
+__all__ = [
+    "workloads",
+    "naming",
+    "DataflowSpec",
+    "DataflowType",
+    "TensorDataflow",
+    "STT",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,142 @@
+"""Command-line interface: generate, verify and evaluate accelerators.
+
+Examples::
+
+    python -m repro.cli generate gemm MNK-SST --rows 4 --cols 4 -o gemm.v
+    python -m repro.cli verify conv2d KCX-SST --rows 4 --cols 4
+    python -m repro.cli evaluate gemm MNK-MTM --rows 16 --cols 16
+    python -m repro.cli enumerate depthwise_conv --one-d
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import naming
+from repro.cost.model import CostModel
+from repro.hw.generator import AcceleratorGenerator
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser, with_dataflow: bool = True) -> None:
+    parser.add_argument("workload", choices=sorted(workloads.TABLE_II))
+    if with_dataflow:
+        parser.add_argument("dataflow", help="paper-style name, e.g. MNK-SST")
+    parser.add_argument("--rows", type=int, default=4)
+    parser.add_argument("--cols", type=int, default=4)
+    parser.add_argument(
+        "--extent",
+        action="append",
+        default=[],
+        metavar="LOOP=N",
+        help="override a loop extent (repeatable)",
+    )
+
+
+def _statement(args):
+    extents = {}
+    for item in args.extent:
+        name, _, value = item.partition("=")
+        extents[name] = int(value)
+    return workloads.by_name(args.workload, **extents)
+
+
+def cmd_generate(args) -> int:
+    stmt = _statement(args)
+    spec = naming.spec_from_name(stmt, args.dataflow)
+    design = AcceleratorGenerator(spec, args.rows, args.cols, width=args.width).generate()
+    text = design.verilog()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        cells = design.top.cell_count()
+        print(
+            f"wrote {args.output}: {text.count(chr(10))} lines, "
+            f"{cells.get('mul', 0)} muls, {cells.get('reg', 0)} regs"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.sim.harness import run_functional
+
+    stmt = _statement(args)
+    spec = naming.spec_from_name(stmt, args.dataflow)
+    run_functional(spec, rows=args.rows, cols=args.cols)
+    print(
+        f"{spec.name} on {args.rows}x{args.cols}: netlist simulation matches "
+        "the numpy reference"
+    )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    stmt = _statement(args)
+    model = PerfModel(ArrayConfig(rows=args.rows, cols=args.cols))
+    spec = naming.best_spec_from_name(
+        stmt, args.dataflow, lambda s: model.evaluate(s).normalized
+    )
+    perf = model.evaluate(spec)
+    cost = CostModel(rows=args.rows, cols=args.cols).evaluate(spec)
+    print(f"dataflow     {spec.name}  (STT {spec.stt.matrix})")
+    print(f"performance  {perf.normalized:.1%} of peak ({perf.cycles:.3g} cycles)")
+    print(f"utilization  {perf.utilization:.2f}   bandwidth stall {perf.bandwidth_stall:.2f}x")
+    print(f"area         {cost.area_mm2:.3f} mm^2")
+    print(f"power        {cost.power_mw:.1f} mW")
+    return 0
+
+
+def cmd_enumerate(args) -> int:
+    from repro.core.enumerate import enumerate_designs
+    from repro.explore.dse import ONE_D_TYPES
+
+    stmt = _statement(args)
+    space = enumerate_designs(
+        stmt,
+        realizable_only=True,
+        canonical=True,
+        allowed_types=ONE_D_TYPES if args.one_d else None,
+    )
+    print(f"{len(space)} distinct realizable designs for {stmt.name}")
+    for letters, count in space.letter_histogram().items():
+        print(f"  {letters}: {count}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TensorLib reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="emit Verilog for a dataflow")
+    _add_common(p_gen)
+    p_gen.add_argument("-o", "--output", help="write Verilog here (default stdout)")
+    p_gen.add_argument("--width", type=int, default=32)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_ver = sub.add_parser("verify", help="simulate generated netlist vs numpy")
+    _add_common(p_ver)
+    p_ver.set_defaults(func=cmd_verify)
+
+    p_eval = sub.add_parser("evaluate", help="performance/area/power models")
+    _add_common(p_eval)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_enum = sub.add_parser("enumerate", help="count the dataflow design space")
+    _add_common(p_enum, with_dataflow=False)
+    p_enum.add_argument("--one-d", action="store_true", help="1-D dataflow types only")
+    p_enum.set_defaults(func=cmd_enumerate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

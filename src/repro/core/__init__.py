@@ -1,0 +1,21 @@
+"""The paper's primary contribution: STT-based dataflow generation.
+
+Modules:
+
+- :mod:`repro.core.linalg` — exact integer/fraction linear algebra,
+- :mod:`repro.core.stt` — Space-Time Transformation matrices (paper §II),
+- :mod:`repro.core.reuse` — reuse subspace computation (paper Eq. 2-3),
+- :mod:`repro.core.dataflow` — the Table I taxonomy and :class:`DataflowSpec`,
+- :mod:`repro.core.naming` — the ``MNK-SST`` naming scheme,
+- :mod:`repro.core.enumerate` — design-space enumeration.
+"""
+
+from repro.core.stt import STT
+from repro.core.dataflow import (
+    DataflowSpec,
+    DataflowType,
+    TensorDataflow,
+    analyze,
+)
+
+__all__ = ["STT", "DataflowSpec", "DataflowType", "TensorDataflow", "analyze"]

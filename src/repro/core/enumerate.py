@@ -1,0 +1,201 @@
+"""Design-space enumeration (paper §VI-B).
+
+The paper sweeps the STT space and reports 148 distinct GEMM designs and 33
+distinct Depthwise-Conv2D designs for a 16x16 array.  Distinctness is by
+*hardware identity*: two STT matrices that classify every tensor identically
+(same dataflow type, same reuse directions) generate the same accelerator.
+
+:func:`enumerate_specs` walks complexity-ordered full-rank matrices for one
+loop selection; :func:`enumerate_designs` additionally sweeps loop selections.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.dataflow import DataflowSpec, DataflowType
+from repro.core.naming import stt_candidates
+from repro.ir.einsum import Statement
+
+__all__ = [
+    "enumerate_specs",
+    "enumerate_designs",
+    "loop_selections",
+    "DesignSpace",
+    "is_realizable",
+    "canonical_signature",
+]
+
+#: The 8 symmetries of a square PE array (dihedral group): relabelling PE
+#: coordinates produces electrically identical hardware, so the design-space
+#: sweep dedupes modulo these.
+_ARRAY_SYMMETRIES = (
+    lambda p1, p2: (p1, p2),
+    lambda p1, p2: (p2, p1),
+    lambda p1, p2: (-p1, p2),
+    lambda p1, p2: (p1, -p2),
+    lambda p1, p2: (-p1, -p2),
+    lambda p1, p2: (-p2, p1),
+    lambda p1, p2: (p2, -p1),
+    lambda p1, p2: (-p2, -p1),
+)
+
+
+def is_realizable(spec: DataflowSpec, *, max_step: int = 1, max_delay: int = 1) -> bool:
+    """Hardware realizability filter used for the paper's design-space sweeps.
+
+    Keeps designs whose every reuse direction is a *neighbour* step: space
+    components in ``[-max_step, max_step]`` and systolic delay at most
+    ``max_delay`` cycles.  Longer jumps are expressible in the netlist (extra
+    delay registers, long wires) but the paper's synthesized space uses
+    nearest-neighbour interconnect.
+    """
+    for fl in spec.flows:
+        for vec in fl.reuse.basis:
+            *space, dt = vec
+            if any(abs(v) > max_step for v in space):
+                return False
+            if abs(dt) > max_delay:
+                return False
+    return True
+
+
+def canonical_signature(spec: DataflowSpec) -> tuple:
+    """Design identity modulo PE-array relabelling symmetries.
+
+    Applies each of the 8 square-array symmetries to the space components of
+    every reuse vector, re-orients, sorts each tensor's basis, and returns the
+    lexicographically smallest variant.  Two specs with equal canonical
+    signatures generate identical hardware up to mirroring/rotating the array.
+    """
+    from repro.core.reuse import orient
+
+    variants = []
+    for sym in _ARRAY_SYMMETRIES:
+        per_tensor = []
+        for fl in spec.flows:
+            basis = sorted(
+                orient((*sym(vec[0], vec[1]), vec[2])) for vec in fl.reuse.basis
+            )
+            per_tensor.append((fl.tensor_name, fl.kind.value, tuple(basis)))
+        variants.append(tuple(per_tensor))
+    return min(variants)
+
+
+def loop_selections(statement: Statement) -> Iterator[tuple[str, ...]]:
+    """All ordered selections of three loops that cover every tensor.
+
+    A selection is valid when every tensor of the statement reads at least one
+    selected iterator — otherwise its restricted access matrix is all-zero and
+    no dataflow exists for it (cf. :func:`repro.core.reuse.reuse_space`).
+    """
+    names = statement.space.names
+    for combo in itertools.permutations(names, 3):
+        cols = [statement.space.position(n) for n in combo]
+        ok = all(
+            any(row[c] != 0 for row in acc.matrix for c in cols)
+            for acc in statement.accesses
+        )
+        if ok:
+            yield combo
+
+
+def enumerate_specs(
+    statement: Statement,
+    selected: Sequence[str],
+    *,
+    bound: int = 1,
+    limit: int | None = None,
+    allowed_types: frozenset[DataflowType] | None = None,
+    realizable_only: bool = False,
+    canonical: bool = False,
+) -> list[DataflowSpec]:
+    """Distinct dataflow designs for one loop selection.
+
+    Deduplicates on :meth:`DataflowSpec.signature` (or
+    :func:`canonical_signature` with ``canonical=True``) and keeps the
+    simplest STT representative of each design (the candidate stream is
+    complexity-ordered).  ``realizable_only`` restricts to nearest-neighbour
+    interconnect, matching the paper's synthesized sweeps.
+    """
+    seen: set[tuple] = set()
+    out: list[DataflowSpec] = []
+    for stt in stt_candidates(bound):
+        try:
+            spec = DataflowSpec(statement, selected, stt)
+        except ValueError:
+            continue
+        if allowed_types is not None and any(
+            fl.kind not in allowed_types for fl in spec.flows
+        ):
+            continue
+        if realizable_only and not is_realizable(spec):
+            continue
+        sig = canonical_signature(spec) if canonical else spec.signature()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        out.append(spec)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+@dataclass
+class DesignSpace:
+    """Result of a full design-space sweep for one workload."""
+
+    statement: Statement
+    specs: list[DataflowSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def by_letters(self, letters: str) -> list[DataflowSpec]:
+        return [s for s in self.specs if s.letters == letters.upper()]
+
+    def letter_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for spec in self.specs:
+            hist[spec.letters] = hist.get(spec.letters, 0) + 1
+        return dict(sorted(hist.items()))
+
+
+def enumerate_designs(
+    statement: Statement,
+    *,
+    selections: Iterable[Sequence[str]] | None = None,
+    bound: int = 1,
+    per_selection_limit: int | None = None,
+    allowed_types: frozenset[DataflowType] | None = None,
+    realizable_only: bool = False,
+    canonical: bool = False,
+) -> DesignSpace:
+    """Sweep loop selections x STT matrices into a deduplicated design space.
+
+    With ``canonical=True``, unordered loop selections are also deduplicated:
+    ``(m, n, k)`` and ``(n, m, k)`` relabel the same hardware, so only sorted
+    selections are swept.
+    """
+    space = DesignSpace(statement)
+    seen: set[tuple] = set()
+    chosen = selections if selections is not None else loop_selections(statement)
+    if canonical and selections is None:
+        chosen = sorted({tuple(sorted(sel)) for sel in chosen})
+    for sel in chosen:
+        for spec in enumerate_specs(
+            statement,
+            tuple(sel),
+            bound=bound,
+            limit=per_selection_limit,
+            allowed_types=allowed_types,
+            realizable_only=realizable_only,
+            canonical=canonical,
+        ):
+            sig = (tuple(sorted(sel)), canonical_signature(spec)) if canonical else spec.signature()
+            if sig not in seen:
+                seen.add(sig)
+                space.specs.append(spec)
+    return space

@@ -1,0 +1,204 @@
+"""Exact integer / rational linear algebra for STT analysis.
+
+Dataflow classification hinges on *exact* rank and nullspace computations
+(paper Eq. 2-3): a tensor whose reuse subspace has rank 1 versus rank 0 maps
+to completely different hardware.  Floating-point SVD rank decisions are not
+acceptable here, so everything below uses Python integers and
+:class:`fractions.Fraction`.
+
+Matrices are tuples-of-tuples of ints (or Fractions where noted); vectors are
+tuples of ints.  All functions are pure.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from math import gcd
+from typing import Sequence
+
+IntMatrix = tuple[tuple[int, ...], ...]
+IntVector = tuple[int, ...]
+FracMatrix = tuple[tuple[Fraction, ...], ...]
+
+__all__ = [
+    "IntMatrix",
+    "IntVector",
+    "as_matrix",
+    "identity",
+    "mat_mul",
+    "mat_vec",
+    "transpose",
+    "determinant",
+    "rank",
+    "inverse",
+    "nullspace",
+    "primitive",
+    "is_full_rank",
+    "solve",
+]
+
+
+def as_matrix(rows: Sequence[Sequence[int]]) -> IntMatrix:
+    """Normalize nested sequences into an immutable integer matrix."""
+    mat = tuple(tuple(int(v) for v in row) for row in rows)
+    if not mat:
+        raise ValueError("empty matrix")
+    width = len(mat[0])
+    if width == 0 or any(len(row) != width for row in mat):
+        raise ValueError(f"ragged or zero-width matrix: {rows}")
+    return mat
+
+
+def identity(n: int) -> IntMatrix:
+    return tuple(tuple(1 if r == c else 0 for c in range(n)) for r in range(n))
+
+
+def transpose(mat: Sequence[Sequence[int]]) -> IntMatrix:
+    return tuple(zip(*(tuple(row) for row in mat)))
+
+
+def mat_mul(a: Sequence[Sequence], b: Sequence[Sequence]) -> tuple[tuple, ...]:
+    """Matrix product; works for int and Fraction entries."""
+    if len(a[0]) != len(b):
+        raise ValueError(f"dimension mismatch: {len(a[0])} vs {len(b)}")
+    bt = list(zip(*b))
+    return tuple(
+        tuple(sum(x * y for x, y in zip(row, col)) for col in bt) for row in a
+    )
+
+
+def mat_vec(mat: Sequence[Sequence], vec: Sequence) -> tuple:
+    if len(mat[0]) != len(vec):
+        raise ValueError(f"dimension mismatch: {len(mat[0])} vs {len(vec)}")
+    return tuple(sum(c * v for c, v in zip(row, vec)) for row in mat)
+
+
+def determinant(mat: Sequence[Sequence[int]]) -> int:
+    """Exact determinant by fraction-free (Bareiss) elimination."""
+    m = [list(row) for row in mat]
+    n = len(m)
+    if any(len(row) != n for row in m):
+        raise ValueError("determinant needs a square matrix")
+    sign = 1
+    prev = 1
+    for k in range(n - 1):
+        if m[k][k] == 0:
+            pivot_row = next((r for r in range(k + 1, n) if m[r][k] != 0), None)
+            if pivot_row is None:
+                return 0
+            m[k], m[pivot_row] = m[pivot_row], m[k]
+            sign = -sign
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) // prev
+            m[i][k] = 0
+        prev = m[k][k]
+    return sign * m[-1][-1]
+
+
+def _row_echelon(mat: Sequence[Sequence[int]]) -> tuple[list[list[Fraction]], list[int]]:
+    """Reduced row echelon form over Q; returns (rref, pivot column list)."""
+    m = [[Fraction(v) for v in row] for row in mat]
+    n_rows, n_cols = len(m), len(m[0])
+    pivots: list[int] = []
+    row = 0
+    for col in range(n_cols):
+        pivot_row = next((r for r in range(row, n_rows) if m[r][col] != 0), None)
+        if pivot_row is None:
+            continue
+        m[row], m[pivot_row] = m[pivot_row], m[row]
+        inv = 1 / m[row][col]
+        m[row] = [v * inv for v in m[row]]
+        for r in range(n_rows):
+            if r != row and m[r][col] != 0:
+                factor = m[r][col]
+                m[r] = [a - factor * b for a, b in zip(m[r], m[row])]
+        pivots.append(col)
+        row += 1
+        if row == n_rows:
+            break
+    return m, pivots
+
+
+def rank(mat: Sequence[Sequence[int]]) -> int:
+    """Exact rank over the rationals."""
+    return _rank_cached(as_matrix(mat))
+
+
+@lru_cache(maxsize=65536)
+def _rank_cached(mat: IntMatrix) -> int:
+    _, pivots = _row_echelon(mat)
+    return len(pivots)
+
+
+def is_full_rank(mat: Sequence[Sequence[int]]) -> bool:
+    square = len(mat) == len(mat[0])
+    return square and determinant(mat) != 0
+
+
+def inverse(mat: Sequence[Sequence[int]]) -> FracMatrix:
+    """Exact inverse over Q (raises for singular matrices)."""
+    m = as_matrix(mat)
+    n = len(m)
+    if any(len(row) != n for row in m):
+        raise ValueError("inverse needs a square matrix")
+    aug = [list(row) + [1 if r == c else 0 for c in range(n)] for r, row in enumerate(m)]
+    rref, pivots = _row_echelon(aug)
+    if pivots[:n] != list(range(n)):
+        raise ValueError(f"matrix is singular: {mat}")
+    return tuple(tuple(row[n:]) for row in rref[:n])
+
+
+def primitive(vec: Sequence) -> IntVector:
+    """Scale a rational vector to the canonical primitive integer vector.
+
+    The result has coprime integer entries and its first nonzero entry is
+    positive, so reuse directions compare canonically.  The zero vector maps
+    to itself.
+    """
+    fracs = [Fraction(v) for v in vec]
+    if all(f == 0 for f in fracs):
+        return tuple(0 for _ in fracs)
+    denom_lcm = 1
+    for f in fracs:
+        denom_lcm = denom_lcm * f.denominator // gcd(denom_lcm, f.denominator)
+    ints = [int(f * denom_lcm) for f in fracs]
+    g = 0
+    for v in ints:
+        g = gcd(g, abs(v))
+    ints = [v // g for v in ints]
+    first = next(v for v in ints if v != 0)
+    if first < 0:
+        ints = [-v for v in ints]
+    return tuple(ints)
+
+
+def nullspace(mat: Sequence[Sequence[int]]) -> tuple[IntVector, ...]:
+    """Primitive integer basis of the right nullspace ``{x : mat @ x = 0}``.
+
+    This is the *reuse subspace* of an access matrix (paper Eq. 2): loop
+    directions along which the tensor index does not change.
+    """
+    return _nullspace_cached(as_matrix(mat))
+
+
+@lru_cache(maxsize=65536)
+def _nullspace_cached(m: IntMatrix) -> tuple[IntVector, ...]:
+    n_cols = len(m[0])
+    rref, pivots = _row_echelon(m)
+    free_cols = [c for c in range(n_cols) if c not in pivots]
+    basis: list[IntVector] = []
+    for free in free_cols:
+        vec = [Fraction(0)] * n_cols
+        vec[free] = Fraction(1)
+        for row_idx, pivot_col in enumerate(pivots):
+            vec[pivot_col] = -rref[row_idx][free]
+        basis.append(primitive(vec))
+    return tuple(basis)
+
+
+def solve(mat: Sequence[Sequence[int]], rhs: Sequence[int]) -> tuple[Fraction, ...]:
+    """Solve ``mat @ x = rhs`` exactly for square nonsingular ``mat``."""
+    inv = inverse(mat)
+    return mat_vec(inv, tuple(Fraction(v) for v in rhs))

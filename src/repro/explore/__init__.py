@@ -1,0 +1,13 @@
+"""Design-space exploration: enumerate -> evaluate -> Pareto.
+
+The productivity claim of the paper is that generation is cheap enough to
+sweep the whole dataflow space; this package packages that loop:
+:func:`repro.explore.dse.explore` runs the enumeration of
+:mod:`repro.core.enumerate` through the performance and cost models and
+:func:`repro.explore.pareto.pareto_front` extracts the interesting frontier.
+"""
+
+from repro.explore.dse import DesignPoint, explore
+from repro.explore.pareto import pareto_front
+
+__all__ = ["DesignPoint", "explore", "pareto_front"]

@@ -1,0 +1,48 @@
+"""Pareto-frontier extraction over evaluated design points."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["pareto_front"]
+
+
+def pareto_front(
+    points: Sequence[T],
+    objectives: Sequence[Callable[[T], float]],
+    minimize: Sequence[bool] | None = None,
+) -> list[T]:
+    """Non-dominated subset of ``points`` under the given objectives.
+
+    ``minimize[i]`` selects the direction of objective ``i`` (default: all
+    minimized).  A point is dominated when another point is no worse in every
+    objective and strictly better in at least one.
+    """
+    if not objectives:
+        raise ValueError("need at least one objective")
+    mins = list(minimize) if minimize is not None else [True] * len(objectives)
+    if len(mins) != len(objectives):
+        raise ValueError("minimize flags must match objectives")
+
+    def key(pt: T) -> tuple[float, ...]:
+        return tuple(
+            obj(pt) if mn else -obj(pt) for obj, mn in zip(objectives, mins)
+        )
+
+    keyed = [(key(pt), pt) for pt in points]
+    front: list[T] = []
+    for k, pt in keyed:
+        dominated = False
+        for k2, _ in keyed:
+            if k2 is k:
+                continue
+            if all(a <= b for a, b in zip(k2, k)) and any(
+                a < b for a, b in zip(k2, k)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(pt)
+    return front

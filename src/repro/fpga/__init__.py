@@ -1,0 +1,22 @@
+"""FPGA resource/frequency/throughput model reproducing paper Table III.
+
+The paper synthesizes a 10x16 FP32 systolic design (vectorization 8 per PE)
+for a Xilinx VU9P with Vivado and compares against the published results of
+the PolySA and Susy generators.  We reproduce the TensorLib rows with an
+analytic mapping from generated-netlist resources to LUT/DSP/BRAM plus a
+wire-profile frequency estimate; the comparator rows are the numbers those
+papers report (they are external baselines, recorded as constants with
+provenance in :mod:`repro.fpga.baselines`).
+"""
+
+from repro.fpga.resources import FPGAModel, FPGAReport, VU9P, FPGADevice
+from repro.fpga.baselines import PRIOR_GENERATORS, BaselineRow
+
+__all__ = [
+    "FPGAModel",
+    "FPGAReport",
+    "FPGADevice",
+    "VU9P",
+    "PRIOR_GENERATORS",
+    "BaselineRow",
+]

@@ -1,0 +1,36 @@
+"""Published results of prior accelerator generators (paper Table III).
+
+These rows are *external baselines*: the paper compares against the numbers
+PolySA (Cong & Wang, ICCAD 2018) and Susy (Lai et al., ICCAD 2020) report in
+their own evaluations, not against re-synthesized designs.  We therefore
+record them as constants, exactly as Table III prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BaselineRow", "PRIOR_GENERATORS"]
+
+
+@dataclass(frozen=True)
+class BaselineRow:
+    """One generator x workload entry of paper Table III."""
+
+    generator: str
+    device: str
+    workload: str
+    lut_pct: float
+    dsp_pct: float
+    bram_pct: float
+    freq_mhz: float
+    gops: float
+
+
+#: Table III as printed in the paper (Susy and PolySA columns).
+PRIOR_GENERATORS = (
+    BaselineRow("Susy", "Arria-10", "MM", 40.0, 93.0, 32.0, 202.0, 547.0),
+    BaselineRow("Susy", "Arria-10", "Conv", 35.0, 84.0, 30.0, 220.0, 551.0),
+    BaselineRow("PolySA", "VU9P", "MM", 49.0, 89.0, 89.0, 229.0, 555.0),
+    BaselineRow("PolySA", "VU9P", "Conv", 49.0, 89.0, 71.0, 229.0, 548.0),
+)

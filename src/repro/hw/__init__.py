@@ -1,0 +1,20 @@
+"""Hardware generation: from a :class:`~repro.core.dataflow.DataflowSpec` to RTL.
+
+The paper builds parameterized Chisel templates; we build the same templates
+over a small structural netlist IR:
+
+- :mod:`repro.hw.netlist` — wires, primitive cells, hierarchical modules,
+  flattening (the "mini-Chisel" substrate),
+- :mod:`repro.hw.pe` — the six PE internal module templates of paper Fig. 3(1),
+- :mod:`repro.hw.reduction` — balanced adder trees for multicast outputs,
+- :mod:`repro.hw.array` — PE array interconnection (paper Fig. 3(2) / Fig. 4),
+- :mod:`repro.hw.controller` — loop counters and stage-phase FSM,
+- :mod:`repro.hw.memory` — on-chip buffer configuration and behavioural banks,
+- :mod:`repro.hw.generator` — the top-level :class:`AcceleratorGenerator`,
+- :mod:`repro.hw.verilog` — Verilog-2001 emission.
+"""
+
+from repro.hw.netlist import CellKind, Module, Wire
+from repro.hw.generator import AcceleratorGenerator, AcceleratorDesign
+
+__all__ = ["CellKind", "Module", "Wire", "AcceleratorGenerator", "AcceleratorDesign"]

@@ -1,0 +1,387 @@
+"""PE array generation: interconnect per tensor dataflow (paper §V-B).
+
+The array instantiates ``rows x cols`` copies of the generated PE and wires
+them according to each tensor's reuse directions:
+
+- **systolic** — neighbour links along the space step, with ``dt - 1`` extra
+  delay registers when the reuse step spans more than one cycle (the PE
+  itself contributes one register),
+- **multicast** — one bus per *line* of PEs along the sharing direction
+  (rows, columns or diagonals — paper Fig. 4(b,c)),
+- **broadcast** — a single bus to every PE,
+- **stationary** — shadow-register load chains down each column, and drain
+  chains for stationary outputs,
+- **reduction tree** — per-line balanced adder trees for multicast outputs
+  (paper Fig. 4(d)), with array-level accumulators for the stationary-
+  combined cases,
+- **systolic+multicast** — line registers: each bus value hops to the next
+  line after ``dt`` cycles,
+- **unicast** — a private port per PE.
+
+Port naming is centralized in the ``*_port`` helpers; the simulation harness
+uses the same helpers, so schedules and hardware cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.dataflow import DataflowSpec, DataflowType, TensorDataflow
+from repro.hw.geometry import Grid, cross
+from repro.hw.netlist import Module, Wire
+from repro.hw.pe import DEFAULT_WIDTH, build_pe
+from repro.hw.reduction import reduce_tree
+
+__all__ = [
+    "ArrayInfo",
+    "TensorWiring",
+    "build_array",
+    "in_port",
+    "out_port",
+    "bus_port",
+    "line_in_port",
+    "load_port",
+    "drain_port",
+    "sum_port",
+    "acc_port",
+    "chain_port",
+]
+
+
+# ---------------------------------------------------------------------------
+# Port naming (shared with the simulation harness)
+# ---------------------------------------------------------------------------
+
+def in_port(tensor: str, r: int, c: int) -> str:
+    """Per-PE data input (unicast input, systolic entry)."""
+    return f"{tensor.lower()}_in_r{r}c{c}"
+
+
+def out_port(tensor: str, r: int, c: int) -> str:
+    """Per-PE data output (unicast output, systolic exit)."""
+    return f"{tensor.lower()}_out_r{r}c{c}"
+
+
+def bus_port(tensor: str, line: int | None = None) -> str:
+    """Multicast line bus (or the global broadcast bus when ``line is None``)."""
+    t = tensor.lower()
+    return f"{t}_bus" if line is None else f"{t}_bus_l{line}"
+
+
+def line_in_port(tensor: str, line: int) -> str:
+    """Entry bus of a systolic+multicast line chain."""
+    return f"{tensor.lower()}_line_in_l{line}"
+
+
+def load_port(tensor: str, c: int) -> str:
+    """Stationary-input load-chain entry for column ``c``."""
+    return f"{tensor.lower()}_load_c{c}"
+
+
+def drain_port(tensor: str, c: int) -> str:
+    """Stationary-output drain-chain exit for column ``c``."""
+    return f"{tensor.lower()}_drain_c{c}"
+
+
+def sum_port(tensor: str, line: int | None = None) -> str:
+    """Reduction-tree root (registered) for a multicast/broadcast output."""
+    t = tensor.lower()
+    return f"{t}_sum" if line is None else f"{t}_sum_l{line}"
+
+
+def acc_port(tensor: str, line: int | None = None) -> str:
+    """Array-level accumulator output (full-reuse / multicast+stationary)."""
+    t = tensor.lower()
+    return f"{t}_acc" if line is None else f"{t}_acc_l{line}"
+
+
+def chain_port(tensor: str, line: int) -> str:
+    """Exit of a systolic+multicast output line chain."""
+    return f"{tensor.lower()}_chain_l{line}"
+
+
+# ---------------------------------------------------------------------------
+# Array metadata handed to the harness / models
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TensorWiring:
+    """How one tensor is physically wired across the array."""
+
+    flow: TensorDataflow
+    #: dense line index per raw cross-product id (line-based dataflows).
+    line_map: dict[int, int] = field(default_factory=dict)
+    #: multicast direction used for the lines.
+    line_dir: tuple[int, int] | None = None
+    #: systolic space step and delay.
+    sy_space: tuple[int, int] | None = None
+    sy_delay: int = 0
+    #: raw-id shift per systolic hop (systolic+multicast only).
+    line_shift: int = 0
+
+    @property
+    def kind(self) -> DataflowType:
+        return self.flow.kind
+
+    @property
+    def tensor(self) -> str:
+        return self.flow.tensor_name
+
+
+@dataclass
+class ArrayInfo:
+    """Geometry + wiring summary for a generated PE array."""
+
+    grid: Grid
+    wiring: dict[str, TensorWiring]
+    controls: tuple[str, ...]
+    width: int
+
+    def tensor(self, name: str) -> TensorWiring:
+        return self.wiring[name]
+
+
+# ---------------------------------------------------------------------------
+# Array construction
+# ---------------------------------------------------------------------------
+
+
+def _space(vec: Sequence[int]) -> tuple[int, int]:
+    return (vec[0], vec[1])
+
+
+def build_array(
+    spec: DataflowSpec,
+    rows: int,
+    cols: int,
+    width: int = DEFAULT_WIDTH,
+    name: str = "pe_array",
+) -> tuple[Module, ArrayInfo]:
+    """Generate the PE array module for a dataflow spec.
+
+    Returns the array module and an :class:`ArrayInfo` describing the wiring
+    (used by the functional harness and the cost models).
+    """
+    grid = Grid(rows, cols)
+    pe, pe_ports = build_pe(spec, width=width)
+    arr = Module(name)
+
+    # Control inputs: PE controls plus array-level accumulator clear.
+    control_names = list(pe_ports.controls)
+    out_kind = spec.output_flow.kind
+    if out_kind in (DataflowType.FULL_REUSE, DataflowType.MULTICAST_STATIONARY):
+        if "acc_clear" not in control_names:
+            control_names.append("acc_clear")
+    controls = {cname: arr.input(cname, 1) for cname in control_names}
+
+    # Per-PE binding dictionaries, filled tensor by tensor.
+    bindings: dict[tuple[int, int], dict[str, Wire]] = {p: {} for p in grid.points()}
+    # Pre-created per-PE output wires (so inter-PE nets exist before
+    # instantiation).
+    pe_out_wires: dict[tuple[str, tuple[int, int]], Wire] = {}
+
+    def pe_out(port: str, p: tuple[int, int]) -> Wire:
+        key = (port, p)
+        if key not in pe_out_wires:
+            pe_out_wires[key] = arr.wire(f"{port}_r{p[0]}c{p[1]}", pe.ports[port].width)
+        return pe_out_wires[key]
+
+    wiring: dict[str, TensorWiring] = {}
+    zero = arr.const(0, width, "zero")
+
+    # ---- input tensors ----------------------------------------------------
+    for flow in spec.input_flows:
+        t = flow.tensor_name.lower()
+        kind = flow.kind
+        tw = TensorWiring(flow=flow)
+        if kind is DataflowType.SYSTOLIC:
+            s1, s2, dt = flow.systolic_direction
+            tw.sy_space, tw.sy_delay = (s1, s2), dt
+            for p in grid.points():
+                if grid.is_entry(p, (s1, s2)):
+                    src = arr.input(in_port(t, *p), width)
+                else:
+                    upstream = pe_out(f"{t}_out", (p[0] - s1, p[1] - s2))
+                    src = arr.delay(upstream, dt - 1, name=f"{t}_lnk_r{p[0]}c{p[1]}_")
+                bindings[p][f"{t}_in"] = src
+                bindings[p][f"{t}_out"] = pe_out(f"{t}_out", p)
+        elif kind is DataflowType.STATIONARY:
+            for c in range(cols):
+                chain = arr.input(load_port(t, c), width)
+                for r in range(rows):
+                    bindings[(r, c)][f"{t}_load_in"] = chain
+                    chain = pe_out(f"{t}_load_out", (r, c))
+                    bindings[(r, c)][f"{t}_load_out"] = chain
+        elif kind is DataflowType.MULTICAST:
+            mc = _space(flow.multicast_direction)
+            tw.line_dir = mc
+            tw.line_map = grid.line_index(mc)
+            buses = {
+                raw: arr.input(bus_port(t, idx), width) for raw, idx in tw.line_map.items()
+            }
+            for p in grid.points():
+                bindings[p][f"{t}_in"] = buses[cross(p, mc)]
+        elif kind is DataflowType.BROADCAST:
+            bus = arr.input(bus_port(t), width)
+            for p in grid.points():
+                bindings[p][f"{t}_in"] = bus
+        elif kind is DataflowType.FULL_REUSE:
+            bus = arr.input(bus_port(t), width)
+            for p in grid.points():
+                bindings[p][f"{t}_bus"] = bus
+        elif kind is DataflowType.MULTICAST_STATIONARY:
+            mc = _space(flow.multicast_direction)
+            tw.line_dir = mc
+            tw.line_map = grid.line_index(mc)
+            buses = {
+                raw: arr.input(bus_port(t, idx), width) for raw, idx in tw.line_map.items()
+            }
+            for p in grid.points():
+                bindings[p][f"{t}_bus"] = buses[cross(p, mc)]
+        elif kind is DataflowType.UNICAST:
+            for p in grid.points():
+                bindings[p][f"{t}_in"] = arr.input(in_port(t, *p), width)
+        elif kind is DataflowType.SYSTOLIC_MULTICAST:
+            mc = _space(flow.multicast_direction)
+            sy = flow.systolic_direction
+            tw.line_dir = mc
+            tw.line_map = grid.line_index(mc)
+            tw.sy_space, tw.sy_delay = _space(sy), sy[2]
+            tw.line_shift = grid.line_shift(mc, _space(sy))
+            buses: dict[int, Wire] = {}
+            for chain_ids in grid.line_chain(mc, _space(sy)):
+                for pos, raw in enumerate(chain_ids):
+                    if pos == 0:
+                        buses[raw] = arr.input(line_in_port(t, tw.line_map[raw]), width)
+                    else:
+                        buses[raw] = arr.delay(
+                            buses[chain_ids[pos - 1]], sy[2], name=f"{t}_linereg_l{tw.line_map[raw]}_"
+                        )
+            for p in grid.points():
+                bindings[p][f"{t}_in"] = buses[cross(p, mc)]
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled input dataflow {kind}")
+        wiring[flow.tensor_name] = tw
+
+    # ---- output tensor ------------------------------------------------------
+    out_flow = spec.output_flow
+    t = out_flow.tensor_name.lower()
+    tw = TensorWiring(flow=out_flow)
+    partials_needed = out_kind in (
+        DataflowType.MULTICAST,
+        DataflowType.BROADCAST,
+        DataflowType.MULTICAST_STATIONARY,
+        DataflowType.FULL_REUSE,
+        DataflowType.SYSTOLIC_MULTICAST,
+    )
+    if out_kind is DataflowType.SYSTOLIC:
+        s1, s2, dt = out_flow.systolic_direction
+        tw.sy_space, tw.sy_delay = (s1, s2), dt
+        for p in grid.points():
+            if grid.is_entry(p, (s1, s2)):
+                src = zero
+            else:
+                upstream = pe_out(f"{t}_out", (p[0] - s1, p[1] - s2))
+                src = arr.delay(upstream, dt - 1, name=f"{t}_lnk_r{p[0]}c{p[1]}_")
+            bindings[p][f"{t}_psum_in"] = src
+            bindings[p][f"{t}_out"] = pe_out(f"{t}_out", p)
+            if grid.is_exit(p, (s1, s2)):
+                arr.output(out_port(t, *p), pe_out(f"{t}_out", p))
+    elif out_kind is DataflowType.STATIONARY:
+        for c in range(cols):
+            chain: Wire = zero
+            for r in range(rows):
+                bindings[(r, c)][f"{t}_drain_in"] = chain
+                chain = pe_out(f"{t}_drain_out", (r, c))
+                bindings[(r, c)][f"{t}_drain_out"] = chain
+            arr.output(drain_port(t, c), chain)
+    elif out_kind is DataflowType.UNICAST:
+        for p in grid.points():
+            w = pe_out(f"{t}_out", p)
+            bindings[p][f"{t}_out"] = w
+            arr.output(out_port(t, *p), w)
+    elif partials_needed:
+        partial = {
+            p: pe_out(f"{t}_partial", p) for p in grid.points()
+        }
+        for p in grid.points():
+            bindings[p][f"{t}_partial"] = partial[p]
+        if out_kind is DataflowType.BROADCAST:
+            root = reduce_tree(arr, [partial[p] for p in grid.points()], name=f"{t}_tree")
+            arr.output(sum_port(t), arr.reg(root, name=f"{t}_sum_reg"))
+        elif out_kind is DataflowType.FULL_REUSE:
+            root = reduce_tree(arr, [partial[p] for p in grid.points()], name=f"{t}_tree")
+            acc = _accumulator(arr, root, controls["acc_clear"], f"{t}_acc")
+            arr.output(acc_port(t), acc)
+        elif out_kind is DataflowType.MULTICAST:
+            mc = _space(out_flow.multicast_direction)
+            tw.line_dir = mc
+            tw.line_map = grid.line_index(mc)
+            for line in grid.lines(mc):
+                root = reduce_tree(
+                    arr, [partial[p] for p in line.points], name=f"{t}_tree_l{line.index}"
+                )
+                arr.output(
+                    sum_port(t, line.index), arr.reg(root, name=f"{t}_sum_reg_l{line.index}")
+                )
+        elif out_kind is DataflowType.MULTICAST_STATIONARY:
+            mc = _space(out_flow.multicast_direction)
+            tw.line_dir = mc
+            tw.line_map = grid.line_index(mc)
+            for line in grid.lines(mc):
+                root = reduce_tree(
+                    arr, [partial[p] for p in line.points], name=f"{t}_tree_l{line.index}"
+                )
+                acc = _accumulator(arr, root, controls["acc_clear"], f"{t}_acc_l{line.index}")
+                arr.output(acc_port(t, line.index), acc)
+        else:  # SYSTOLIC_MULTICAST
+            mc = _space(out_flow.multicast_direction)
+            sy = out_flow.systolic_direction
+            tw.line_dir = mc
+            tw.line_map = grid.line_index(mc)
+            tw.sy_space, tw.sy_delay = _space(sy), sy[2]
+            tw.line_shift = grid.line_shift(mc, _space(sy))
+            trees = {}
+            for line in grid.lines(mc):
+                trees[line.raw_id] = reduce_tree(
+                    arr, [partial[p] for p in line.points], name=f"{t}_tree_l{line.index}"
+                )
+            for chain_ids in grid.line_chain(mc, _space(sy)):
+                value: Wire | None = None
+                for raw in chain_ids:
+                    if value is None:
+                        value = trees[raw]
+                    else:
+                        value = arr.add(trees[raw], value, name=f"{t}_chain_add_l{tw.line_map[raw]}")
+                    if raw != chain_ids[-1]:
+                        value = arr.delay(value, sy[2], name=f"{t}_chain_dly_l{tw.line_map[raw]}_")
+                arr.output(chain_port(t, tw.line_map[chain_ids[-1]]), value)
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(f"unhandled output dataflow {out_kind}")
+    wiring[out_flow.tensor_name] = tw
+
+    # ---- instantiate the PEs -------------------------------------------------
+    for p in grid.points():
+        binds = dict(bindings[p])
+        for cname, cwire in controls.items():
+            if cname in pe.inputs:
+                binds[cname] = cwire
+        arr.instantiate(pe, f"pe_r{p[0]}c{p[1]}", **binds)
+
+    info = ArrayInfo(grid=grid, wiring=wiring, controls=tuple(control_names), width=width)
+    return arr, info
+
+
+def _accumulator(mod: Module, value: Wire, clear: Wire, name: str) -> Wire:
+    """``acc := clear ? value : acc + value`` (free-running register)."""
+    placeholder = mod.wire(f"{name}_d", value.width)
+    acc_q = mod.reg(placeholder, name=name)
+    total = mod.add(acc_q, value, name=f"{name}_sum")
+    muxed = mod.mux(clear, value, total, name=f"{name}_mux")
+    for cell in mod.cells:
+        for pin, wire in cell.pins.items():
+            if wire is placeholder:
+                cell.pins[pin] = muxed
+    return acc_q

@@ -1,0 +1,164 @@
+"""Stage controller generation (paper §V: "the controller which provides
+control signals for both PE and memory ports").
+
+Execution proceeds in *stages*: one stage per spatial tile per combination of
+sequential-loop values.  Every stage has the same phase schedule, so the
+controller is a free-running cycle counter plus comparators:
+
+====================  ====================================================
+phase                 cycles (within a stage of length ``total``)
+====================  ====================================================
+load                  ``[0, load_len)`` — shift/broadcast stationary inputs
+swap-in               ``load_len`` (1 cycle, only when loads exist)
+execute               ``exec_len`` cycles; ``acc_clear`` pulses on the first
+swap-out              1 cycle after execute (only for stationary outputs)
+drain                 ``drain_len`` cycles shifting drain chains
+====================  ====================================================
+
+The controller is generated as a netlist like everything else, so it is
+simulated and synthesized together with the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.netlist import Module
+
+__all__ = ["StageTiming", "build_controller"]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Cycle-level schedule of one stage.
+
+    Derived once per design; the controller netlist and the simulation
+    harness both read phase boundaries from here so they cannot disagree.
+    """
+
+    load_len: int
+    exec_len: int
+    drain_len: int
+
+    def __post_init__(self) -> None:
+        if self.exec_len <= 0:
+            raise ValueError("a stage needs at least one execute cycle")
+        if self.load_len < 0 or self.drain_len < 0:
+            raise ValueError("phase lengths must be non-negative")
+
+    @property
+    def has_load(self) -> bool:
+        return self.load_len > 0
+
+    @property
+    def has_drain(self) -> bool:
+        return self.drain_len > 0
+
+    @property
+    def swap_in_cycle(self) -> int | None:
+        return self.load_len if self.has_load else None
+
+    @property
+    def exec_start(self) -> int:
+        return self.load_len + (1 if self.has_load else 0)
+
+    @property
+    def exec_end(self) -> int:
+        """First cycle after the execute phase."""
+        return self.exec_start + self.exec_len
+
+    @property
+    def swap_out_cycle(self) -> int | None:
+        return self.exec_end if self.has_drain else None
+
+    @property
+    def drain_start(self) -> int:
+        return self.exec_end + (1 if self.has_drain else 0)
+
+    @property
+    def total(self) -> int:
+        return self.drain_start + self.drain_len
+
+    def phase_of(self, cycle: int) -> str:
+        """Phase name of a cycle within the stage (reference semantics)."""
+        c = cycle % self.total
+        if c < self.load_len:
+            return "load"
+        if self.has_load and c == self.load_len:
+            return "swap_in"
+        if c < self.exec_end:
+            return "execute"
+        if self.has_drain and c == self.exec_end:
+            return "swap_out"
+        return "drain"
+
+
+def build_controller(timing: StageTiming, name: str = "controller") -> Module:
+    """Generate the stage controller netlist.
+
+    Outputs: ``cycle`` (stage-local counter), ``load_en``, ``swap_in``,
+    ``acc_clear``, ``swap_out``, ``drain_en`` and a ``stage_done`` pulse on
+    the last cycle of each stage.  All outputs are combinational functions of
+    the counter so they align exactly with :meth:`StageTiming.phase_of`.
+    """
+    ctrl = Module(name)
+    # Width must hold `total` itself, not just total-1: the drain-phase upper
+    # bound comparator uses the constant `total`, which would wrap to 0 at
+    # power-of-two stage lengths otherwise.
+    width = max(1, timing.total.bit_length())
+    one = ctrl.const(1, width, "one")
+    last = ctrl.const(timing.total - 1, width, "last")
+
+    cnt_d = ctrl.wire("cnt_d", width)
+    cnt = ctrl.reg(cnt_d, name="cnt")
+    at_last = ctrl.eq(cnt, last, name="at_last")
+    nxt = ctrl.add(cnt, one, name="nxt")
+    zero = ctrl.const(0, width, "zero")
+    wrapped = ctrl.mux(at_last, zero, nxt, name="wrapped")
+    for cell in ctrl.cells:
+        for pin, wire in cell.pins.items():
+            if wire is cnt_d:
+                cell.pins[pin] = wrapped
+
+    ctrl.output("cycle", cnt)
+    ctrl.output("stage_done", at_last)
+
+    def at(value: int, label: str):
+        return ctrl.eq(cnt, ctrl.const(value, width, f"{label}_c"), name=label)
+
+    def in_range(lo: int, hi: int, label: str):
+        """1 when lo <= cnt < hi (assumes 0 <= lo < hi <= total)."""
+        if lo == 0:
+            return ctrl.lt(cnt, ctrl.const(hi, width, f"{label}_hi"), name=label)
+        ge_lo = ctrl.not_(
+            ctrl.lt(cnt, ctrl.const(lo, width, f"{label}_lo"), name=f"{label}_blo"),
+            name=f"{label}_ge",
+        )
+        lt_hi = ctrl.lt(cnt, ctrl.const(hi, width, f"{label}_hi"), name=f"{label}_lt")
+        return ctrl.and_(ge_lo, lt_hi, name=label)
+
+    false = ctrl.const(0, 1, "false")
+    ctrl.output(
+        "load_en",
+        in_range(0, timing.load_len, "load_en_w") if timing.has_load else false,
+    )
+    ctrl.output(
+        "swap_in",
+        at(timing.swap_in_cycle, "swap_in_w") if timing.has_load else _false2(ctrl),
+    )
+    ctrl.output("acc_clear", at(timing.exec_start, "acc_clear_w"))
+    ctrl.output(
+        "swap_out",
+        at(timing.swap_out_cycle, "swap_out_w") if timing.has_drain else _false2(ctrl),
+    )
+    ctrl.output(
+        "drain_en",
+        in_range(timing.drain_start, timing.total, "drain_en_w")
+        if timing.has_drain
+        else _false2(ctrl),
+    )
+    return ctrl
+
+
+def _false2(ctrl: Module):
+    return ctrl.const(0, 1, "false")

@@ -1,0 +1,125 @@
+"""Top-level accelerator generation (paper Fig. 2, right half).
+
+``AcceleratorGenerator`` assembles the complete design for a dataflow spec:
+
+1. the PE module (template selection per tensor — :mod:`repro.hw.pe`),
+2. the PE array with interconnect (:mod:`repro.hw.array`),
+3. the stage controller (:mod:`repro.hw.controller`) driven by the execution
+   plan (:mod:`repro.hw.plan`),
+4. the memory configuration (:mod:`repro.hw.memory`),
+5. a ``top`` module wiring controller outputs to the array's control inputs
+   and forwarding all data ports.
+
+The result bundles every artifact (modules, geometry info, plan, memory) so
+the simulator, the Verilog backend and the cost models all work from the same
+object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataflow import DataflowSpec
+from repro.hw.array import ArrayInfo, build_array
+from repro.hw.controller import StageTiming, build_controller
+from repro.hw.memory import MemoryConfig, plan_memory
+from repro.hw.netlist import Module
+from repro.hw.pe import DEFAULT_WIDTH
+from repro.hw.plan import StagePlan
+
+__all__ = ["AcceleratorDesign", "AcceleratorGenerator"]
+
+
+@dataclass
+class AcceleratorDesign:
+    """A fully generated accelerator and its supporting metadata."""
+
+    spec: DataflowSpec
+    rows: int
+    cols: int
+    width: int
+    array: Module
+    controller: Module
+    top: Module
+    info: ArrayInfo
+    plan: StagePlan
+    memory: MemoryConfig
+
+    @property
+    def timing(self) -> StageTiming:
+        return self.plan.timing
+
+    @property
+    def name(self) -> str:
+        return self.top.name
+
+    def verilog(self) -> str:
+        """Emit the whole design as Verilog-2001 text."""
+        from repro.hw.verilog import emit_design
+
+        return emit_design(self.top)
+
+
+class AcceleratorGenerator:
+    """Generate a spatial accelerator for one dataflow spec.
+
+    Parameters mirror the paper's experimental setup: array dimensions and
+    datapath width.  ``tile`` overrides the automatic tiling (mostly for
+    tests).
+    """
+
+    def __init__(
+        self,
+        spec: DataflowSpec,
+        rows: int,
+        cols: int,
+        width: int = DEFAULT_WIDTH,
+        tile: dict[str, int] | None = None,
+    ):
+        self.spec = spec
+        self.rows = rows
+        self.cols = cols
+        self.width = width
+        self.tile = tile
+
+    def generate(self) -> AcceleratorDesign:
+        spec = self.spec
+        plan = StagePlan(spec, self.rows, self.cols, tile=self.tile)
+        array, info = build_array(spec, self.rows, self.cols, width=self.width)
+        controller = build_controller(plan.timing)
+        memory = plan_memory(spec, info)
+
+        top = Module(f"accel_{spec.statement.name}_{spec.name.lower().replace('-', '_')}")
+        # Controller instance: outputs feed the array's control inputs.
+        ctrl_wires = {
+            name: top.wire(f"ctrl_{name}", controller.ports[name].width)
+            for name in controller.outputs
+        }
+        top.instantiate(controller, "ctrl", **ctrl_wires)
+        top.output("cycle", ctrl_wires["cycle"])
+        top.output("stage_done", ctrl_wires["stage_done"])
+
+        bindings: dict[str, object] = {}
+        for port_name, wire in array.inputs.items():
+            if port_name in info.controls:
+                bindings[port_name] = ctrl_wires[port_name]
+            else:
+                bindings[port_name] = top.input(port_name, wire.width)
+        for port_name, wire in array.outputs.items():
+            w = top.wire(f"o_{port_name}", wire.width)
+            bindings[port_name] = w
+            top.output(port_name, w)
+        top.instantiate(array, "array", **bindings)
+
+        return AcceleratorDesign(
+            spec=spec,
+            rows=self.rows,
+            cols=self.cols,
+            width=self.width,
+            array=array,
+            controller=controller,
+            top=top,
+            info=info,
+            plan=plan,
+            memory=memory,
+        )

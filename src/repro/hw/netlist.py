@@ -1,0 +1,460 @@
+"""A structural netlist IR — the substrate the hardware templates build on.
+
+The paper implements its templates in Chisel; this module provides the
+equivalent facilities in plain Python:
+
+- :class:`Wire` — a named signal with a bit width,
+- :class:`Cell` — a primitive (adder, register, mux, …) connecting wires,
+- :class:`Module` — a hierarchical container with ports, cells and instances
+  of other modules,
+- :func:`flatten` — recursive elaboration into a flat cell/wire graph that the
+  cycle simulator executes and that resource models count.
+
+Design notes
+------------
+* Arithmetic is two's-complement at each wire's width; the simulator wraps
+  values exactly as the emitted Verilog would.
+* Every module has an implicit clock; registers are the only sequential
+  cells.  There is no implicit reset — registers start at their ``init``
+  value (matching Verilog ``initial`` blocks, which FPGA synthesis honours).
+* Combinational loops are rejected at flatten time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["CellKind", "Wire", "Cell", "Instance", "Module", "FlatNetlist", "flatten"]
+
+
+class CellKind(enum.Enum):
+    """Primitive cell alphabet.
+
+    ``a``/``b``/``sel``/``d`` name input pins; every cell drives exactly one
+    output wire.  Arithmetic cells treat operands as signed two's-complement
+    of the output width.
+    """
+
+    CONST = "const"  # params: value
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MUX = "mux"  # pins: sel, a (sel=1), b (sel=0)
+    EQ = "eq"
+    NEQ = "neq"
+    LT = "lt"  # unsigned a < b (used for counter comparisons)
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    REG = "reg"  # pins: d, optional en; params: init
+
+    @property
+    def is_sequential(self) -> bool:
+        return self is CellKind.REG
+
+
+@dataclass(eq=False)
+class Wire:
+    """A signal inside one module.  Identity-based equality."""
+
+    name: str
+    width: int
+    module: "Module" = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"wire {self.name!r} needs positive width")
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+
+@dataclass(eq=False)
+class Cell:
+    """A primitive cell: ``pins`` maps pin names to wires, ``out`` is driven."""
+
+    kind: CellKind
+    pins: dict[str, Wire]
+    out: Wire
+    params: dict[str, int] = field(default_factory=dict)
+    name: str = ""
+
+
+@dataclass(eq=False)
+class Instance:
+    """An instantiation of a child module with port bindings."""
+
+    module: "Module"
+    name: str
+    bindings: dict[str, Wire]  # child port name -> parent wire
+
+
+class Module:
+    """A hierarchical hardware module.
+
+    Provides a builder API mirroring the subset of Chisel the paper's
+    templates need: port declaration, primitive helpers (``add``, ``mux``,
+    ``reg``, …) and submodule instantiation.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wires: list[Wire] = []
+        self.cells: list[Cell] = []
+        self.instances: list[Instance] = []
+        self.inputs: dict[str, Wire] = {}
+        self.outputs: dict[str, Wire] = {}
+        self._names: set[str] = set()
+        self._driven: set[int] = set()
+
+    # -- wires and ports -------------------------------------------------
+    def _unique(self, base: str) -> str:
+        if base not in self._names:
+            self._names.add(base)
+            return base
+        i = 1
+        while f"{base}_{i}" in self._names:
+            i += 1
+        name = f"{base}_{i}"
+        self._names.add(name)
+        return name
+
+    def wire(self, name: str, width: int) -> Wire:
+        w = Wire(self._unique(name), width, self)
+        self.wires.append(w)
+        return w
+
+    def input(self, name: str, width: int) -> Wire:
+        if name in self.inputs or name in self.outputs:
+            raise ValueError(f"duplicate port {name!r} on {self.name}")
+        w = self.wire(name, width)
+        if w.name != name:
+            raise ValueError(f"port name {name!r} collides with an existing wire")
+        self.inputs[name] = w
+        self._driven.add(id(w))  # driven from outside
+        return w
+
+    def output(self, name: str, source: Wire) -> Wire:
+        if name in self.inputs or name in self.outputs:
+            raise ValueError(f"duplicate port {name!r} on {self.name}")
+        if source.module is not self:
+            raise ValueError(f"output {name!r} source belongs to {source.module.name}")
+        self.outputs[name] = source
+        return source
+
+    @property
+    def ports(self) -> dict[str, Wire]:
+        return {**self.inputs, **self.outputs}
+
+    # -- primitive helpers ------------------------------------------------
+    def _cell(self, kind: CellKind, pins: Mapping[str, Wire], width: int, name: str = "", **params: int) -> Wire:
+        for pin, w in pins.items():
+            if w.module is not self:
+                raise ValueError(
+                    f"pin {pin} of {kind.value} cell uses wire {w.name!r} from "
+                    f"module {w.module.name!r}, not {self.name!r}"
+                )
+        out = self.wire(name or kind.value, width)
+        cell = Cell(kind, dict(pins), out, dict(params), name=out.name)
+        if id(out) in self._driven:
+            raise ValueError(f"wire {out.name!r} already driven")
+        self._driven.add(id(out))
+        self.cells.append(cell)
+        return out
+
+    def const(self, value: int, width: int, name: str = "const") -> Wire:
+        return self._cell(CellKind.CONST, {}, width, name, value=value)
+
+    def add(self, a: Wire, b: Wire, name: str = "add") -> Wire:
+        return self._cell(CellKind.ADD, {"a": a, "b": b}, max(a.width, b.width), name)
+
+    def sub(self, a: Wire, b: Wire, name: str = "sub") -> Wire:
+        return self._cell(CellKind.SUB, {"a": a, "b": b}, max(a.width, b.width), name)
+
+    def mul(self, a: Wire, b: Wire, name: str = "mul") -> Wire:
+        return self._cell(CellKind.MUL, {"a": a, "b": b}, max(a.width, b.width), name)
+
+    def mux(self, sel: Wire, a: Wire, b: Wire, name: str = "mux") -> Wire:
+        """``sel ? a : b``."""
+        return self._cell(CellKind.MUX, {"sel": sel, "a": a, "b": b}, max(a.width, b.width), name)
+
+    def eq(self, a: Wire, b: Wire, name: str = "eq") -> Wire:
+        return self._cell(CellKind.EQ, {"a": a, "b": b}, 1, name)
+
+    def neq(self, a: Wire, b: Wire, name: str = "neq") -> Wire:
+        return self._cell(CellKind.NEQ, {"a": a, "b": b}, 1, name)
+
+    def lt(self, a: Wire, b: Wire, name: str = "lt") -> Wire:
+        return self._cell(CellKind.LT, {"a": a, "b": b}, 1, name)
+
+    def and_(self, a: Wire, b: Wire, name: str = "and") -> Wire:
+        return self._cell(CellKind.AND, {"a": a, "b": b}, 1, name)
+
+    def or_(self, a: Wire, b: Wire, name: str = "or") -> Wire:
+        return self._cell(CellKind.OR, {"a": a, "b": b}, 1, name)
+
+    def not_(self, a: Wire, name: str = "not") -> Wire:
+        return self._cell(CellKind.NOT, {"a": a}, 1, name)
+
+    def reg(self, d: Wire, en: Wire | None = None, init: int = 0, name: str = "reg") -> Wire:
+        pins = {"d": d}
+        if en is not None:
+            pins["en"] = en
+        return self._cell(CellKind.REG, pins, d.width, name, init=init)
+
+    def delay(self, d: Wire, cycles: int, en: Wire | None = None, name: str = "dly") -> Wire:
+        """A chain of ``cycles`` registers (0 cycles returns ``d`` itself)."""
+        if cycles < 0:
+            raise ValueError("delay must be non-negative")
+        w = d
+        for i in range(cycles):
+            w = self.reg(w, en=en, name=f"{name}{i}")
+        return w
+
+    def tie_zero(self, width: int, name: str = "zero") -> Wire:
+        return self.const(0, width, name)
+
+    # -- hierarchy ---------------------------------------------------------
+    def instantiate(self, child: "Module", inst_name: str, **bindings: Wire) -> Instance:
+        """Add a child instance; bindings map child port names to local wires."""
+        missing = set(child.inputs) - set(bindings)
+        if missing:
+            raise ValueError(f"instance {inst_name}: unbound inputs {sorted(missing)}")
+        unknown = set(bindings) - set(child.ports)
+        if unknown:
+            raise ValueError(f"instance {inst_name}: unknown ports {sorted(unknown)}")
+        for port, wire in bindings.items():
+            if wire.module is not self:
+                raise ValueError(f"instance {inst_name}: binding {port} uses foreign wire")
+            child_wire = child.ports[port]
+            if wire.width != child_wire.width:
+                raise ValueError(
+                    f"instance {inst_name}: port {port} width {child_wire.width} "
+                    f"!= wire {wire.name} width {wire.width}"
+                )
+            if port in child.outputs:
+                if id(wire) in self._driven:
+                    raise ValueError(f"instance {inst_name}: wire {wire.name!r} already driven")
+                self._driven.add(id(wire))
+        inst = Instance(child, self._unique(inst_name), dict(bindings))
+        self.instances.append(inst)
+        return inst
+
+    # -- introspection -----------------------------------------------------
+    def submodules(self) -> list["Module"]:
+        """Unique child modules in instantiation order (recursive, depth-first)."""
+        seen: dict[int, Module] = {}
+
+        def visit(mod: Module) -> None:
+            for inst in mod.instances:
+                if id(inst.module) not in seen:
+                    visit(inst.module)
+                    seen[id(inst.module)] = inst.module
+
+        visit(self)
+        return list(seen.values())
+
+    def cell_count(self, recursive: bool = True) -> dict[str, int]:
+        """Histogram of primitive cells, optionally including all instances."""
+        counts: dict[str, int] = {}
+
+        def visit(mod: Module, multiplier: int) -> None:
+            for cell in mod.cells:
+                counts[cell.kind.value] = counts.get(cell.kind.value, 0) + multiplier
+            for inst in mod.instances:
+                visit(inst.module, multiplier)
+
+        visit(self, 1)
+        if not recursive:
+            counts = {}
+            for cell in self.cells:
+                counts[cell.kind.value] = counts.get(cell.kind.value, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, {len(self.inputs)} in, {len(self.outputs)} out, "
+            f"{len(self.cells)} cells, {len(self.instances)} instances)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Flattening
+# ---------------------------------------------------------------------------
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent.get(root, root) != root:
+            root = self.parent[root]
+        while self.parent.get(x, x) != x:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+@dataclass
+class FlatCell:
+    kind: CellKind
+    pins: dict[str, int]  # pin -> flat wire id
+    out: int
+    params: dict[str, int]
+    width: int
+    path: str
+
+
+class FlatNetlist:
+    """Fully elaborated netlist: cells over integer wire ids.
+
+    ``n_wires`` counts canonical wires; ``inputs``/``outputs`` map top-level
+    port names to wire ids.  Combinational cells are stored in topological
+    order ready for the simulator.
+    """
+
+    def __init__(
+        self,
+        n_wires: int,
+        cells: list[FlatCell],
+        inputs: dict[str, int],
+        outputs: dict[str, int],
+        widths: list[int],
+    ):
+        self.n_wires = n_wires
+        self.cells = cells
+        self.inputs = inputs
+        self.outputs = outputs
+        self.widths = widths
+        self.comb_cells: list[FlatCell] = []
+        self.reg_cells: list[FlatCell] = []
+        self._levelize()
+
+    def _levelize(self) -> None:
+        comb = [c for c in self.cells if not c.kind.is_sequential]
+        self.reg_cells = [c for c in self.cells if c.kind.is_sequential]
+        producers: dict[int, FlatCell] = {c.out: c for c in comb}
+        order: list[FlatCell] = []
+        state: dict[int, int] = {}  # cell id -> 0 visiting, 1 done
+
+        def visit(cell: FlatCell, stack: list[FlatCell]) -> None:
+            mark = state.get(id(cell))
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(c.path for c in stack[-6:])
+                raise ValueError(f"combinational cycle through {cycle}")
+            state[id(cell)] = 0
+            stack.append(cell)
+            for pin_wire in cell.pins.values():
+                dep = producers.get(pin_wire)
+                if dep is not None:
+                    visit(dep, stack)
+            stack.pop()
+            state[id(cell)] = 1
+            order.append(cell)
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10000 + 4 * len(comb)))
+        try:
+            for cell in comb:
+                visit(cell, [])
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self.comb_cells = order
+
+    def stats(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.kind.value] = counts.get(cell.kind.value, 0) + 1
+        counts["wires"] = self.n_wires
+        return counts
+
+
+def flatten(top: Module) -> FlatNetlist:
+    """Elaborate a module hierarchy into a flat netlist.
+
+    Port bindings merge parent and child wires via union-find; unconnected
+    child outputs keep their own canonical wire.  Dangling inputs (never
+    driven) read as 0 in simulation — array edges rely on this for boundary
+    psum inputs.
+    """
+    uf = _UnionFind()
+    wire_ids: dict[int, int] = {}
+    widths: list[int] = []
+    flat_cells: list[tuple[Cell, dict[int, int], str]] = []
+
+    def wid(w: Wire) -> int:
+        if id(w) not in wire_ids:
+            wire_ids[id(w)] = len(widths)
+            widths.append(w.width)
+        return wire_ids[id(w)]
+
+    def visit(mod: Module, path: str, port_map: dict[str, int]) -> None:
+        local: dict[int, int] = {}
+
+        def lid(w: Wire) -> int:
+            if id(w) not in local:
+                local[id(w)] = wid(w) if path == "" else _fresh(w.width)
+            return local[id(w)]
+
+        def _fresh(width: int) -> int:
+            widths.append(width)
+            return len(widths) - 1
+
+        # Merge ports with parent bindings.
+        for port_name, flat_id in port_map.items():
+            w = mod.ports[port_name]
+            uf.union(lid(w), flat_id)
+        for cell in mod.cells:
+            pin_ids = {pin: lid(w) for pin, w in cell.pins.items()}
+            flat_cells.append(
+                (cell, {**pin_ids, "__out__": lid(cell.out)}, f"{path}{cell.name}")
+            )
+        for inst in mod.instances:
+            child_ports = {p: lid(w) for p, w in inst.bindings.items()}
+            visit(inst.module, f"{path}{inst.name}.", child_ports)
+
+    top_ports = {}
+    for name, w in top.ports.items():
+        top_ports[name] = wid(w)
+    visit(top, "", top_ports)
+
+    # Canonicalize wire ids through union-find.
+    canon_map: dict[int, int] = {}
+
+    def canon(x: int) -> int:
+        root = uf.find(x)
+        if root not in canon_map:
+            canon_map[root] = len(canon_map)
+        return canon_map[root]
+
+    cells_out: list[FlatCell] = []
+    final_widths: dict[int, int] = {}
+    for cell, pin_ids, cpath in flat_cells:
+        pins = {p: canon(i) for p, i in pin_ids.items() if p != "__out__"}
+        out = canon(pin_ids["__out__"])
+        width = widths[pin_ids["__out__"]]
+        final_widths[out] = width
+        for pin, cid in pins.items():
+            final_widths.setdefault(cid, widths[pin_ids[pin]])
+        cells_out.append(FlatCell(cell.kind, pins, out, dict(cell.params), width, cpath))
+
+    inputs = {n: canon(i) for n, i in top_ports.items() if n in top.inputs}
+    outputs = {n: canon(i) for n, i in top_ports.items() if n in top.outputs}
+    for i in {*inputs.values(), *outputs.values()}:
+        final_widths.setdefault(i, 32)
+    n_wires = (max(final_widths) + 1) if final_widths else 0
+    width_list = [final_widths.get(i, 1) for i in range(n_wires)]
+    return FlatNetlist(n_wires, cells_out, inputs, outputs, width_list)

@@ -1,0 +1,183 @@
+"""Processing element generation — paper Fig. 3(1), modules (a)-(f).
+
+A PE is assembled from one *internal module* per tensor plus the computation
+cell.  The internal modules are independent (paper §V-A), so each tensor's
+dataflow picks its template:
+
+=====================  ====================================================
+tensor dataflow        PE-internal template
+=====================  ====================================================
+systolic input         (a): input feeds the compute cell and a register
+                       chained to the neighbour PE
+systolic output        (b): compute cell adds the incoming partial sum; the
+                       result is registered toward the neighbour
+stationary input       (c): double buffer — a *shadow* register shift-chain
+                       loads the next stage while the *active* register
+                       feeds the compute cell
+stationary output      (d): an accumulator register plus a shadow register
+                       that drains the previous stage's result
+multicast/unicast in   (e): wire straight into the compute cell
+multicast/unicast out  (f): the product leaves the PE directly (a register
+                       for unicast; combinational toward reduction trees)
+=====================  ====================================================
+
+2-D reuse dataflows decompose into these plus array-level structure: a
+multicast+stationary input is a bus-loaded double buffer, a
+systolic+multicast input reads a line bus driven by array-level line
+registers, and so on (see :mod:`repro.hw.array`).
+
+Control ports (``load_en``, ``swap_in``, ``acc_clear``, ``swap_out``,
+``drain_en``) are created only when some tensor needs them; the controller
+drives them once per stage phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataflow import DataflowSpec, DataflowType, TensorDataflow
+from repro.hw.netlist import Module, Wire
+
+__all__ = ["PEPorts", "build_pe", "DEFAULT_WIDTH"]
+
+DEFAULT_WIDTH = 32
+
+#: Input templates that hold a value in a double buffer across a stage.
+_STATIONARY_LIKE_IN = (
+    DataflowType.STATIONARY,
+    DataflowType.MULTICAST_STATIONARY,
+    DataflowType.FULL_REUSE,
+)
+#: Input templates that read a (per-PE, per-line or global) wire directly.
+_DIRECT_IN = (
+    DataflowType.MULTICAST,
+    DataflowType.BROADCAST,
+    DataflowType.UNICAST,
+    DataflowType.SYSTOLIC_MULTICAST,
+)
+#: Output templates whose product leaves combinationally toward a tree.
+_TREE_OUT = (
+    DataflowType.MULTICAST,
+    DataflowType.BROADCAST,
+    DataflowType.MULTICAST_STATIONARY,
+    DataflowType.FULL_REUSE,
+    DataflowType.SYSTOLIC_MULTICAST,
+)
+
+
+@dataclass
+class PEPorts:
+    """Summary of the port interface a PE exposes, for the array builder."""
+
+    controls: tuple[str, ...]
+
+    def needs(self, name: str) -> bool:
+        return name in self.controls
+
+
+def _tname(flow: TensorDataflow) -> str:
+    return flow.tensor_name.lower()
+
+
+def build_pe(spec: DataflowSpec, width: int = DEFAULT_WIDTH, name: str = "pe") -> tuple[Module, PEPorts]:
+    """Generate the PE module for a dataflow spec.
+
+    Returns the module and a :class:`PEPorts` summary listing which control
+    inputs exist.  Raises ``NotImplementedError`` for the degenerate corner
+    where *every* input tensor is stage-held (no time-varying operand exists
+    to zero out idle cycles — such dataflows need per-PE valid gating, which
+    the paper's templates do not include either).
+    """
+    if all(fl.kind in _STATIONARY_LIKE_IN for fl in spec.input_flows):
+        raise NotImplementedError(
+            "all input tensors are stage-stationary; no template combination "
+            "can gate idle cycles for this dataflow"
+        )
+
+    pe = Module(name)
+    controls: list[str] = []
+
+    def control(port: str) -> Wire:
+        if port not in pe.inputs:
+            controls.append(port)
+            return pe.input(port, 1)
+        return pe.inputs[port]
+
+    # ---- input tensors: compute the operand wire for each -----------------
+    operands: list[Wire] = []
+    for flow in spec.input_flows:
+        t = _tname(flow)
+        kind = flow.kind
+        if kind is DataflowType.SYSTOLIC:
+            din = pe.input(f"{t}_in", width)
+            pe.output(f"{t}_out", pe.reg(din, name=f"{t}_reg"))
+            operands.append(din)
+        elif kind is DataflowType.STATIONARY:
+            load_in = pe.input(f"{t}_load_in", width)
+            load_en = control("load_en")
+            swap_in = control("swap_in")
+            shadow = pe.reg(load_in, en=load_en, name=f"{t}_shadow")
+            active = pe.reg(shadow, en=swap_in, name=f"{t}_active")
+            pe.output(f"{t}_load_out", shadow)
+            operands.append(active)
+        elif kind in (DataflowType.MULTICAST_STATIONARY, DataflowType.FULL_REUSE):
+            bus = pe.input(f"{t}_bus", width)
+            load_en = control("load_en")
+            swap_in = control("swap_in")
+            shadow = pe.reg(bus, en=load_en, name=f"{t}_shadow")
+            active = pe.reg(shadow, en=swap_in, name=f"{t}_active")
+            operands.append(active)
+        elif kind in _DIRECT_IN:
+            operands.append(pe.input(f"{t}_in", width))
+        else:  # pragma: no cover - exhaustive over DataflowType
+            raise AssertionError(f"unhandled input dataflow {kind}")
+
+    # ---- computation cell: product of all operands ------------------------
+    product = operands[0]
+    for idx, operand in enumerate(operands[1:], start=1):
+        product = pe.mul(product, operand, name=f"prod{idx}")
+
+    # ---- output tensor -----------------------------------------------------
+    out_flow = spec.output_flow
+    t = _tname(out_flow)
+    kind = out_flow.kind
+    if kind is DataflowType.SYSTOLIC:
+        psum_in = pe.input(f"{t}_psum_in", width)
+        summed = pe.add(psum_in, product, name=f"{t}_mac")
+        pe.output(f"{t}_out", pe.reg(summed, name=f"{t}_psum_reg"))
+    elif kind is DataflowType.STATIONARY:
+        acc_clear = control("acc_clear")
+        swap_out = control("swap_out")
+        drain_en = control("drain_en")
+        drain_in = pe.input(f"{t}_drain_in", width)
+        acc_d = pe.wire(f"{t}_acc_d", width)
+        # acc register with a mux feeding it; declare acc first via 2-step:
+        acc_q = pe.reg(acc_d, name=f"{t}_acc")
+        acc_sum = pe.add(acc_q, product, name=f"{t}_acc_sum")
+        acc_mux = pe.mux(acc_clear, product, acc_sum, name=f"{t}_acc_mux")
+        _alias(pe, acc_d, acc_mux)
+        shadow_d = pe.mux(swap_out, acc_q, drain_in, name=f"{t}_drain_mux")
+        shadow_en = pe.or_(swap_out, drain_en, name=f"{t}_drain_we")
+        shadow_q = pe.reg(shadow_d, en=shadow_en, name=f"{t}_drain")
+        pe.output(f"{t}_drain_out", shadow_q)
+    elif kind is DataflowType.UNICAST:
+        pe.output(f"{t}_out", pe.reg(product, name=f"{t}_out_reg"))
+    elif kind in _TREE_OUT:
+        pe.output(f"{t}_partial", product)
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(f"unhandled output dataflow {kind}")
+
+    return pe, PEPorts(controls=tuple(controls))
+
+
+def _alias(mod: Module, placeholder: Wire, real: Wire) -> None:
+    """Connect a forward-declared wire to its actual driver.
+
+    The netlist IR has no named assignment cell; a MUX with constant-1 select
+    would be wasteful, so we retarget the register pin instead.  The
+    placeholder wire must only be used as a cell pin (never as a driver).
+    """
+    for cell in mod.cells:
+        for pin, wire in cell.pins.items():
+            if wire is placeholder:
+                cell.pins[pin] = real

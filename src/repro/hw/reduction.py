@@ -1,0 +1,53 @@
+"""Balanced adder trees for multicast-output dataflows (paper Fig. 3(2)).
+
+When an output tensor's reuse line runs across PEs at a single time step,
+different PEs produce partial sums of the same element simultaneously; a
+reduction tree combines them (paper Table I, §V-B and Fig. 4(d)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hw.netlist import Module, Wire
+
+__all__ = ["reduce_tree", "tree_depth", "adder_count"]
+
+
+def reduce_tree(mod: Module, leaves: Sequence[Wire], name: str = "rtree") -> Wire:
+    """Build a balanced binary adder tree over ``leaves`` inside ``mod``.
+
+    Returns the root wire (combinational).  A single leaf returns itself; an
+    empty leaf list is rejected.
+    """
+    if not leaves:
+        raise ValueError("reduction tree needs at least one leaf")
+    level = list(leaves)
+    depth = 0
+    while len(level) > 1:
+        nxt: list[Wire] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(mod.add(level[i], level[i + 1], name=f"{name}_d{depth}_{i // 2}"))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        depth += 1
+    return level[0]
+
+
+def tree_depth(n_leaves: int) -> int:
+    """Logic depth (in adders) of a balanced tree over ``n_leaves``."""
+    if n_leaves <= 0:
+        raise ValueError("need at least one leaf")
+    depth = 0
+    while n_leaves > 1:
+        n_leaves = (n_leaves + 1) // 2
+        depth += 1
+    return depth
+
+
+def adder_count(n_leaves: int) -> int:
+    """Number of adders in a tree over ``n_leaves`` (always ``n - 1``)."""
+    if n_leaves <= 0:
+        raise ValueError("need at least one leaf")
+    return n_leaves - 1

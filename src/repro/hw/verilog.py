@@ -1,0 +1,143 @@
+"""Verilog-2001 emission from the netlist IR.
+
+The paper compiles Chisel to Verilog before synthesis; we print our netlist
+IR in the same spirit.  Every module gets an implicit ``clk``; registers
+become ``always @(posedge clk)`` processes with ``initial`` values (honoured
+by FPGA synthesis, matching the simulator's reset-free semantics).
+
+Data wires are declared ``signed`` so arithmetic matches the simulator's
+two's-complement behaviour; the unsigned counter comparison (``LT``) casts
+explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.hw.netlist import Cell, CellKind, Module
+
+__all__ = ["emit_module", "emit_design"]
+
+_BINOPS = {
+    CellKind.ADD: "+",
+    CellKind.SUB: "-",
+    CellKind.MUL: "*",
+    CellKind.EQ: "==",
+    CellKind.NEQ: "!=",
+    CellKind.AND: "&&",
+    CellKind.OR: "||",
+}
+
+
+def _decl(width: int, signed: bool = True) -> str:
+    rng = f"[{width - 1}:0] " if width > 1 else ""
+    sgn = "signed " if signed and width > 1 else ""
+    return f"{sgn}{rng}"
+
+
+def emit_module(mod: Module) -> str:
+    """Emit one module definition (children are emitted by
+    :func:`emit_design`)."""
+    lines: list[str] = []
+    ports = ["clk"]
+    ports += [f"{name}" for name in mod.inputs]
+    ports += [f"{name}" for name in mod.outputs]
+    lines.append(f"module {mod.name} (")
+    decls = ["  input  wire clk"]
+    for name, wire in mod.inputs.items():
+        decls.append(f"  input  wire {_decl(wire.width)}{name}")
+    for name, wire in mod.outputs.items():
+        decls.append(f"  output wire {_decl(wire.width)}{name}")
+    lines.append(",\n".join(decls))
+    lines.append(");")
+
+    # Wire declarations: every non-port wire that something references.
+    port_wires = {id(w) for w in mod.inputs.values()}
+    reg_outs = {id(c.out) for c in mod.cells if c.kind.is_sequential}
+    referenced: set[int] = set()
+    wire_names: dict[int, str] = {id(w): w.name for w in mod.wires}
+    for cell in mod.cells:
+        referenced.add(id(cell.out))
+        referenced.update(id(w) for w in cell.pins.values())
+    for inst in mod.instances:
+        referenced.update(id(w) for w in inst.bindings.values())
+    for w in mod.wires:
+        if id(w) in port_wires or id(w) not in referenced:
+            continue
+        kind = "reg " if id(w) in reg_outs else "wire"
+        lines.append(f"  {kind} {_decl(w.width)}{w.name};")
+
+    # Output ports driven by internal wires need assigns (unless the output
+    # *is* the internal wire name — we always alias for clarity).
+    for name, src in mod.outputs.items():
+        lines.append(f"  assign {name} = {src.name};")
+
+    # Combinational cells.
+    for cell in mod.cells:
+        if cell.kind.is_sequential:
+            continue
+        lines.append(f"  {_comb_stmt(cell)}")
+
+    # Sequential cells.
+    regs = [c for c in mod.cells if c.kind.is_sequential]
+    if regs:
+        for cell in regs:
+            init = cell.params.get("init", 0)
+            lines.append(f"  initial {cell.out.name} = {_lit(init, cell.out.width)};")
+        lines.append("  always @(posedge clk) begin")
+        for cell in regs:
+            d = cell.pins["d"].name
+            if "en" in cell.pins:
+                lines.append(f"    if ({cell.pins['en'].name}) {cell.out.name} <= {d};")
+            else:
+                lines.append(f"    {cell.out.name} <= {d};")
+        lines.append("  end")
+
+    # Instances.
+    for inst in mod.instances:
+        conns = [".clk(clk)"]
+        conns += [f".{port}({wire.name})" for port, wire in sorted(inst.bindings.items())]
+        lines.append(f"  {inst.module.name} {inst.name} (")
+        lines.append("    " + ",\n    ".join(conns))
+        lines.append("  );")
+
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _lit(value: int, width: int) -> str:
+    masked = value & ((1 << width) - 1)
+    return f"{width}'d{masked}"
+
+
+def _comb_stmt(cell: Cell) -> str:
+    out = cell.out.name
+    if cell.kind is CellKind.CONST:
+        return f"assign {out} = {_lit(cell.params['value'], cell.out.width)};"
+    if cell.kind in _BINOPS:
+        a, b = cell.pins["a"].name, cell.pins["b"].name
+        return f"assign {out} = {a} {_BINOPS[cell.kind]} {b};"
+    if cell.kind is CellKind.LT:
+        a, b = cell.pins["a"].name, cell.pins["b"].name
+        return f"assign {out} = $unsigned({a}) < $unsigned({b});"
+    if cell.kind is CellKind.MUX:
+        return (
+            f"assign {out} = {cell.pins['sel'].name} ? "
+            f"{cell.pins['a'].name} : {cell.pins['b'].name};"
+        )
+    if cell.kind is CellKind.NOT:
+        return f"assign {out} = !{cell.pins['a'].name};"
+    raise NotImplementedError(f"no Verilog template for {cell.kind}")
+
+
+def emit_design(top: Module) -> str:
+    """Emit the full hierarchy: children first, then ``top``.
+
+    Module names are uniquified if two distinct modules share a name.
+    """
+    modules = top.submodules() + [top]
+    seen: dict[str, Module] = {}
+    for mod in modules:
+        if mod.name in seen and seen[mod.name] is not mod:
+            mod.name = f"{mod.name}_{id(mod) & 0xFFFF:x}"
+        seen[mod.name] = mod
+    header = "// Generated by the TensorLib reproduction framework\n"
+    return header + "\n\n".join(emit_module(m) for m in modules) + "\n"

@@ -1,0 +1,34 @@
+"""Tensor algebra intermediate representation.
+
+A kernel is a *perfect loop nest* updating one output tensor from one or more
+input tensors, e.g. GEMM::
+
+    C[m, n] += A[m, k] * B[n, k]
+
+The IR captures:
+
+- the :class:`~repro.ir.iterspace.IterationSpace` (ordered iterators with
+  integer extents),
+- one :class:`~repro.ir.tensor.TensorAccess` per tensor appearance, whose
+  affine access map ``I = A @ x`` records which element each loop iteration
+  touches (paper §IV), and
+- the :class:`~repro.ir.einsum.Statement` tying them together.
+
+Kernels can be written directly or parsed from einsum-style strings with
+:func:`repro.ir.einsum.parse_statement`.  The paper's Table II workloads live
+in :mod:`repro.ir.workloads`.
+"""
+
+from repro.ir.iterspace import Iterator, IterationSpace
+from repro.ir.tensor import Tensor, TensorAccess, TensorRole
+from repro.ir.einsum import Statement, parse_statement
+
+__all__ = [
+    "Iterator",
+    "IterationSpace",
+    "Tensor",
+    "TensorAccess",
+    "TensorRole",
+    "Statement",
+    "parse_statement",
+]

@@ -1,0 +1,187 @@
+"""Statements and the einsum-style kernel parser.
+
+A :class:`Statement` is a perfect-loop-nest update of one output tensor from a
+product of input tensors::
+
+    C[m, n] += A[m, k] * B[n, k]                 (GEMM)
+    C[k, y, x] += A[c, y+p, x+q] * B[k, c, p, q] (Conv2D)
+    D[i, j] += A[i, k, l] * B[k, j] * C[l, j]    (MTTKRP)
+
+:func:`parse_statement` turns such strings plus iterator extents into IR.
+Index expressions are sums of iterators with optional positive integer
+coefficients (``y+p``, ``2*x+q``), which is exactly the affine-without-offset
+form the paper's access matrices encode.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.ir.iterspace import IterationSpace
+from repro.ir.tensor import Tensor, TensorAccess, TensorRole
+
+_ACCESS_RE = re.compile(r"\s*([A-Za-z_]\w*)\s*\[([^\]]*)\]\s*")
+_TERM_RE = re.compile(r"^\s*(?:(\d+)\s*\*\s*)?([A-Za-z_]\w*)\s*$")
+
+
+class Statement:
+    """A tensor algebra kernel: ``output += product(inputs)`` over a loop nest."""
+
+    def __init__(
+        self,
+        name: str,
+        space: IterationSpace,
+        output: TensorAccess,
+        inputs: Sequence[TensorAccess],
+    ):
+        if not output.tensor.is_output:
+            raise ValueError(f"output access {output.tensor.name} must have OUTPUT role")
+        if not inputs:
+            raise ValueError("a statement needs at least one input tensor")
+        for acc in inputs:
+            if acc.tensor.is_output:
+                raise ValueError(f"input access {acc.tensor.name} must have INPUT role")
+        names = [acc.tensor.name for acc in (*inputs, output)]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tensor names in statement: {names}")
+        self.name = name
+        self.space = space
+        self.output = output
+        self.inputs = tuple(inputs)
+
+    @property
+    def accesses(self) -> tuple[TensorAccess, ...]:
+        """All accesses, inputs in formula order then the output.
+
+        This ordering defines the letter order in dataflow names such as
+        ``MNK-SST`` (paper §VI: S/S for A/B, T for C).
+        """
+        return (*self.inputs, self.output)
+
+    @property
+    def tensor_names(self) -> tuple[str, ...]:
+        return tuple(acc.tensor.name for acc in self.accesses)
+
+    def access(self, tensor_name: str) -> TensorAccess:
+        for acc in self.accesses:
+            if acc.tensor.name == tensor_name:
+                return acc
+        raise KeyError(f"no tensor {tensor_name!r} in statement {self.name}")
+
+    def __repr__(self) -> str:
+        return f"Statement({self.name!r}, space={self.space!r})"
+
+    # ------------------------------------------------------------------
+    # Reference semantics
+    # ------------------------------------------------------------------
+    def random_inputs(self, rng: np.random.Generator | None = None, lo: int = -4, hi: int = 5) -> dict[str, np.ndarray]:
+        """Random integer input tensors sized to cover every access."""
+        rng = rng or np.random.default_rng(0)
+        return {
+            acc.tensor.name: rng.integers(lo, hi, size=acc.shape()).astype(np.int64)
+            for acc in self.inputs
+        }
+
+    def reference(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Dense reference execution of the loop nest (numpy, exact).
+
+        Used as the golden model for simulator validation.  Runs the literal
+        nested loops, so it is intentionally simple rather than fast.
+        """
+        out = np.zeros(self.output.shape(), dtype=np.int64)
+        for point in self.space.points():
+            term = 1
+            for acc in self.inputs:
+                term *= int(inputs[acc.tensor.name][acc.index_of(point)])
+            out[self.output.index_of(point)] += term
+        return out
+
+    def macs(self) -> int:
+        """Total multiply-accumulate operations (= iteration space volume)."""
+        return self.space.volume()
+
+
+def _parse_index_expr(expr: str, space: IterationSpace) -> tuple[int, ...]:
+    """Parse one index expression (e.g. ``y+p``) into an access-matrix row."""
+    row = [0] * space.rank
+    for term in expr.split("+"):
+        match = _TERM_RE.match(term)
+        if not match:
+            raise ValueError(f"cannot parse index term {term!r} in {expr!r}")
+        coeff = int(match.group(1)) if match.group(1) else 1
+        name = match.group(2)
+        if name not in space:
+            raise ValueError(f"unknown iterator {name!r} in index expression {expr!r}")
+        row[space.position(name)] += coeff
+    return tuple(row)
+
+
+def _parse_access(text: str, role: TensorRole, space: IterationSpace) -> TensorAccess:
+    match = _ACCESS_RE.fullmatch(text)
+    if not match:
+        raise ValueError(f"cannot parse tensor access {text!r}")
+    name, indices = match.group(1), match.group(2)
+    exprs = [e for e in (s.strip() for s in indices.split(",")) if e]
+    if not exprs:
+        raise ValueError(f"tensor {name!r} has no indices")
+    matrix = [_parse_index_expr(e, space) for e in exprs]
+    return TensorAccess(Tensor(name, len(exprs), role), space, matrix)
+
+
+def parse_statement(formula: str, *, name: str | None = None, **extents: int) -> Statement:
+    """Parse ``"C[m,n] += A[m,k] * B[n,k]"`` with iterator extents as kwargs.
+
+    The iterator order of the resulting space follows the keyword order of
+    ``extents`` so callers control the loop-nest order (which fixes matrix
+    column order everywhere downstream).
+
+    >>> stmt = parse_statement("C[m,n] += A[m,k] * B[n,k]", m=4, n=4, k=4)
+    >>> stmt.tensor_names
+    ('A', 'B', 'C')
+    """
+    if "+=" not in formula:
+        raise ValueError(f"statement must use '+=': {formula!r}")
+    space = IterationSpace.from_extents(**extents)
+    lhs, rhs = formula.split("+=", maxsplit=1)
+    output = _parse_access(lhs, TensorRole.OUTPUT, space)
+    inputs = _split_rhs(rhs, space)
+    used = {
+        space.names[col]
+        for acc in (*inputs, output)
+        for row in acc.matrix
+        for col, coeff in enumerate(row)
+        if coeff
+    }
+    unused = set(space.names) - used
+    if unused:
+        raise ValueError(f"iterators {sorted(unused)} never used in {formula!r}")
+    return Statement(name or _default_name(output), space, output, inputs)
+
+
+def _split_rhs(rhs: str, space: IterationSpace) -> list[TensorAccess]:
+    """Split the right-hand side on '*' tokens that separate tensor accesses.
+
+    A separating '*' is one that occurs outside brackets.
+    """
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in rhs:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "*" and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return [_parse_access(p, TensorRole.INPUT, space) for p in parts if p.strip()]
+
+
+def _default_name(output: TensorAccess) -> str:
+    return f"{output.tensor.name.lower()}_kernel"

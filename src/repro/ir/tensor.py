@@ -1,0 +1,143 @@
+"""Tensors and affine access maps.
+
+Each appearance of a tensor in a kernel touches element ``I = A @ x`` where
+``x`` is the loop iteration vector and ``A`` the integer *access matrix*
+(paper §IV, Eq. 2).  Index expressions are sums of iterators — e.g. Conv2D's
+``A[c, y+p, x+q]`` has an access row ``y+p`` with ones in the ``y`` and ``p``
+columns — which covers every workload in paper Table II.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.iterspace import IterationSpace
+
+
+class TensorRole(enum.Enum):
+    """Whether a tensor is read (input) or accumulated into (output).
+
+    The role matters for hardware template selection: a multicast *input*
+    becomes a broadcast bus, a multicast *output* becomes a reduction tree
+    (paper Table I / Fig. 3).
+    """
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A named tensor of a given rank."""
+
+    name: str
+    rank: int
+    role: TensorRole
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"tensor name must be an identifier, got {self.name!r}")
+        if self.rank <= 0:
+            raise ValueError(f"tensor {self.name!r} needs positive rank, got {self.rank}")
+
+    @property
+    def is_output(self) -> bool:
+        return self.role is TensorRole.OUTPUT
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}(rank={self.rank}, {self.role.value})"
+
+
+class TensorAccess:
+    """One appearance of a tensor in a statement, with its access matrix.
+
+    ``matrix`` has one row per tensor dimension and one column per loop
+    iterator of the statement's iteration space; entry ``(d, i)`` is the
+    coefficient of iterator ``i`` in index dimension ``d``.  All coefficients
+    are small non-negative integers for the paper's workloads, but any integer
+    is accepted.
+    """
+
+    def __init__(self, tensor: Tensor, space: IterationSpace, matrix: Sequence[Sequence[int]]):
+        rows = tuple(tuple(int(v) for v in row) for row in matrix)
+        if len(rows) != tensor.rank:
+            raise ValueError(
+                f"access matrix for {tensor.name} has {len(rows)} rows, "
+                f"expected rank {tensor.rank}"
+            )
+        for row in rows:
+            if len(row) != space.rank:
+                raise ValueError(
+                    f"access matrix row {row} has {len(row)} columns, "
+                    f"expected {space.rank} iterators"
+                )
+        self.tensor = tensor
+        self.space = space
+        self.matrix = rows
+
+    def __repr__(self) -> str:
+        return f"TensorAccess({self.tensor.name}, {self.matrix})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TensorAccess):
+            return NotImplemented
+        return (
+            self.tensor == other.tensor
+            and self.space == other.space
+            and self.matrix == other.matrix
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tensor, self.space, self.matrix))
+
+    def index_of(self, point: Sequence[int]) -> tuple[int, ...]:
+        """Tensor element touched by loop iteration ``point`` (``I = A @ x``)."""
+        if len(point) != self.space.rank:
+            raise ValueError(f"point {point} does not match space rank {self.space.rank}")
+        return tuple(
+            sum(coeff * coord for coeff, coord in zip(row, point)) for row in self.matrix
+        )
+
+    def restrict(self, names: Sequence[str]) -> tuple[tuple[int, ...], ...]:
+        """Columns of the access matrix for the selected iterators only.
+
+        Reuse analysis inside the PE array considers only the three loops
+        mapped to space-time (paper §IV); the remaining loops are sequential
+        and do not create intra-stage reuse.
+        """
+        cols = self.space.positions(names)
+        return tuple(tuple(row[c] for c in cols) for row in self.matrix)
+
+    def shape(self) -> tuple[int, ...]:
+        """Smallest tensor shape covering every access across the full space.
+
+        Assumes non-negative coefficients (true of all Table II workloads);
+        each dimension's size is the max index + 1 at the extreme loop point.
+        """
+        sizes = []
+        for row in self.matrix:
+            hi = sum(
+                coeff * (it.extent - 1)
+                for coeff, it in zip(row, self.space.iterators)
+                if coeff > 0
+            )
+            lo = sum(
+                coeff * (it.extent - 1)
+                for coeff, it in zip(row, self.space.iterators)
+                if coeff < 0
+            )
+            if lo < 0:
+                raise ValueError(
+                    f"negative indices reachable for {self.tensor.name}: row {row}"
+                )
+            sizes.append(hi + 1)
+        return tuple(sizes)
+
+    def footprint(self) -> int:
+        """Number of distinct elements addressable by this access."""
+        total = 1
+        for size in self.shape():
+            total *= size
+        return total

@@ -1,0 +1,130 @@
+"""The tensor algebra workloads of paper Table II.
+
+========================  =====================================================
+Name                      Formula
+========================  =====================================================
+GEMM                      ``C[m,n] += A[m,k] * B[n,k]``
+Batched-GEMV              ``C[m,n] += A[m,k,n] * B[m,k]``
+Conv2D                    ``C[k,y,x] += A[c,y+p,x+q] * B[k,c,p,q]``
+Depthwise-Conv            ``C[k,y,x] += A[k,y+p,x+q] * B[k,p,q]``
+MTTKRP                    ``D[i,j] += A[i,k,l] * B[k,j] * C[l,j]``
+TTMc                      ``D[i,j,k] += A[i,l,m] * B[l,j] * C[m,k]``
+========================  =====================================================
+
+Each factory takes loop extents (with small defaults convenient for tests) and
+returns a :class:`~repro.ir.einsum.Statement`.  The two ResNet Conv2D layers
+evaluated in paper Fig. 5(f, g) are provided with their published shapes
+(layer 2: 56x56 images, 64 channels; layer 5 group: 7x7 images, 512 channels;
+both with 3x3 kernels).
+"""
+
+from __future__ import annotations
+
+from repro.ir.einsum import Statement, parse_statement
+
+__all__ = [
+    "gemm",
+    "batched_gemv",
+    "conv2d",
+    "depthwise_conv",
+    "mttkrp",
+    "ttmc",
+    "conv2d_resnet_layer2",
+    "conv2d_resnet_layer5",
+    "by_name",
+    "TABLE_II",
+]
+
+
+def gemm(m: int = 64, n: int = 64, k: int = 64) -> Statement:
+    """Matrix multiply ``C[m,n] += A[m,k] * B[n,k]`` (paper Table II row 1)."""
+    return parse_statement("C[m,n] += A[m,k] * B[n,k]", name="gemm", m=m, n=n, k=k)
+
+
+def batched_gemv(m: int = 16, n: int = 64, k: int = 64) -> Statement:
+    """Batched matrix-vector product ``C[m,n] += A[m,k,n] * B[m,k]``.
+
+    Tensor ``A`` is touched exactly once per loop point (its access matrix has
+    full rank over any loop selection containing m, k, n), which is why the
+    paper observes Batched-GEMV supports only unicast dataflow for ``A``.
+    """
+    return parse_statement("C[m,n] += A[m,k,n] * B[m,k]", name="batched_gemv", m=m, n=n, k=k)
+
+
+def conv2d(
+    k: int = 64,
+    c: int = 64,
+    y: int = 56,
+    x: int = 56,
+    p: int = 3,
+    q: int = 3,
+    *,
+    name: str = "conv2d",
+) -> Statement:
+    """2-D convolution ``C[k,y,x] += A[c,y+p,x+q] * B[k,c,p,q]``."""
+    return parse_statement(
+        "C[k,y,x] += A[c,y+p,x+q] * B[k,c,p,q]", name=name, k=k, c=c, y=y, x=x, p=p, q=q
+    )
+
+
+def depthwise_conv(
+    k: int = 64, y: int = 56, x: int = 56, p: int = 3, q: int = 3
+) -> Statement:
+    """Depthwise convolution ``C[k,y,x] += A[k,y+p,x+q] * B[k,p,q]``.
+
+    No large reduction dimension exists (only the 3x3 kernel loops reduce), so
+    regular Conv2D dataflows map poorly — the motivation for paper Fig. 5(c).
+    """
+    return parse_statement(
+        "C[k,y,x] += A[k,y+p,x+q] * B[k,p,q]", name="depthwise_conv", k=k, y=y, x=x, p=p, q=q
+    )
+
+
+def mttkrp(i: int = 32, j: int = 32, k: int = 32, l: int = 32) -> Statement:
+    """Matricized tensor times Khatri-Rao product (3 input tensors)."""
+    return parse_statement(
+        "D[i,j] += A[i,k,l] * B[k,j] * C[l,j]", name="mttkrp", i=i, j=j, k=k, l=l
+    )
+
+
+def ttmc(
+    i: int = 32, j: int = 32, k: int = 32, l: int = 32, m: int = 32
+) -> Statement:
+    """Tensor-times-matrix chain ``D[i,j,k] += A[i,l,m] * B[l,j] * C[m,k]``."""
+    return parse_statement(
+        "D[i,j,k] += A[i,l,m] * B[l,j] * C[m,k]", name="ttmc", i=i, j=j, k=k, l=l, m=m
+    )
+
+
+def conv2d_resnet_layer2() -> Statement:
+    """ResNet conv layer with 56x56 maps, 64->64 channels, 3x3 kernel."""
+    return conv2d(k=64, c=64, y=56, x=56, p=3, q=3, name="conv2d_resnet_layer2")
+
+
+def conv2d_resnet_layer5() -> Statement:
+    """Late ResNet conv layer: 7x7 maps, 512->512 channels, 3x3 kernel.
+
+    The tiny x = y = 7 extents cause the low PE utilization the paper reports
+    for Fig. 5(g).
+    """
+    return conv2d(k=512, c=512, y=7, x=7, p=3, q=3, name="conv2d_resnet_layer5")
+
+
+#: Table II factories keyed by workload name (default shapes).
+TABLE_II = {
+    "gemm": gemm,
+    "batched_gemv": batched_gemv,
+    "conv2d": conv2d,
+    "depthwise_conv": depthwise_conv,
+    "mttkrp": mttkrp,
+    "ttmc": ttmc,
+}
+
+
+def by_name(name: str, **extents: int) -> Statement:
+    """Instantiate a Table II workload by name with optional extent overrides."""
+    try:
+        factory = TABLE_II[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(TABLE_II)}") from None
+    return factory(**extents)

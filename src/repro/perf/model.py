@@ -1,0 +1,212 @@
+"""Cycle-count model for dataflow performance comparison (paper Fig. 5).
+
+Normalized performance is defined as in the paper: execution cycles of an
+ideal fully-utilized array divided by modelled cycles::
+
+    peak_cycles = total_MACs / (rows * cols)
+    normalized  = peak_cycles / modelled_cycles          (<= 1)
+
+The model composes per-stage costs from the :class:`~repro.hw.plan.StagePlan`
+geometry (the same tiling/lead/lag used to build the real controller) with
+three analytic effects:
+
+1. **Packing** — when a spatial loop's extent is smaller than the array
+   dimension, several copies are packed side by side (paper: "XYP-SMM ...
+   only 15 out of 16 rows of PE are used" for p = 3), folding other loop
+   iterations into the same stage.
+2. **Double buffering** — stationary load/drain overlaps the next stage's
+   compute (paper Fig. 3(c,d)), so a stage costs
+   ``max(exec, load, drain) + skew`` rather than their sum.
+3. **Bandwidth stalls** — the per-cycle element demand of each tensor's
+   dataflow is compared against the available on-chip bytes/cycle; demand
+   above capacity stretches the stage linearly (paper: unicast MTTKRP/TTMc
+   dataflows "perform worse ... bandwidth becomes insufficient").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataflow import DataflowSpec, DataflowType
+from repro.hw.plan import StagePlan, choose_tile
+
+__all__ = ["ArrayConfig", "PerfResult", "PerfModel"]
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Hardware configuration of the evaluation platform (paper §VI-A)."""
+
+    rows: int = 16
+    cols: int = 16
+    freq_mhz: float = 320.0
+    onchip_bw_gbps: float = 32.0
+    dtype_bytes: int = 2  # INT16 / FP16 datapath
+
+    @property
+    def pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.onchip_bw_gbps * 1e9 / (self.freq_mhz * 1e6)
+
+    @property
+    def elements_per_cycle(self) -> float:
+        return self.bytes_per_cycle / self.dtype_bytes
+
+
+@dataclass
+class PerfResult:
+    """Modelled execution of one dataflow on one workload."""
+
+    spec_name: str
+    total_macs: int
+    cycles: float
+    peak_cycles: float
+    utilization: float  # spatial PE utilization after packing
+    bandwidth_stall: float  # >= 1.0
+    stage_cycles: float
+    n_stages: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def normalized(self) -> float:
+        """Paper Fig. 5 metric: peak cycles / modelled cycles (<= 1)."""
+        return min(1.0, self.peak_cycles / self.cycles)
+
+    @property
+    def runtime_ms(self) -> float:
+        freq = self.breakdown.get("freq_mhz", 320.0)
+        return self.cycles / (freq * 1e3)
+
+
+class PerfModel:
+    """Evaluate dataflow specs on a fixed array configuration."""
+
+    def __init__(self, config: ArrayConfig | None = None, allow_packing: bool = True):
+        self.config = config or ArrayConfig()
+        self.allow_packing = allow_packing
+
+    # ------------------------------------------------------------------
+    def evaluate(self, spec: DataflowSpec) -> PerfResult:
+        cfg = self.config
+        plan = StagePlan(spec, cfg.rows, cfg.cols)
+        timing = plan.timing
+
+        # --- spatial utilization and packing -----------------------------
+        f1, f2 = plan.footprint
+        if self.allow_packing:
+            packed1 = (cfg.rows // f1) * f1 if f1 < cfg.rows else f1
+            packed2 = (cfg.cols // f2) * f2 if f2 < cfg.cols else f2
+        else:
+            packed1, packed2 = f1, f2
+        pack_factor = (packed1 // f1) * (packed2 // f2)
+        active_pes = self._active_pes(spec, plan) * pack_factor
+        utilization = active_pes / cfg.pes
+
+        # --- per-stage cycles --------------------------------------------
+        # Skew: systolic fill (lead) + output flush (out_lag) + epilogue.
+        skew = plan.lead + plan.out_lag + 1
+        exec_cycles = plan.t_span
+        # Double buffering overlaps load/drain with the next stage's compute.
+        stage_cycles = max(exec_cycles, timing.load_len, timing.drain_len) + skew
+
+        # --- stage count (packing folds stages together) -------------------
+        n_stages = plan.n_stages() / pack_factor
+
+        # --- bandwidth stall -----------------------------------------------
+        demand = self._elements_per_cycle(spec, plan, active_pes)
+        stall = max(1.0, demand / cfg.elements_per_cycle)
+
+        cycles = n_stages * stage_cycles * stall
+        total_macs = spec.statement.macs()
+        peak = total_macs / cfg.pes
+        return PerfResult(
+            spec_name=spec.name,
+            total_macs=total_macs,
+            cycles=cycles,
+            peak_cycles=peak,
+            utilization=utilization,
+            bandwidth_stall=stall,
+            stage_cycles=stage_cycles,
+            n_stages=n_stages,
+            breakdown={
+                "skew": skew,
+                "exec": exec_cycles,
+                "load": timing.load_len,
+                "drain": timing.drain_len,
+                "demand_elems_per_cycle": demand,
+                "freq_mhz": cfg.freq_mhz,
+                "pack_factor": pack_factor,
+            },
+        )
+
+    def evaluate_named(self, statement, name: str) -> PerfResult:
+        from repro.core.naming import spec_from_name
+
+        return self.evaluate(spec_from_name(statement, name))
+
+    # ------------------------------------------------------------------
+    def _active_pes(self, spec: DataflowSpec, plan: StagePlan) -> int:
+        """Distinct PE coordinates touched by one (unpacked) tile."""
+        space_rows = spec.stt.space_rows
+        # Only loops with a nonzero column in some space row affect placement.
+        relevant = [
+            i
+            for i in range(len(plan.tile_extents))
+            if any(row[i] != 0 for row in space_rows)
+        ]
+        count = 1
+        for i in relevant:
+            count *= plan.tile_extents[i]
+        if count > 1_000_000:
+            return plan.footprint[0] * plan.footprint[1]
+        import itertools
+
+        seen = set()
+        ranges = [
+            range(plan.tile_extents[i]) if i in relevant else range(1)
+            for i in range(len(plan.tile_extents))
+        ]
+        for x in itertools.product(*ranges):
+            p1 = sum(c * v for c, v in zip(space_rows[0], x))
+            p2 = sum(c * v for c, v in zip(space_rows[1], x))
+            seen.add((p1, p2))
+        return len(seen)
+
+    def _elements_per_cycle(
+        self, spec: DataflowSpec, plan: StagePlan, active_pes: int
+    ) -> float:
+        """Average on-chip traffic during the execute phase, in elements."""
+        grid = plan.grid
+        exec_cycles = max(1, plan.t_span)
+        demand = 0.0
+        for flow in spec.flows:
+            kind = flow.kind
+            if kind is DataflowType.UNICAST:
+                demand += active_pes  # every PE hits the buffer every cycle
+            elif kind is DataflowType.SYSTOLIC:
+                s = flow.systolic_direction
+                entries = sum(1 for p in grid.points() if grid.is_entry(p, (s[0], s[1])))
+                demand += entries
+            elif kind in (DataflowType.MULTICAST,):
+                demand += len(grid.lines((flow.multicast_direction[0], flow.multicast_direction[1])))
+            elif kind in (DataflowType.BROADCAST, DataflowType.FULL_REUSE):
+                demand += 1
+            elif kind is DataflowType.STATIONARY:
+                # One tile of held values streamed once per stage.
+                demand += active_pes / exec_cycles
+            elif kind is DataflowType.MULTICAST_STATIONARY:
+                mc = flow.multicast_direction
+                demand += len(grid.lines((mc[0], mc[1]))) / exec_cycles
+            elif kind is DataflowType.SYSTOLIC_MULTICAST:
+                mc = flow.multicast_direction
+                chains = grid.line_chain(
+                    (mc[0], mc[1]),
+                    (flow.systolic_direction[0], flow.systolic_direction[1]),
+                )
+                demand += len(chains)
+            else:  # pragma: no cover
+                raise AssertionError(kind)
+        return demand

@@ -1,0 +1,15 @@
+"""Cycle-accurate simulation of generated accelerators.
+
+- :mod:`repro.sim.engine` — a two-phase (combinational settle + clock edge)
+  simulator over the flattened netlist IR; the same netlist the Verilog
+  backend emits.
+- :mod:`repro.sim.schedule` — derives per-port injection/collection schedules
+  from the STT mapping, so one harness validates every dataflow class.
+- :mod:`repro.sim.harness` — runs a generated accelerator on concrete tensors
+  and reconstructs the output for comparison against numpy.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.harness import FunctionalHarness, run_functional
+
+__all__ = ["Simulator", "FunctionalHarness", "run_functional"]

@@ -1,0 +1,190 @@
+"""Two-phase cycle simulator for flattened netlists.
+
+Semantics match the emitted Verilog:
+
+1. *Settle phase* — combinational cells evaluate in topological order
+   (levelized once at construction).
+2. *Clock edge* — every register samples its ``d`` pin (if its enable is
+   high) simultaneously; outputs change after the edge.
+
+Values are Python ints wrapped to each wire's width in two's complement, so
+arithmetic overflow behaves bit-exactly like hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.hw.netlist import CellKind, FlatCell, FlatNetlist, Module, flatten
+
+__all__ = ["Simulator"]
+
+
+def _signed(value: int, width: int) -> int:
+    """Interpret a width-bit pattern as signed two's complement."""
+    value &= (1 << width) - 1
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+class Simulator:
+    """Cycle simulator over a :class:`FlatNetlist` (or a module to flatten).
+
+    Usage::
+
+        sim = Simulator(top_module)
+        sim.poke("a", 3)
+        sim.step()              # settle + clock edge
+        value = sim.peek("out")
+    """
+
+    def __init__(self, design: Module | FlatNetlist):
+        self.netlist = design if isinstance(design, FlatNetlist) else flatten(design)
+        self.values: list[int] = [0] * self.netlist.n_wires
+        self.cycle = 0
+        self._comb_ops = [self._compile(c) for c in self.netlist.comb_cells]
+        self._regs = self.netlist.reg_cells
+        for reg in self._regs:
+            self.values[reg.out] = reg.params.get("init", 0) & ((1 << reg.width) - 1)
+        self.settle()
+
+    # -- value access -----------------------------------------------------
+    def poke(self, port: str, value: int) -> None:
+        """Drive a top-level input (takes effect at the next settle)."""
+        try:
+            wire = self.netlist.inputs[port]
+        except KeyError:
+            raise KeyError(f"no input port {port!r}; has {sorted(self.netlist.inputs)}") from None
+        width = self.netlist.widths[wire]
+        self.values[wire] = value & ((1 << width) - 1)
+
+    def peek(self, port: str, signed: bool = True) -> int:
+        """Read a top-level output after the last settle."""
+        try:
+            wire = self.netlist.outputs[port]
+        except KeyError:
+            raise KeyError(f"no output port {port!r}; has {sorted(self.netlist.outputs)}") from None
+        raw = self.values[wire]
+        return _signed(raw, self.netlist.widths[wire]) if signed else raw
+
+    # -- execution ----------------------------------------------------------
+    def settle(self) -> None:
+        """Propagate combinational logic (no clock edge)."""
+        values = self.values
+        for op in self._comb_ops:
+            op(values)
+
+    def clock_edge(self) -> None:
+        """Sample all registers simultaneously, then advance the cycle."""
+        values = self.values
+        updates: list[tuple[int, int]] = []
+        for reg in self._regs:
+            en = reg.pins.get("en")
+            if en is not None and values[en] == 0:
+                continue
+            mask = (1 << reg.width) - 1
+            updates.append((reg.out, values[reg.pins["d"]] & mask))
+        for out, val in updates:
+            values[out] = val
+        self.cycle += 1
+
+    def step(self, n: int = 1) -> None:
+        """``n`` full cycles: settle, clock, and settle the new state."""
+        for _ in range(n):
+            self.settle()
+            self.clock_edge()
+        self.settle()
+
+    def run(self, stimulus: Mapping[int, Mapping[str, int]], cycles: int) -> dict[str, list[int]]:
+        """Drive per-cycle pokes and record every output each cycle.
+
+        ``stimulus[t]`` maps port names to values driven *during* cycle ``t``.
+        Returns per-port traces of the settled value at each cycle (before the
+        clock edge).
+        """
+        traces: dict[str, list[int]] = {name: [] for name in self.netlist.outputs}
+        for t in range(cycles):
+            for port, value in stimulus.get(t, {}).items():
+                self.poke(port, value)
+            self.settle()
+            for name in traces:
+                traces[name].append(self.peek(name))
+            self.clock_edge()
+        self.settle()
+        return traces
+
+    # -- compilation ----------------------------------------------------------
+    def _compile(self, cell: FlatCell) -> Callable[[list[int]], None]:
+        """Build a closure evaluating one combinational cell."""
+        kind = cell.kind
+        out = cell.out
+        mask = (1 << cell.width) - 1
+        width = cell.width
+        if kind is CellKind.CONST:
+            value = cell.params["value"] & mask
+
+            def op(values: list[int], out=out, value=value) -> None:
+                values[out] = value
+
+            return op
+        pins = cell.pins
+        if kind in (CellKind.ADD, CellKind.SUB, CellKind.MUL):
+            a, b = pins["a"], pins["b"]
+            wa = width  # operands normalized to out width for signed math
+
+            if kind is CellKind.ADD:
+                def op(values, out=out, a=a, b=b, mask=mask) -> None:
+                    values[out] = (values[a] + values[b]) & mask
+            elif kind is CellKind.SUB:
+                def op(values, out=out, a=a, b=b, mask=mask) -> None:
+                    values[out] = (values[a] - values[b]) & mask
+            else:
+                def op(values, out=out, a=a, b=b, mask=mask, w=wa) -> None:
+                    values[out] = (_signed(values[a], w) * _signed(values[b], w)) & mask
+
+            return op
+        if kind is CellKind.MUX:
+            sel, a, b = pins["sel"], pins["a"], pins["b"]
+
+            def op(values, out=out, sel=sel, a=a, b=b) -> None:
+                values[out] = values[a] if values[sel] else values[b]
+
+            return op
+        if kind in (CellKind.EQ, CellKind.NEQ, CellKind.LT):
+            a, b = pins["a"], pins["b"]
+            if kind is CellKind.EQ:
+                def op(values, out=out, a=a, b=b) -> None:
+                    values[out] = 1 if values[a] == values[b] else 0
+            elif kind is CellKind.NEQ:
+                def op(values, out=out, a=a, b=b) -> None:
+                    values[out] = 1 if values[a] != values[b] else 0
+            else:
+                wa = width
+
+                def op(values, out=out, a=a, b=b) -> None:
+                    values[out] = 1 if values[a] < values[b] else 0
+
+            return op
+        if kind is CellKind.AND:
+            a, b = pins["a"], pins["b"]
+
+            def op(values, out=out, a=a, b=b) -> None:
+                values[out] = 1 if (values[a] and values[b]) else 0
+
+            return op
+        if kind is CellKind.OR:
+            a, b = pins["a"], pins["b"]
+
+            def op(values, out=out, a=a, b=b) -> None:
+                values[out] = 1 if (values[a] or values[b]) else 0
+
+            return op
+        if kind is CellKind.NOT:
+            a = pins["a"]
+
+            def op(values, out=out, a=a) -> None:
+                values[out] = 0 if values[a] else 1
+
+            return op
+        raise NotImplementedError(f"no simulation semantics for {kind}")

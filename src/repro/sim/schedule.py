@@ -1,0 +1,258 @@
+"""Injection/collection schedules derived from the STT mapping.
+
+For every tile-local iteration point the stage plan gives the PE coordinate
+and compute cycle; from the tensor dataflows we derive
+
+- *injections*: which array input port must carry which tensor element at
+  which cycle (walking systolic reuse lines back to their boundary entry,
+  grouping multicast lines, staging stationary loads), and
+- *collections*: which output port holds which output element at which cycle
+  (systolic exits, reduction-tree roots, accumulators, drain chains).
+
+Reuse consistency is checked on the fly: if two iteration points demand
+different values on the same (port, cycle), the dataflow analysis and the
+hardware wiring disagree — that assertion firing means a genuine bug, so it
+is a ``ScheduleConflict`` rather than a silent overwrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataflow import DataflowSpec, DataflowType
+from repro.hw import array as hwports
+from repro.hw.array import ArrayInfo
+from repro.hw.geometry import cross
+from repro.hw.memory import Scratchpad
+from repro.hw.plan import Stage, StagePlan
+
+__all__ = ["StageSchedule", "ScheduleConflict", "build_stage_schedule"]
+
+
+class ScheduleConflict(ValueError):
+    """Two iteration points demanded different values on one (port, cycle)."""
+
+
+@dataclass
+class StageSchedule:
+    """Everything the simulator needs to run one stage."""
+
+    stage: Stage
+    #: cycle (stage-local) -> port -> value.
+    injections: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: (cycle, port, output tensor index) triples, deduplicated.
+    collections: list[tuple[int, str, tuple[int, ...]]] = field(default_factory=list)
+    #: every data input port this design has (driven to 0 when unscheduled).
+    data_ports: tuple[str, ...] = ()
+
+    def inject(self, cycle: int, port: str, value: int) -> None:
+        if cycle < 0:
+            raise ScheduleConflict(f"injection on {port} at negative cycle {cycle}")
+        row = self.injections.setdefault(cycle, {})
+        if port in row and row[port] != value:
+            raise ScheduleConflict(
+                f"port {port} cycle {cycle}: {row[port]} vs {value} — reuse "
+                "analysis and wiring disagree"
+            )
+        row[port] = value
+
+
+def _data_input_ports(info: ArrayInfo, spec: DataflowSpec) -> tuple[str, ...]:
+    """All non-control input ports of the array (= of the top module)."""
+    grid = info.grid
+    ports: list[str] = []
+    for flow in spec.input_flows:
+        t = flow.tensor_name
+        w = info.tensor(t)
+        kind = flow.kind
+        if kind is DataflowType.UNICAST:
+            ports += [hwports.in_port(t, *p) for p in grid.points()]
+        elif kind is DataflowType.SYSTOLIC:
+            s = w.sy_space
+            ports += [
+                hwports.in_port(t, *p) for p in grid.points() if grid.is_entry(p, s)
+            ]
+        elif kind is DataflowType.MULTICAST:
+            ports += [hwports.bus_port(t, i) for i in w.line_map.values()]
+        elif kind in (DataflowType.BROADCAST, DataflowType.FULL_REUSE):
+            ports.append(hwports.bus_port(t))
+        elif kind is DataflowType.MULTICAST_STATIONARY:
+            ports += [hwports.bus_port(t, i) for i in w.line_map.values()]
+        elif kind is DataflowType.STATIONARY:
+            ports += [hwports.load_port(t, c) for c in range(grid.cols)]
+        elif kind is DataflowType.SYSTOLIC_MULTICAST:
+            for chain in grid.line_chain(w.line_dir, w.sy_space):
+                ports.append(hwports.line_in_port(t, w.line_map[chain[0]]))
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+    return tuple(ports)
+
+
+def build_stage_schedule(
+    plan: StagePlan,
+    info: ArrayInfo,
+    scratchpad: Scratchpad,
+    stage: Stage,
+) -> StageSchedule:
+    """Compute the full injection/collection schedule of one stage."""
+    spec = plan.spec
+    grid = plan.grid
+    timing = plan.timing
+    sel_extents = {n: spec.selected_space[n].extent for n in spec.selected}
+    sched = StageSchedule(stage=stage, data_ports=_data_input_ports(info, spec))
+
+    # Stage-held values (stationary-like tensors) are gathered first, then
+    # turned into load-phase injections.
+    held_per_pe: dict[str, dict[tuple[int, int], int]] = {}
+    held_per_line: dict[str, dict[int, int]] = {}
+    held_scalar: dict[str, int] = {}
+    stationary_out: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # Precompute chain positions for systolic+multicast tensors.
+    chain_pos: dict[str, dict[int, tuple[int, int]]] = {}
+    for flow in spec.flows:
+        if flow.kind is DataflowType.SYSTOLIC_MULTICAST:
+            w = info.tensor(flow.tensor_name)
+            positions: dict[int, tuple[int, int]] = {}
+            for chain in grid.line_chain(w.line_dir, w.sy_space):
+                for pos, raw in enumerate(chain):
+                    positions[raw] = (pos, chain[0])  # (hops from entry, entry raw)
+            chain_pos[flow.tensor_name] = positions
+
+    seen_collections: dict[tuple[int, str], tuple[int, ...]] = {}
+
+    def collect(cycle: int, port: str, index: tuple[int, ...]) -> None:
+        key = (cycle, port)
+        if key in seen_collections:
+            if seen_collections[key] != index:
+                raise ScheduleConflict(
+                    f"collection {port}@{cycle}: elements {seen_collections[key]} "
+                    f"vs {index}"
+                )
+            return
+        seen_collections[key] = index
+        sched.collections.append((cycle, port, index))
+
+    for local in plan.local_points():
+        # Skip padding points of partial boundary tiles.
+        in_range = all(
+            stage.tile_origin[name] + off < sel_extents[name]
+            for name, off in zip(spec.selected, local)
+        )
+        if not in_range:
+            continue
+        p, cycle = plan.place(local)
+        full_point = stage.global_point(spec, local)
+
+        for flow in spec.input_flows:
+            t = flow.tensor_name
+            value = scratchpad.read(t, flow.access.index_of(full_point))
+            kind = flow.kind
+            w = info.tensor(t)
+            if kind is DataflowType.UNICAST:
+                sched.inject(cycle, hwports.in_port(t, *p), value)
+            elif kind is DataflowType.SYSTOLIC:
+                entry, steps = grid.entry_point(p, w.sy_space)
+                sched.inject(cycle - steps * w.sy_delay, hwports.in_port(t, *entry), value)
+            elif kind is DataflowType.MULTICAST:
+                line = w.line_map[cross(p, w.line_dir)]
+                sched.inject(cycle, hwports.bus_port(t, line), value)
+            elif kind is DataflowType.BROADCAST:
+                sched.inject(cycle, hwports.bus_port(t), value)
+            elif kind is DataflowType.STATIONARY:
+                _hold(held_per_pe.setdefault(t, {}), p, value, t)
+            elif kind is DataflowType.MULTICAST_STATIONARY:
+                line = w.line_map[cross(p, w.line_dir)]
+                _hold(held_per_line.setdefault(t, {}), line, value, t)
+            elif kind is DataflowType.FULL_REUSE:
+                if t in held_scalar and held_scalar[t] != value:
+                    raise ScheduleConflict(f"full-reuse tensor {t} value conflict")
+                held_scalar[t] = value
+            elif kind is DataflowType.SYSTOLIC_MULTICAST:
+                raw = cross(p, w.line_dir)
+                pos, entry_raw = chain_pos[t][raw]
+                sched.inject(
+                    cycle - pos * w.sy_delay,
+                    hwports.line_in_port(t, w.line_map[entry_raw]),
+                    value,
+                )
+            else:  # pragma: no cover
+                raise AssertionError(kind)
+
+        out_flow = spec.output_flow
+        t = out_flow.tensor_name
+        w = info.tensor(t)
+        out_index = out_flow.access.index_of(full_point)
+        kind = out_flow.kind
+        if kind is DataflowType.UNICAST:
+            collect(cycle + 1, hwports.out_port(t, *p), out_index)
+        elif kind is DataflowType.SYSTOLIC:
+            exit_pe, steps = grid.exit_point(p, w.sy_space)
+            collect(cycle + steps * w.sy_delay + 1, hwports.out_port(t, *exit_pe), out_index)
+        elif kind is DataflowType.MULTICAST:
+            line = w.line_map[cross(p, w.line_dir)]
+            collect(cycle + 1, hwports.sum_port(t, line), out_index)
+        elif kind is DataflowType.BROADCAST:
+            collect(cycle + 1, hwports.sum_port(t), out_index)
+        elif kind is DataflowType.STATIONARY:
+            _hold(stationary_out, p, out_index, t)
+        elif kind is DataflowType.MULTICAST_STATIONARY:
+            line = w.line_map[cross(p, w.line_dir)]
+            collect(timing.exec_end - 1, hwports.acc_port(t, line), out_index)
+        elif kind is DataflowType.FULL_REUSE:
+            collect(timing.exec_end - 1, hwports.acc_port(t), out_index)
+        elif kind is DataflowType.SYSTOLIC_MULTICAST:
+            raw = cross(p, w.line_dir)
+            pos, entry_raw = chain_pos[t][raw]
+            chain = next(
+                c
+                for c in grid.line_chain(w.line_dir, w.sy_space)
+                if c[0] == entry_raw
+            )
+            exit_raw = chain[-1]
+            exit_pos = len(chain) - 1
+            collect(
+                cycle + (exit_pos - pos) * w.sy_delay,
+                hwports.chain_port(t, w.line_map[exit_raw]),
+                out_index,
+            )
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+
+    # ---- load-phase injections for stage-held tensors ----------------------
+    for flow in spec.input_flows:
+        t = flow.tensor_name
+        if flow.kind is DataflowType.STATIONARY:
+            values = held_per_pe.get(t, {})
+            for c in range(grid.cols):
+                for load_cycle in range(grid.rows):
+                    target_row = grid.rows - 1 - load_cycle
+                    sched.inject(
+                        load_cycle, hwports.load_port(t, c), values.get((target_row, c), 0)
+                    )
+        elif flow.kind is DataflowType.MULTICAST_STATIONARY:
+            w = info.tensor(t)
+            values = held_per_line.get(t, {})
+            for line in set(w.line_map.values()):
+                for load_cycle in range(timing.load_len):
+                    sched.inject(
+                        load_cycle, hwports.bus_port(t, line), values.get(line, 0)
+                    )
+        elif flow.kind is DataflowType.FULL_REUSE:
+            for load_cycle in range(timing.load_len):
+                sched.inject(load_cycle, hwports.bus_port(t), held_scalar.get(t, 0))
+
+    # ---- drain-phase collections for stationary outputs --------------------
+    if spec.output_flow.kind is DataflowType.STATIONARY:
+        t = spec.output_flow.tensor_name
+        for (r, c), index in stationary_out.items():
+            collect(timing.drain_start + (grid.rows - 1 - r), hwports.drain_port(t, c), index)
+
+    sched.collections.sort()
+    return sched
+
+
+def _hold(store: dict, key, value, tensor: str) -> None:
+    if key in store and store[key] != value:
+        raise ScheduleConflict(f"stationary tensor {tensor} conflict at {key}")
+    store[key] = value

@@ -1,0 +1,218 @@
+"""Tests for the Table I dataflow taxonomy and DataflowSpec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import linalg
+from repro.core.dataflow import DataflowSpec, DataflowType, analyze, classify
+from repro.core.reuse import reuse_space
+from repro.core.stt import STT
+from repro.ir import workloads
+
+PAPER_T = STT([[1, 0, 0], [0, 1, 0], [1, 1, 1]])
+IDENTITY = STT([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+
+class TestTableI:
+    """One test per row of paper Table I."""
+
+    def test_dim0_unicast(self):
+        bg = workloads.batched_gemv(4, 4, 4)
+        rs = reuse_space(bg.access("A").restrict(("m", "n", "k")), IDENTITY)
+        assert classify(rs) is DataflowType.UNICAST
+
+    def test_dim1_stationary(self):
+        gemm = workloads.gemm(4, 4, 4)
+        rs = reuse_space(gemm.access("C").restrict(("m", "n", "k")), PAPER_T)
+        assert classify(rs) is DataflowType.STATIONARY
+
+    def test_dim1_systolic(self):
+        gemm = workloads.gemm(4, 4, 4)
+        rs = reuse_space(gemm.access("A").restrict(("m", "n", "k")), PAPER_T)
+        assert classify(rs) is DataflowType.SYSTOLIC
+
+    def test_dim1_multicast(self):
+        gemm = workloads.gemm(4, 4, 4)
+        # identity STT: A's reuse dir (0,1,0) maps to (0,1,0): dp!=0, dt=0
+        rs = reuse_space(gemm.access("A").restrict(("m", "n", "k")), IDENTITY)
+        assert classify(rs) is DataflowType.MULTICAST
+
+    def test_dim2_broadcast_vertical(self):
+        ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+        # A[i,l,m] over (i,j,k): reuse dirs e_j, e_k; identity maps them to
+        # (0,1,0) and (0,0,1): the second has dt!=0 -> NOT broadcast.
+        # Use T mapping j,k to pure space.
+        stt = STT([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        rs = reuse_space(ttmc.access("A").restrict(("i", "j", "k")), stt)
+        assert rs.dim == 2
+        assert classify(rs) is DataflowType.BROADCAST
+
+    def test_dim2_parallel_multicast_stationary(self):
+        ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+        # B[l,j] over (i,j,k): reuse dirs e_i, e_k; identity maps e_k to time
+        # axis and e_i to space -> plane parallel to t-axis.
+        rs = reuse_space(ttmc.access("B").restrict(("i", "j", "k")), IDENTITY)
+        assert classify(rs) is DataflowType.MULTICAST_STATIONARY
+
+    def test_dim2_intersect_systolic_multicast(self):
+        ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+        # B[l,j] over (i,j,k) has reuse dirs e_i, e_k.  Map e_i -> (1,0,0)
+        # (pure space) and e_k -> (0,1,1) (skewed): their span misses the
+        # t-axis, so the plane *intersects* it -> systolic & multicast.
+        stt = STT([[1, 0, 0], [0, 1, 1], [0, 0, 1]])
+        rs = reuse_space(ttmc.access("B").restrict(("i", "j", "k")), stt)
+        assert rs.dim == 2
+        assert classify(rs) is DataflowType.SYSTOLIC_MULTICAST
+
+    def test_dim3_full_reuse(self):
+        conv = workloads.conv2d(k=4, c=4, y=4, x=4, p=3, q=3)
+        rs = reuse_space(conv.access("C").restrict(("c", "p", "q")), IDENTITY)
+        assert classify(rs) is DataflowType.FULL_REUSE
+
+
+class TestDataflowTypeProps:
+    def test_letters(self):
+        assert DataflowType.SYSTOLIC.letter == "S"
+        assert DataflowType.STATIONARY.letter == "T"
+        assert DataflowType.MULTICAST.letter == "M"
+        assert DataflowType.UNICAST.letter == "U"
+        assert DataflowType.BROADCAST.letter == "B"
+        assert DataflowType.MULTICAST_STATIONARY.letter == "B"
+        assert DataflowType.SYSTOLIC_MULTICAST.letter == "B"
+        assert DataflowType.FULL_REUSE.letter == "B"
+
+    def test_reuse_dims(self):
+        assert DataflowType.UNICAST.reuse_dim == 0
+        assert DataflowType.SYSTOLIC.reuse_dim == 1
+        assert DataflowType.BROADCAST.reuse_dim == 2
+        assert DataflowType.FULL_REUSE.reuse_dim == 3
+
+    def test_components(self):
+        assert DataflowType.MULTICAST_STATIONARY.has_stationary_component
+        assert DataflowType.MULTICAST_STATIONARY.has_multicast_component
+        assert not DataflowType.MULTICAST_STATIONARY.has_systolic_component
+        assert DataflowType.SYSTOLIC_MULTICAST.has_systolic_component
+
+
+class TestKnownDataflows:
+    """The named dataflows the paper discusses map to the right classes."""
+
+    def test_output_stationary_gemm(self):
+        gemm = workloads.gemm(8, 8, 8)
+        spec = analyze(gemm, ("m", "n", "k"), PAPER_T)
+        assert spec.letters == "SST"
+        assert spec.name == "MNK-SST"
+        assert spec.output_flow.kind is DataflowType.STATIONARY
+
+    def test_weight_stationary_gemm(self):
+        gemm = workloads.gemm(8, 8, 8)
+        stt = STT([[0, 0, 1], [0, 1, 0], [1, 1, 1]])
+        spec = analyze(gemm, ("m", "n", "k"), stt)
+        assert spec.flow("B").kind is DataflowType.STATIONARY
+        assert spec.letters == "STS"
+
+    def test_reduction_tree_flag(self):
+        gemm = workloads.gemm(8, 8, 8)
+        stt = STT([[0, 0, 1], [0, 1, 0], [1, 0, 0]])  # MTM
+        spec = analyze(gemm, ("m", "n", "k"), stt)
+        assert spec.letters == "MTM"
+        assert spec.output_flow.is_reduction_tree
+        assert not spec.flow("A").is_reduction_tree  # inputs never are
+
+    def test_directions_of_output_stationary(self):
+        gemm = workloads.gemm(8, 8, 8)
+        spec = analyze(gemm, ("m", "n", "k"), PAPER_T)
+        a = spec.flow("A")
+        assert a.systolic_direction == (0, 1, 1)
+        assert a.multicast_direction is None
+        c = spec.flow("C")
+        assert c.stationary_step == (0, 0, 1)
+        assert c.direction == (0, 0, 1)
+
+
+class TestComponentDirections:
+    def test_multicast_stationary_components(self):
+        ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+        spec = analyze(ttmc, ("i", "j", "k"), IDENTITY)
+        b = spec.flow("B")  # B[l,j]: reuse dirs e_i (space), e_k (time)
+        assert b.kind is DataflowType.MULTICAST_STATIONARY
+        assert b.multicast_direction == (1, 0, 0)
+        assert b.stationary_step == (0, 0, 1)
+
+    def test_systolic_multicast_components(self):
+        ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+        stt = STT([[1, 0, 0], [0, 1, 1], [0, 0, 1]])
+        b = analyze(ttmc, ("i", "j", "k"), stt).flow("B")
+        assert b.kind is DataflowType.SYSTOLIC_MULTICAST
+        mc = b.multicast_direction
+        sy = b.systolic_direction
+        assert mc is not None and mc[-1] == 0
+        assert sy is not None and sy[-1] != 0
+
+    def test_full_reuse_components(self):
+        conv = workloads.conv2d(k=4, c=4, y=4, x=4, p=2, q=2)
+        spec = analyze(conv, ("c", "p", "q"), IDENTITY)
+        c = spec.flow("C")
+        assert c.kind is DataflowType.FULL_REUSE
+        assert c.is_reduction_tree
+        assert len(c.multicast_directions) == 2
+        assert c.stationary_step == (0, 0, 1)
+
+    def test_broadcast_has_two_directions(self):
+        ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+        stt = STT([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        a = analyze(ttmc, ("i", "j", "k"), stt).flow("A")
+        assert a.kind is DataflowType.BROADCAST
+        assert len(a.multicast_directions) == 2
+
+
+class TestDataflowSpec:
+    def test_selected_validation(self):
+        gemm = workloads.gemm(4, 4, 4)
+        with pytest.raises(ValueError):
+            DataflowSpec(gemm, ("m", "n"), PAPER_T)
+        with pytest.raises(ValueError):
+            DataflowSpec(gemm, ("m", "n", "z"), PAPER_T)
+        with pytest.raises(ValueError):
+            DataflowSpec(gemm, ("m", "m", "k"), PAPER_T)
+
+    def test_selected_and_sequential_spaces(self):
+        conv = workloads.conv2d(k=4, c=4, y=8, x=8, p=3, q=3)
+        spec = analyze(conv, ("k", "c", "x"), PAPER_T)
+        assert spec.selected_space.names == ("k", "c", "x")
+        assert spec.sequential_space.names == ("y", "p", "q")
+
+    def test_flow_lookup(self):
+        gemm = workloads.gemm(4, 4, 4)
+        spec = analyze(gemm, ("m", "n", "k"), PAPER_T)
+        assert spec.flow("A").tensor_name == "A"
+        with pytest.raises(KeyError):
+            spec.flow("Z")
+
+    def test_signature_distinguishes_directions(self):
+        gemm = workloads.gemm(4, 4, 4)
+        s1 = analyze(gemm, ("m", "n", "k"), PAPER_T)
+        s2 = analyze(gemm, ("m", "n", "k"), STT([[1, 0, 0], [0, 1, 0], [1, -1, 1]]))
+        assert s1.signature() != s2.signature()
+
+    def test_letters_order_inputs_then_output(self):
+        mt = workloads.mttkrp(4, 4, 4, 4)
+        spec = analyze(mt, ("i", "j", "k"), IDENTITY)
+        assert len(spec.letters) == 4
+        assert spec.flows[-1].tensor_name == "D"
+
+
+@given(
+    st.sampled_from(["gemm", "batched_gemv"]),
+    st.lists(st.lists(st.integers(-1, 1), min_size=3, max_size=3), min_size=3, max_size=3)
+    .map(lambda rows: tuple(tuple(r) for r in rows))
+    .filter(lambda m: linalg.determinant(m) != 0),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_every_valid_stt_classifies_all_tensors(workload_name, t_matrix):
+    """Any full-rank STT yields a complete classification (no crashes, one
+    dataflow per tensor, letters drawn from the paper's alphabet)."""
+    stmt = workloads.by_name(workload_name, m=4, n=4, k=4)
+    spec = analyze(stmt, ("m", "n", "k"), STT(t_matrix))
+    assert len(spec.flows) == len(stmt.accesses)
+    assert set(spec.letters) <= set("STMUB")

@@ -1,0 +1,164 @@
+"""Unit + property tests for the exact integer linear algebra kernel."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import linalg
+
+MAT3 = st.lists(
+    st.lists(st.integers(min_value=-5, max_value=5), min_size=3, max_size=3),
+    min_size=3,
+    max_size=3,
+)
+
+
+class TestBasics:
+    def test_as_matrix_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            linalg.as_matrix([[1, 2], [3]])
+        with pytest.raises(ValueError):
+            linalg.as_matrix([])
+
+    def test_identity(self):
+        assert linalg.identity(2) == ((1, 0), (0, 1))
+
+    def test_transpose(self):
+        assert linalg.transpose([[1, 2, 3], [4, 5, 6]]) == ((1, 4), (2, 5), (3, 6))
+
+    def test_mat_mul(self):
+        a = ((1, 2), (3, 4))
+        b = ((5, 6), (7, 8))
+        assert linalg.mat_mul(a, b) == ((19, 22), (43, 50))
+
+    def test_mat_mul_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            linalg.mat_mul(((1, 2),), ((1, 2),))
+
+    def test_mat_vec(self):
+        assert linalg.mat_vec(((1, 0, 0), (0, 1, 0), (1, 1, 1)), (1, 2, 3)) == (1, 2, 6)
+
+
+class TestDeterminant:
+    def test_known_values(self):
+        assert linalg.determinant(((1, 0), (0, 1))) == 1
+        assert linalg.determinant(((2, 0), (0, 3))) == 6
+        assert linalg.determinant(((1, 2), (2, 4))) == 0
+        assert linalg.determinant(((0, 1, 0), (1, 0, 0), (0, 0, 1))) == -1
+
+    def test_paper_stt_matrix(self):
+        assert linalg.determinant(((1, 0, 0), (0, 1, 0), (1, 1, 1))) == 1
+
+    def test_zero_pivot_with_swap(self):
+        # Needs a row swap in Bareiss elimination.
+        assert linalg.determinant(((0, 1), (1, 0))) == -1
+        assert linalg.determinant(((0, 0, 1), (0, 1, 0), (1, 0, 0))) == -1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            linalg.determinant(((1, 2, 3), (4, 5, 6)))
+
+    @given(MAT3)
+    @settings(max_examples=200)
+    def test_det_transpose_invariant(self, rows):
+        m = linalg.as_matrix(rows)
+        assert linalg.determinant(m) == linalg.determinant(linalg.transpose(m))
+
+    @given(MAT3, MAT3)
+    @settings(max_examples=100)
+    def test_det_multiplicative(self, ra, rb):
+        a, b = linalg.as_matrix(ra), linalg.as_matrix(rb)
+        assert linalg.determinant(linalg.mat_mul(a, b)) == linalg.determinant(
+            a
+        ) * linalg.determinant(b)
+
+
+class TestRankAndNullspace:
+    def test_rank_full(self):
+        assert linalg.rank(((1, 0, 0), (0, 1, 0), (0, 0, 1))) == 3
+
+    def test_rank_deficient(self):
+        assert linalg.rank(((1, 2, 3), (2, 4, 6))) == 1
+        assert linalg.rank(((0, 0), (0, 0))) == 0
+
+    def test_rank_rectangular(self):
+        assert linalg.rank(((1, 0, 0), (0, 0, 1))) == 2
+
+    def test_nullspace_gemm_a(self):
+        # A[m,k] access over (m,n,k): reuse along n.
+        assert linalg.nullspace(((1, 0, 0), (0, 0, 1))) == ((0, 1, 0),)
+
+    def test_nullspace_full_rank_is_empty(self):
+        assert linalg.nullspace(((1, 0), (0, 1))) == ()
+
+    def test_nullspace_zero_matrix(self):
+        basis = linalg.nullspace(((0, 0, 0),))
+        assert len(basis) == 3
+
+    def test_nullspace_conv_window(self):
+        # row y+p over (y, p): reuse direction (1, -1).
+        assert linalg.nullspace(((1, 1),)) == ((1, -1),)
+
+    @given(st.lists(st.lists(st.integers(-4, 4), min_size=3, max_size=3), min_size=1, max_size=3))
+    @settings(max_examples=200)
+    def test_nullspace_vectors_are_in_kernel(self, rows):
+        m = linalg.as_matrix(rows)
+        for vec in linalg.nullspace(m):
+            assert all(v == 0 for v in linalg.mat_vec(m, vec))
+
+    @given(st.lists(st.lists(st.integers(-4, 4), min_size=3, max_size=3), min_size=1, max_size=3))
+    @settings(max_examples=200)
+    def test_rank_nullity_theorem(self, rows):
+        m = linalg.as_matrix(rows)
+        assert linalg.rank(m) + len(linalg.nullspace(m)) == 3
+
+
+class TestInverse:
+    def test_identity_inverse(self):
+        inv = linalg.inverse(((1, 0), (0, 1)))
+        assert inv == ((Fraction(1), Fraction(0)), (Fraction(0), Fraction(1)))
+
+    def test_known_inverse(self):
+        inv = linalg.inverse(((2, 0), (0, 4)))
+        assert inv == ((Fraction(1, 2), Fraction(0)), (Fraction(0), Fraction(1, 4)))
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            linalg.inverse(((1, 2), (2, 4)))
+
+    @given(MAT3)
+    @settings(max_examples=200)
+    def test_inverse_roundtrip(self, rows):
+        m = linalg.as_matrix(rows)
+        if linalg.determinant(m) == 0:
+            return
+        prod = linalg.mat_mul(m, linalg.inverse(m))
+        assert prod == tuple(
+            tuple(Fraction(1) if r == c else Fraction(0) for c in range(3)) for r in range(3)
+        )
+
+    def test_solve(self):
+        x = linalg.solve(((1, 0, 0), (0, 1, 0), (1, 1, 1)), (1, 2, 6))
+        assert x == (Fraction(1), Fraction(2), Fraction(3))
+
+
+class TestPrimitive:
+    def test_scales_down(self):
+        assert linalg.primitive((2, 4, 6)) == (1, 2, 3)
+
+    def test_sign_normalization(self):
+        assert linalg.primitive((-1, 2)) == (1, -2)
+        assert linalg.primitive((0, -3)) == (0, 1)
+
+    def test_zero_vector(self):
+        assert linalg.primitive((0, 0, 0)) == (0, 0, 0)
+
+    def test_fractions(self):
+        assert linalg.primitive((Fraction(1, 2), Fraction(1, 3))) == (3, 2)
+
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=4))
+    @settings(max_examples=200)
+    def test_primitive_idempotent(self, vec):
+        p = linalg.primitive(vec)
+        assert linalg.primitive(p) == p

@@ -1,0 +1,133 @@
+"""Tests for the MNK-SST naming scheme and name-driven STT search."""
+
+import pytest
+
+from repro.core import naming
+from repro.core.dataflow import DataflowType
+from repro.ir import workloads
+
+
+class TestParseName:
+    def test_basic(self):
+        selected, letters = naming.parse_name("MNK-SST")
+        assert selected == ("m", "n", "k")
+        assert letters == "SST"
+
+    def test_lowercase_accepted(self):
+        selected, letters = naming.parse_name("mnk-sst")
+        assert selected == ("m", "n", "k")
+        assert letters == "SST"
+
+    def test_four_letter_tensors(self):
+        selected, letters = naming.parse_name("IJK-BBBU")
+        assert selected == ("i", "j", "k")
+        assert letters == "BBBU"
+
+    def test_missing_dash(self):
+        with pytest.raises(ValueError):
+            naming.parse_name("MNKSST")
+
+    def test_wrong_loop_count(self):
+        with pytest.raises(ValueError):
+            naming.parse_name("MN-SST")
+
+    def test_bad_letter(self):
+        with pytest.raises(ValueError):
+            naming.parse_name("MNK-SSX")
+
+
+class TestSpecFromName:
+    """Every named dataflow the paper text discusses must resolve."""
+
+    def test_gemm_well_known(self):
+        gemm = workloads.gemm(8, 8, 8)
+        for label, name in naming.KNOWN_GEMM_DATAFLOWS.items():
+            spec = naming.spec_from_name(gemm, name)
+            assert spec.name == name, label
+
+    def test_gemm_fig5_names(self):
+        gemm = workloads.gemm(8, 8, 8)
+        for name in [
+            "MNK-MTM", "MNK-MSM", "MNK-STM", "MNK-MMT", "MNK-MST",
+            "MNK-SST", "MNK-TSS", "MNK-MMS", "MNK-SSM",
+        ]:
+            spec = naming.spec_from_name(gemm, name)
+            assert spec.letters == name.split("-")[1]
+
+    def test_batched_gemv_unicast_only_a(self):
+        """Paper §VI-A: Batched-GEMV can only use unicast for tensor A."""
+        bg = workloads.batched_gemv(8, 8, 8)
+        with pytest.raises(LookupError):
+            naming.spec_from_name(bg, "MNK-SST")
+        spec = naming.spec_from_name(bg, "MNK-UST")
+        assert spec.flow("A").kind is DataflowType.UNICAST
+
+    def test_conv_output_and_weight_stationary(self):
+        conv = workloads.conv2d(k=8, c=8, y=8, x=8, p=3, q=3)
+        os = naming.spec_from_name(conv, "KCX-SST")
+        assert os.output_flow.kind is DataflowType.STATIONARY
+        ws = naming.spec_from_name(conv, "KCX-STS")
+        assert ws.flow("B").kind is DataflowType.STATIONARY
+
+    def test_conv_cpq_uub_full_reuse_output(self):
+        conv = workloads.conv2d(k=8, c=8, y=8, x=8, p=3, q=3)
+        spec = naming.spec_from_name(conv, "CPQ-UUB")
+        assert spec.output_flow.kind is DataflowType.FULL_REUSE
+
+    def test_ttmc_unicast_output(self):
+        ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+        spec = naming.spec_from_name(ttmc, "IJK-BBBU")
+        assert spec.output_flow.kind is DataflowType.UNICAST
+        assert all(fl.kind.reuse_dim >= 2 for fl in spec.input_flows)
+
+    def test_mttkrp_names(self):
+        mt = workloads.mttkrp(4, 4, 4, 4)
+        spec = naming.spec_from_name(mt, "IKL-UBBB")
+        assert spec.flow("A").kind is DataflowType.UNICAST
+        spec = naming.spec_from_name(mt, "IJK-SSBT")
+        assert spec.output_flow.kind is DataflowType.STATIONARY
+
+    def test_lenient_letter_matching(self):
+        """Paper's XYP-STM labels a multicast+stationary weight as T."""
+        conv = workloads.conv2d(k=8, c=8, y=8, x=8, p=3, q=3)
+        spec = naming.spec_from_name(conv, "XYP-STM")
+        assert spec.flow("B").kind in (
+            DataflowType.STATIONARY,
+            DataflowType.MULTICAST_STATIONARY,
+        )
+
+    def test_letter_count_mismatch(self):
+        gemm = workloads.gemm(4, 4, 4)
+        with pytest.raises(ValueError):
+            naming.spec_from_name(gemm, "MNK-SSST")
+
+    def test_infeasible_raises_lookup_error(self):
+        gemm = workloads.gemm(4, 4, 4)
+        with pytest.raises(LookupError):
+            naming.spec_from_name(gemm, "MNK-UUU")
+
+    def test_search_returns_simplest_stt(self):
+        """The returned STT should be simple (small entries)."""
+        gemm = workloads.gemm(4, 4, 4)
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        total = sum(abs(v) for row in spec.stt.matrix for v in row)
+        assert total <= 5
+
+
+class TestSttCandidates:
+    def test_all_full_rank(self):
+        from repro.core import linalg
+
+        count = 0
+        for stt in naming.stt_candidates(1):
+            assert linalg.determinant(stt.matrix) != 0
+            count += 1
+            if count >= 500:
+                break
+
+    def test_complexity_ordering(self):
+        stream = naming.stt_candidates(1)
+        first = next(stream)
+        # The very first candidates are permutation-like matrices.
+        total = sum(abs(v) for row in first.matrix for v in row)
+        assert total == 3

@@ -1,0 +1,91 @@
+"""Unit + property tests for Space-Time Transformation matrices."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import linalg
+from repro.core.stt import STT
+
+
+def full_rank_matrices():
+    return (
+        st.lists(st.lists(st.integers(-2, 2), min_size=3, max_size=3), min_size=3, max_size=3)
+        .map(lambda rows: tuple(tuple(r) for r in rows))
+        .filter(lambda m: linalg.determinant(m) != 0)
+    )
+
+
+class TestConstruction:
+    def test_paper_figure1_example(self):
+        """Paper Fig. 1(b): T=[[1,0,0],[0,1,0],[1,1,1]], x=(1,2,3) -> PE (1,2), cycle 6."""
+        stt = STT([[1, 0, 0], [0, 1, 0], [1, 1, 1]])
+        space, time = stt.apply((1, 2, 3))
+        assert space == (1, 2)
+        assert time == 6
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            STT([[1, 0, 0], [0, 1, 0], [1, 1, 0]])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            STT([[1, 0], [0, 1]])
+        with pytest.raises(ValueError):
+            STT([[1, 0, 0], [0, 1, 0]])
+
+    def test_from_rows(self):
+        stt = STT.from_rows((1, 0, 0), (0, 1, 0), (0, 0, 1))
+        assert stt.space_rows == ((1, 0, 0), (0, 1, 0))
+        assert stt.time_row == (0, 0, 1)
+
+    def test_equality_and_hash(self):
+        a = STT([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+        b = STT([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMapping:
+    def test_identity_mapping(self):
+        stt = STT([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+        assert stt.apply((3, 4, 5)) == ((3, 4), 5)
+        assert stt.space_of((3, 4, 5)) == (3, 4)
+        assert stt.time_of((3, 4, 5)) == 5
+
+    def test_unapply_roundtrip(self):
+        stt = STT([[1, 0, 0], [0, 1, 0], [1, 1, 1]])
+        point = (2, 3, 4)
+        space, time = stt.apply(point)
+        recovered = stt.unapply(space, time)
+        assert tuple(int(v) for v in recovered) == point
+
+    def test_iterates(self):
+        stt = STT([[2, 0, 0], [0, 1, 0], [0, 0, 1]])
+        # space (1, 0) time 0 -> x1 = 1/2, not integral
+        assert not stt.iterates((1, 0), 0)
+        assert stt.iterates((2, 0), 0)
+
+    def test_spacetime_direction(self):
+        stt = STT([[1, 0, 0], [0, 1, 0], [1, 1, 1]])
+        assert stt.to_spacetime_direction((0, 1, 0)) == (0, 1, 1)
+
+    @given(full_rank_matrices(), st.tuples(st.integers(-8, 8), st.integers(-8, 8), st.integers(-8, 8)))
+    @settings(max_examples=200)
+    def test_bijectivity_roundtrip(self, matrix, point):
+        """Full rank <=> one-to-one mapping (paper §II requirement)."""
+        stt = STT(matrix)
+        space, time = stt.apply(point)
+        recovered = stt.unapply(space, time)
+        assert tuple(recovered) == tuple(point)
+        assert stt.iterates(space, time)
+
+    @given(full_rank_matrices())
+    @settings(max_examples=100)
+    def test_distinct_points_never_collide(self, matrix):
+        stt = STT(matrix)
+        images = set()
+        for x1 in range(3):
+            for x2 in range(3):
+                for x3 in range(3):
+                    images.add(stt.apply((x1, x2, x3)))
+        assert len(images) == 27

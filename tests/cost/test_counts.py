@@ -1,0 +1,83 @@
+"""Cross-check analytic resource counts against real netlist cell counts."""
+
+import pytest
+
+from repro.core import naming
+from repro.cost.counts import count_resources
+from repro.hw.array import build_array
+from repro.ir import workloads
+
+# Dataflows covering every PE template and interconnect class.
+CASES = [
+    ("gemm", "MNK-SST"),
+    ("gemm", "MNK-STS"),
+    ("gemm", "MNK-MTM"),
+    ("gemm", "MNK-SSS"),
+    ("gemm", "MNK-MMT"),
+    ("batched_gemv", "MNK-UST"),
+    ("batched_gemv", "MNK-UMM"),
+]
+
+
+def _workload(name):
+    if name == "gemm":
+        return workloads.gemm(8, 8, 8)
+    return workloads.batched_gemv(8, 8, 8)
+
+
+@pytest.mark.parametrize("workload,dataflow", CASES)
+@pytest.mark.parametrize("rows,cols", [(4, 4), (3, 5)])
+def test_counts_match_netlist(workload, dataflow, rows, cols):
+    """The analytic counter must agree with the generated hardware exactly
+    for datapath cells (the netlist's controller is built separately, so the
+    counter's fixed controller estimate is excluded from the comparison)."""
+    spec = naming.spec_from_name(_workload(workload), dataflow)
+    arr, _ = build_array(spec, rows, cols)
+    netlist_counts = arr.cell_count()
+    analytic = count_resources(spec, rows, cols)
+    # Subtract the analytic controller allowance before comparing.
+    assert analytic.regs - 10 == netlist_counts.get("reg", 0), "regs"
+    assert analytic.adds - 1 == netlist_counts.get("add", 0), "adds"
+    assert analytic.muls == netlist_counts.get("mul", 0), "muls"
+    assert analytic.muxes - 1 == netlist_counts.get("mux", 0), "muxes"
+
+
+def test_three_input_workload_counts():
+    mt = workloads.mttkrp(4, 4, 4, 4)
+    spec = naming.spec_from_name(mt, "IJK-SSBT")
+    arr, _ = build_array(spec, 4, 4)
+    analytic = count_resources(spec, 4, 4)
+    assert analytic.muls == arr.cell_count()["mul"]
+
+
+def test_full_reuse_counts():
+    conv = workloads.conv2d(k=4, c=4, y=4, x=4, p=3, q=3)
+    spec = naming.spec_from_name(conv, "CPQ-UUB")
+    arr, _ = build_array(spec, 4, 4)
+    analytic = count_resources(spec, 4, 4)
+    assert analytic.adds - 1 == arr.cell_count()["add"]
+    assert analytic.regs - 10 == arr.cell_count().get("reg", 0)
+
+
+class TestMetadata:
+    def test_bus_hops_only_for_input_multicast(self):
+        gemm = workloads.gemm(8, 8, 8)
+        tree_out = naming.spec_from_name(gemm, "MNK-STM")  # only output multicast
+        in_mc = naming.spec_from_name(gemm, "MNK-MST")  # only input multicast
+        c_tree = count_resources(tree_out, 4, 4)
+        c_bus = count_resources(in_mc, 4, 4)
+        assert c_tree.bus_wire_hops == 0
+        assert c_bus.bus_wire_hops == 16
+
+    def test_unicast_sram_ports(self):
+        bg = workloads.batched_gemv(8, 8, 8)
+        spec = naming.spec_from_name(bg, "MNK-UST")
+        c = count_resources(spec, 4, 4)
+        assert c.sram_ports_per_cycle >= 16  # A hits the buffer from every PE
+
+    def test_control_fanout_for_stationary(self):
+        gemm = workloads.gemm(8, 8, 8)
+        sss = count_resources(naming.spec_from_name(gemm, "MNK-SSS"), 4, 4)
+        sst = count_resources(naming.spec_from_name(gemm, "MNK-SST"), 4, 4)
+        assert sss.control_fanout == 0
+        assert sst.control_fanout == 3 * 16  # acc_clear/swap_out/drain_en

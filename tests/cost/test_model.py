@@ -1,0 +1,99 @@
+"""Tests for the Fig. 6 area/power model calibration."""
+
+import pytest
+
+from repro.core import naming
+from repro.core.enumerate import enumerate_designs
+from repro.cost.model import CostModel, CostParams
+from repro.ir import workloads
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel()
+
+
+@pytest.fixture(scope="module")
+def gemm_points(cm):
+    gemm = workloads.gemm(16, 16, 16)
+    ds = enumerate_designs(gemm, realizable_only=True, canonical=True)
+    return [(s, cm.evaluate(s)) for s in ds.specs]
+
+
+class TestCalibration:
+    """The paper's Fig. 6 aggregates for 16x16 INT16 GEMM at 320 MHz."""
+
+    def test_area_range(self, gemm_points):
+        areas = [r.area_mm2 for _, r in gemm_points]
+        assert 0.65 <= min(areas) <= 0.80
+        assert 0.80 <= max(areas) <= 0.95
+
+    def test_area_spread_small(self, gemm_points):
+        """Paper: area varies only ~1.16x across dataflows."""
+        areas = [r.area_mm2 for _, r in gemm_points]
+        assert max(areas) / min(areas) < 1.35
+
+    def test_power_range(self, gemm_points):
+        powers = [r.power_mw for _, r in gemm_points]
+        assert 30 <= min(powers) <= 45
+        assert 50 <= max(powers) <= 70
+
+    def test_power_spread_larger_than_area(self, gemm_points):
+        """Paper: 'dataflow choice has a larger impact on energy than area'."""
+        areas = [r.area_mm2 for _, r in gemm_points]
+        powers = [r.power_mw for _, r in gemm_points]
+        assert max(powers) / min(powers) > max(areas) / min(areas)
+
+    def test_double_multicast_inputs_most_power(self, gemm_points):
+        """Paper: 'dataflow with two multicast input (MMT, MMS) consumes
+        more energy'."""
+        double_mc = [r.power_mw for s, r in gemm_points if s.letters[:2] == "MM"]
+        others = [r.power_mw for s, r in gemm_points if s.letters[:2] != "MM"]
+        assert max(double_mc) > max(others)
+
+    def test_reduction_tree_output_cheap(self, cm):
+        """Paper: 'reduction tree output dataflow doesn't cost too much
+        energy, although they have similar STT-level representation'."""
+        gemm = workloads.gemm(16, 16, 16)
+        tree_out = cm.evaluate(naming.spec_from_name(gemm, "MNK-STM"))
+        mc_in = cm.evaluate(naming.spec_from_name(gemm, "MNK-MST"))
+        # Same letters multiset, but the multicast *input* costs more power.
+        assert tree_out.power_mw < mc_in.power_mw
+
+    def test_stationary_costs_area_and_energy(self, cm):
+        """Paper: stationary tensors pay for control signals."""
+        gemm = workloads.gemm(16, 16, 16)
+        sss = cm.evaluate(naming.spec_from_name(gemm, "MNK-SSS"))
+        sst = cm.evaluate(naming.spec_from_name(gemm, "MNK-SST"))
+        assert sst.area_mm2 > sss.area_mm2
+        assert sst.power_breakdown["control"] > sss.power_breakdown["control"]
+
+
+class TestModelMechanics:
+    def test_breakdowns_sum(self, cm):
+        gemm = workloads.gemm(16, 16, 16)
+        r = cm.evaluate(naming.spec_from_name(gemm, "MNK-SST"))
+        assert sum(r.area_breakdown.values()) == pytest.approx(r.area_mm2)
+        assert sum(r.power_breakdown.values()) == pytest.approx(r.power_mw)
+
+    def test_width_scaling(self):
+        gemm = workloads.gemm(16, 16, 16)
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        w16 = CostModel(width=16).evaluate(spec)
+        w32 = CostModel(width=32).evaluate(spec)
+        assert w32.area_mm2 > w16.area_mm2
+        assert w32.power_mw > w16.power_mw
+
+    def test_array_scaling(self):
+        gemm = workloads.gemm(16, 16, 16)
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        small = CostModel(rows=8, cols=8).evaluate(spec)
+        large = CostModel(rows=16, cols=16).evaluate(spec)
+        assert large.power_mw > small.power_mw
+
+    def test_custom_params(self):
+        gemm = workloads.gemm(16, 16, 16)
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        hot = CostModel(params=CostParams(e_mul=1.0)).evaluate(spec)
+        cold = CostModel(params=CostParams(e_mul=0.1)).evaluate(spec)
+        assert hot.power_mw > cold.power_mw

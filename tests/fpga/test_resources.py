@@ -1,0 +1,114 @@
+"""Tests for the Table III FPGA model."""
+
+import pytest
+
+from repro.core import naming
+from repro.fpga.baselines import PRIOR_GENERATORS
+from repro.fpga.resources import ARRIA10, FPGAModel, VU9P
+from repro.ir import workloads
+
+
+@pytest.fixture(scope="module")
+def mm_spec():
+    return naming.spec_from_name(workloads.gemm(64, 64, 64), "MNK-STS")
+
+
+@pytest.fixture(scope="module")
+def conv_spec():
+    return naming.spec_from_name(
+        workloads.conv2d(k=16, c=16, y=16, x=16, p=3, q=3), "KCX-STS"
+    )
+
+
+class TestTableIII:
+    """The TensorLib rows of paper Table III (10x16 array, vec 8, FP32)."""
+
+    def test_mm_row(self, mm_spec):
+        r = FPGAModel().evaluate(mm_spec, 10, 16, "MM")
+        assert r.row()["DSP%"] == 75
+        assert abs(r.freq_mhz - 263) <= 5
+        assert abs(r.gops - 673) <= 15
+        assert 60 <= r.lut_pct <= 75
+        assert 45 <= r.bram_pct <= 57
+
+    def test_conv_row(self, conv_spec):
+        r = FPGAModel().evaluate(conv_spec, 10, 16, "Conv")
+        assert r.row()["DSP%"] == 75
+        assert abs(r.freq_mhz - 245) <= 6
+        assert abs(r.gops - 626) <= 16
+        assert 66 <= r.lut_pct <= 80
+        assert 65 <= r.bram_pct <= 80
+
+    def test_throughput_improvement_over_prior(self, mm_spec):
+        """The paper's headline: 21% throughput gain on MM vs the best prior
+        generator (PolySA's 555 Gop/s)."""
+        ours = FPGAModel().evaluate(mm_spec, 10, 16, "MM")
+        best_prior = max(
+            b.gops for b in PRIOR_GENERATORS if b.workload == "MM"
+        )
+        improvement = ours.gops / best_prior - 1.0
+        assert 0.15 <= improvement <= 0.30
+
+    def test_frequency_improvement(self, mm_spec):
+        """~15% frequency improvement vs PolySA's 229 MHz."""
+        ours = FPGAModel().evaluate(mm_spec, 10, 16, "MM")
+        improvement = ours.freq_mhz / 229.0 - 1.0
+        assert 0.10 <= improvement <= 0.20
+
+    def test_floorplan_optimization(self, mm_spec):
+        """§VI-C: manual floorplanning raises MM to ~328 MHz."""
+        r = FPGAModel().evaluate(mm_spec, 10, 16, "MM", floorplan_optimized=True)
+        assert abs(r.freq_mhz - 328) <= 5
+
+
+class TestFrequencyModel:
+    def test_multicast_fanout_costs_frequency(self):
+        """Paper: systolic is 'preferred in hardware because of the lower
+        interconnection cost and better frequency'."""
+        gemm = workloads.gemm(64, 64, 64)
+        systolic = naming.spec_from_name(gemm, "MNK-SSS")
+        multicast = naming.spec_from_name(gemm, "MNK-MMT")
+        m = FPGAModel()
+        f_sys = m.evaluate(systolic, 16, 16, "MM").freq_mhz
+        f_mc = m.evaluate(multicast, 16, 16, "MM").freq_mhz
+        assert f_sys > f_mc
+
+    def test_bigger_array_bigger_fanout_penalty(self):
+        gemm = workloads.gemm(64, 64, 64)
+        spec = naming.spec_from_name(gemm, "MNK-MMT")
+        m = FPGAModel()
+        f_small = m.evaluate(spec, 4, 4, "MM").freq_mhz
+        f_large = m.evaluate(spec, 16, 16, "MM").freq_mhz
+        assert f_small > f_large
+
+
+class TestResourceScaling:
+    def test_dsp_proportional_to_macs(self, mm_spec):
+        m = FPGAModel(vec=8)
+        r1 = m.evaluate(mm_spec, 5, 16, "MM")
+        r2 = m.evaluate(mm_spec, 10, 16, "MM")
+        assert r2.dsp == 2 * r1.dsp
+
+    def test_vectorization(self, mm_spec):
+        r_v4 = FPGAModel(vec=4).evaluate(mm_spec, 10, 16, "MM")
+        r_v8 = FPGAModel(vec=8).evaluate(mm_spec, 10, 16, "MM")
+        assert r_v8.dsp == 2 * r_v4.dsp
+        assert r_v8.gops > r_v4.gops
+
+    def test_devices_differ(self, mm_spec):
+        vu9p = FPGAModel(device=VU9P).evaluate(mm_spec, 10, 16, "MM")
+        arria = FPGAModel(device=ARRIA10).evaluate(mm_spec, 10, 16, "MM")
+        assert arria.dsp_pct > vu9p.dsp_pct  # Arria-10 has far fewer DSPs
+
+
+class TestBaselines:
+    def test_rows_as_published(self):
+        susy_mm = next(
+            b for b in PRIOR_GENERATORS if b.generator == "Susy" and b.workload == "MM"
+        )
+        assert susy_mm.gops == 547.0
+        assert susy_mm.freq_mhz == 202.0
+        polysa_mm = next(
+            b for b in PRIOR_GENERATORS if b.generator == "PolySA" and b.workload == "MM"
+        )
+        assert polysa_mm.gops == 555.0

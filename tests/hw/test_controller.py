@@ -1,0 +1,102 @@
+"""Controller tests: the generated counter FSM must match StageTiming."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.controller import StageTiming, build_controller
+from repro.sim.engine import Simulator
+
+
+class TestStageTiming:
+    def test_phase_boundaries_with_load_and_drain(self):
+        t = StageTiming(load_len=4, exec_len=10, drain_len=4)
+        assert t.swap_in_cycle == 4
+        assert t.exec_start == 5
+        assert t.exec_end == 15
+        assert t.swap_out_cycle == 15
+        assert t.drain_start == 16
+        assert t.total == 20
+
+    def test_no_load_no_drain(self):
+        t = StageTiming(load_len=0, exec_len=7, drain_len=0)
+        assert t.swap_in_cycle is None
+        assert t.exec_start == 0
+        assert t.swap_out_cycle is None
+        assert t.total == 7
+
+    def test_phase_of(self):
+        t = StageTiming(load_len=2, exec_len=3, drain_len=2)
+        phases = [t.phase_of(c) for c in range(t.total)]
+        assert phases == [
+            "load", "load", "swap_in", "execute", "execute", "execute",
+            "swap_out", "drain", "drain",
+        ]
+
+    def test_phase_of_wraps(self):
+        t = StageTiming(load_len=1, exec_len=2, drain_len=0)
+        assert t.phase_of(t.total) == t.phase_of(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageTiming(load_len=0, exec_len=0, drain_len=0)
+        with pytest.raises(ValueError):
+            StageTiming(load_len=-1, exec_len=2, drain_len=0)
+
+
+def run_controller(timing: StageTiming, cycles: int):
+    ctrl = build_controller(timing)
+    sim = Simulator(ctrl)
+    trace = []
+    for _ in range(cycles):
+        sim.settle()
+        trace.append(
+            {
+                "cycle": sim.peek("cycle", signed=False),
+                "load_en": sim.peek("load_en", signed=False),
+                "swap_in": sim.peek("swap_in", signed=False),
+                "acc_clear": sim.peek("acc_clear", signed=False),
+                "swap_out": sim.peek("swap_out", signed=False),
+                "drain_en": sim.peek("drain_en", signed=False),
+                "stage_done": sim.peek("stage_done", signed=False),
+            }
+        )
+        sim.clock_edge()
+    return trace
+
+
+class TestControllerNetlist:
+    def assert_matches_timing(self, timing: StageTiming):
+        trace = run_controller(timing, 2 * timing.total + 3)
+        for t, row in enumerate(trace):
+            c = t % timing.total
+            phase = timing.phase_of(c)
+            assert row["cycle"] == c, f"cycle mismatch at t={t}"
+            assert row["load_en"] == (1 if phase == "load" else 0), (t, phase)
+            assert row["swap_in"] == (1 if phase == "swap_in" else 0), (t, phase)
+            assert row["swap_out"] == (1 if phase == "swap_out" else 0), (t, phase)
+            assert row["drain_en"] == (1 if phase == "drain" else 0), (t, phase)
+            assert row["acc_clear"] == (1 if c == timing.exec_start else 0), (t, phase)
+            assert row["stage_done"] == (1 if c == timing.total - 1 else 0)
+
+    def test_full_schedule(self):
+        self.assert_matches_timing(StageTiming(load_len=3, exec_len=5, drain_len=3))
+
+    def test_exec_only(self):
+        self.assert_matches_timing(StageTiming(load_len=0, exec_len=6, drain_len=0))
+
+    def test_power_of_two_total_regression(self):
+        """Regression: a stage length of exactly 2^n used to truncate the
+        drain-phase upper-bound constant to zero (drain_en stuck low)."""
+        timing = StageTiming(load_len=0, exec_len=11, drain_len=4)
+        assert timing.total == 16
+        self.assert_matches_timing(timing)
+
+    def test_single_cycle_exec(self):
+        self.assert_matches_timing(StageTiming(load_len=1, exec_len=1, drain_len=1))
+
+    @given(
+        st.integers(0, 4), st.integers(1, 9), st.integers(0, 4)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_schedule(self, load, execn, drain):
+        self.assert_matches_timing(StageTiming(load_len=load, exec_len=execn, drain_len=drain))

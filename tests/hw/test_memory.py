@@ -1,0 +1,74 @@
+"""Tests for memory planning and the behavioural scratchpad."""
+
+import numpy as np
+import pytest
+
+from repro.core import naming
+from repro.hw.array import build_array
+from repro.hw.memory import Scratchpad, plan_memory
+from repro.ir import workloads
+
+
+@pytest.fixture(scope="module")
+def gemm():
+    return workloads.gemm(8, 8, 8)
+
+
+class TestPlanMemory:
+    def test_systolic_banks_match_boundary(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        arr, info = build_array(spec, 4, 4)
+        mem = plan_memory(spec, info)
+        assert mem.bank("A").n_banks == 4
+        assert mem.bank("A").pattern == "stream"
+        assert mem.bank("C").n_banks == 4  # drain columns
+        assert mem.bank("C").pattern == "per_column"
+
+    def test_multicast_banks_per_line(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-MTM")
+        arr, info = build_array(spec, 4, 4)
+        mem = plan_memory(spec, info)
+        assert mem.bank("A").n_banks == 4
+        assert mem.bank("A").pattern == "per_line"
+
+    def test_unicast_banks_per_pe(self):
+        bg = workloads.batched_gemv(4, 4, 4)
+        spec = naming.spec_from_name(bg, "MNK-UST")
+        arr, info = build_array(spec, 4, 4)
+        mem = plan_memory(spec, info)
+        assert mem.bank("A").n_banks == 16
+        assert mem.bank("A").pattern == "per_pe"
+
+    def test_full_reuse_scalar_bank(self):
+        conv = workloads.conv2d(k=4, c=4, y=4, x=4, p=3, q=3)
+        spec = naming.spec_from_name(conv, "CPQ-UUB")
+        arr, info = build_array(spec, 4, 4)
+        mem = plan_memory(spec, info)
+        assert mem.bank("C").n_banks == 1
+        assert mem.bank("C").pattern == "scalar"
+
+    def test_totals(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        arr, info = build_array(spec, 4, 4)
+        mem = plan_memory(spec, info)
+        assert mem.total_words == sum(b.total_words for b in mem.banks)
+        assert mem.total_ports == sum(b.n_banks for b in mem.banks)
+        with pytest.raises(KeyError):
+            mem.bank("Z")
+
+
+class TestScratchpad:
+    def test_read_and_accumulate(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        ins = gemm.random_inputs()
+        sp = Scratchpad(spec, ins)
+        assert sp.read("A", (1, 2)) == ins["A"][1, 2]
+        sp.accumulate((0, 0), 5)
+        sp.accumulate((0, 0), 7)
+        assert sp.output[0, 0] == 12
+
+    def test_shape_validation(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        bad = {"A": np.zeros((2, 2)), "B": np.zeros((8, 8))}
+        with pytest.raises(ValueError):
+            Scratchpad(spec, bad)

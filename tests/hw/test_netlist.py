@@ -1,0 +1,165 @@
+"""Unit tests for the structural netlist IR."""
+
+import pytest
+
+from repro.hw.netlist import CellKind, Module, flatten
+
+
+def make_adder():
+    m = Module("adder")
+    a = m.input("a", 8)
+    b = m.input("b", 8)
+    m.output("y", m.add(a, b))
+    return m
+
+
+class TestModuleBuilder:
+    def test_ports(self):
+        m = make_adder()
+        assert set(m.inputs) == {"a", "b"}
+        assert set(m.outputs) == {"y"}
+
+    def test_duplicate_port_rejected(self):
+        m = Module("m")
+        m.input("a", 4)
+        with pytest.raises(ValueError):
+            m.input("a", 4)
+
+    def test_wire_names_uniquified(self):
+        m = Module("m")
+        w1 = m.wire("x", 4)
+        w2 = m.wire("x", 4)
+        assert w1.name != w2.name
+
+    def test_zero_width_rejected(self):
+        m = Module("m")
+        with pytest.raises(ValueError):
+            m.wire("w", 0)
+
+    def test_foreign_wire_rejected(self):
+        m1, m2 = Module("a"), Module("b")
+        w = m1.input("x", 4)
+        with pytest.raises(ValueError):
+            m2.add(w, w)
+
+    def test_output_must_be_local(self):
+        m1, m2 = Module("a"), Module("b")
+        w = m1.input("x", 4)
+        with pytest.raises(ValueError):
+            m2.output("y", w)
+
+    def test_double_drive_rejected(self):
+        m = Module("m")
+        a = m.input("a", 4)
+        m.add(a, a)
+        # driving an input port wire via instance output would double-drive;
+        # simulate by trying to reuse a driven wire as instance output.
+        child = make_adder()
+        y = m.wire("y", 8)
+        a8 = m.input("a8", 8)
+        m.instantiate(child, "u0", a=a8, b=a8, y=y)
+        with pytest.raises(ValueError):
+            m.instantiate(child, "u1", a=a8, b=a8, y=y)
+
+    def test_delay_chain(self):
+        m = Module("m")
+        a = m.input("a", 4)
+        out = m.delay(a, 3)
+        m.output("y", out)
+        assert m.cell_count()["reg"] == 3
+        assert m.delay(a, 0) is a
+
+    def test_instantiate_validates_ports(self):
+        child = make_adder()
+        m = Module("top")
+        a = m.input("a", 8)
+        with pytest.raises(ValueError):  # missing input b
+            m.instantiate(child, "u0", a=a)
+        with pytest.raises(ValueError):  # unknown port
+            m.instantiate(child, "u0", a=a, b=a, zz=a)
+        narrow = m.input("n", 4)
+        with pytest.raises(ValueError):  # width mismatch
+            m.instantiate(child, "u0", a=a, b=narrow)
+
+    def test_cell_count_recursive(self):
+        child = make_adder()
+        top = Module("top")
+        a = top.input("a", 8)
+        y0, y1 = top.wire("y0", 8), top.wire("y1", 8)
+        top.instantiate(child, "u0", a=a, b=a, y=y0)
+        top.instantiate(child, "u1", a=a, b=y0, y=y1)
+        top.output("y", y1)
+        assert top.cell_count()["add"] == 2
+
+    def test_submodules_unique(self):
+        child = make_adder()
+        top = Module("top")
+        a = top.input("a", 8)
+        y0, y1 = top.wire("y0", 8), top.wire("y1", 8)
+        top.instantiate(child, "u0", a=a, b=a, y=y0)
+        top.instantiate(child, "u1", a=a, b=y0, y=y1)
+        assert top.submodules() == [child]
+
+
+class TestFlatten:
+    def test_flat_adder(self):
+        flat = flatten(make_adder())
+        assert flat.stats()["add"] == 1
+        assert set(flat.inputs) == {"a", "b"}
+        assert set(flat.outputs) == {"y"}
+
+    def test_hierarchy_flattens(self):
+        child = make_adder()
+        top = Module("top")
+        a = top.input("a", 8)
+        b = top.input("b", 8)
+        y0 = top.wire("y0", 8)
+        top.instantiate(child, "u0", a=a, b=b, y=y0)
+        y1 = top.wire("y1", 8)
+        top.instantiate(child, "u1", a=y0, b=b, y=y1)
+        top.output("y", y1)
+        flat = flatten(top)
+        assert flat.stats()["add"] == 2
+
+    def test_comb_cycle_detected(self):
+        m = Module("m")
+        a = m.input("a", 4)
+        placeholder = m.wire("loop", 4)
+        s = m.add(a, placeholder)
+        # create a cycle: retarget placeholder usage onto s's own output
+        for cell in m.cells:
+            for pin, w in cell.pins.items():
+                if w is placeholder:
+                    cell.pins[pin] = s
+        m.output("y", s)
+        with pytest.raises(ValueError, match="combinational cycle"):
+            flatten(m)
+
+    def test_register_breaks_cycle(self):
+        """acc := acc + a is fine: the reg output is a source."""
+        m = Module("m")
+        a = m.input("a", 8)
+        ph = m.wire("ph", 8)
+        q = m.reg(ph, name="acc")
+        s = m.add(q, a)
+        for cell in m.cells:
+            for pin, w in cell.pins.items():
+                if w is ph:
+                    cell.pins[pin] = s
+        m.output("y", q)
+        flat = flatten(m)  # must not raise
+        assert flat.stats()["reg"] == 1
+
+    def test_comb_order_topological(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        x = m.add(a, a, name="x")
+        y = m.add(x, a, name="y")
+        z = m.add(y, x, name="z")
+        m.output("o", z)
+        flat = flatten(m)
+        pos = {c.out: i for i, c in enumerate(flat.comb_cells)}
+        for cell in flat.comb_cells:
+            for pin_wire in cell.pins.values():
+                if pin_wire in pos:
+                    assert pos[pin_wire] < pos[cell.out]

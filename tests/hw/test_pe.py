@@ -1,0 +1,178 @@
+"""Tests for PE template generation (paper Fig. 3 modules)."""
+
+import pytest
+
+from repro.core import naming
+from repro.core.dataflow import DataflowType
+from repro.hw.pe import build_pe
+from repro.ir import workloads
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def gemm():
+    return workloads.gemm(8, 8, 8)
+
+
+class TestPortShapes:
+    def test_output_stationary_ports(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        pe, ports = build_pe(spec)
+        # systolic inputs a, b: in + forwarded out
+        assert "a_in" in pe.inputs and "a_out" in pe.outputs
+        assert "b_in" in pe.inputs and "b_out" in pe.outputs
+        # stationary output c: drain chain + controls
+        assert "c_drain_in" in pe.inputs and "c_drain_out" in pe.outputs
+        for ctl in ("acc_clear", "swap_out", "drain_en"):
+            assert ctl in pe.inputs
+            assert ports.needs(ctl)
+        assert not ports.needs("load_en")
+
+    def test_weight_stationary_ports(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-STS")
+        pe, ports = build_pe(spec)
+        assert "b_load_in" in pe.inputs and "b_load_out" in pe.outputs
+        assert ports.needs("load_en") and ports.needs("swap_in")
+        assert "c_psum_in" in pe.inputs and "c_out" in pe.outputs
+
+    def test_multicast_tree_ports(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-MTM")
+        pe, _ = build_pe(spec)
+        assert "a_in" in pe.inputs  # multicast: direct wire
+        assert "c_partial" in pe.outputs  # combinational toward the tree
+
+    def test_unicast_output(self):
+        ttmc = workloads.ttmc(4, 4, 4, 4, 4)
+        spec = naming.spec_from_name(ttmc, "IJK-BBBU")
+        pe, _ = build_pe(spec)
+        assert "d_out" in pe.outputs
+
+    def test_three_input_product(self):
+        mt = workloads.mttkrp(4, 4, 4, 4)
+        spec = naming.spec_from_name(mt, "IJK-SSBT")
+        pe, _ = build_pe(spec)
+        assert pe.cell_count(recursive=False)["mul"] == 2  # a*b*c chains 2 muls
+
+    def test_all_stationary_inputs_rejected(self):
+        """No template combination can gate idle cycles when every input is
+        stage-held (see pe.py docstring)."""
+        tt = workloads.ttmc(4, 4, 4, 4, 4)
+        from repro.core.dataflow import analyze
+        from repro.core.stt import STT
+
+        # i,j,k identity: B and C are multicast_stationary; craft a spec where
+        # A is also stage-held is impossible for ttmc, so use a synthetic one.
+        from repro.ir.einsum import parse_statement
+
+        stmt = parse_statement("C[i,k] += A[j]", i=4, j=4, k=4)
+        spec = analyze(stmt, ("i", "j", "k"), STT([[1, 0, 0], [0, 1, 0], [0, 0, 1]]))
+        assert spec.flow("A").kind is DataflowType.MULTICAST_STATIONARY
+        with pytest.raises(NotImplementedError):
+            build_pe(spec)
+
+
+class TestPEBehaviour:
+    """Simulate single PEs standalone."""
+
+    def test_systolic_forwarding_delay(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        pe, _ = build_pe(spec)
+        sim = Simulator(pe)
+        sim.poke("acc_clear", 0)
+        sim.poke("swap_out", 0)
+        sim.poke("drain_en", 0)
+        sim.poke("a_in", 7)
+        sim.step()
+        assert sim.peek("a_out") == 7  # one register of delay
+        sim.poke("a_in", 9)
+        sim.settle()
+        assert sim.peek("a_out") == 7  # still last cycle's value
+        sim.step()
+        assert sim.peek("a_out") == 9
+
+    def test_output_stationary_accumulation_and_drain(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        pe, _ = build_pe(spec)
+        sim = Simulator(pe)
+        for port in ("acc_clear", "swap_out", "drain_en", "c_drain_in"):
+            sim.poke(port, 0)
+        # acc_clear with first product 2*3
+        sim.poke("a_in", 2)
+        sim.poke("b_in", 3)
+        sim.poke("acc_clear", 1)
+        sim.step()
+        sim.poke("acc_clear", 0)
+        # accumulate 4*5
+        sim.poke("a_in", 4)
+        sim.poke("b_in", 5)
+        sim.step()
+        # swap_out captures acc = 6 + 20 = 26 into the drain register
+        sim.poke("a_in", 0)
+        sim.poke("b_in", 0)
+        sim.poke("swap_out", 1)
+        sim.step()
+        sim.poke("swap_out", 0)
+        assert sim.peek("c_drain_out") == 26
+        # drain shifts in the neighbour's value
+        sim.poke("c_drain_in", 111)
+        sim.poke("drain_en", 1)
+        sim.step()
+        assert sim.peek("c_drain_out") == 111
+
+    def test_weight_stationary_double_buffer(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-STS")
+        pe, _ = build_pe(spec)
+        sim = Simulator(pe)
+        for port in ("load_en", "swap_in", "a_in", "b_load_in", "c_psum_in"):
+            sim.poke(port, 0)
+        # shift 5 into the shadow register
+        sim.poke("b_load_in", 5)
+        sim.poke("load_en", 1)
+        sim.step()
+        sim.poke("load_en", 0)
+        assert sim.peek("b_load_out") == 5  # shadow visible on the chain
+        # swap into the active register
+        sim.poke("swap_in", 1)
+        sim.step()
+        sim.poke("swap_in", 0)
+        # now MAC: c_out = psum_in + a*b = 10 + 3*5
+        sim.poke("a_in", 3)
+        sim.poke("c_psum_in", 10)
+        sim.step()
+        assert sim.peek("c_out") == 25
+
+    def test_multicast_product_combinational(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-MTM")
+        pe, _ = build_pe(spec)
+        sim = Simulator(pe)
+        sim.poke("load_en", 0)
+        sim.poke("swap_in", 0)
+        # b is stationary: load 4 and swap in
+        sim.poke("b_load_in", 4)
+        sim.poke("load_en", 1)
+        sim.step()
+        sim.poke("load_en", 0)
+        sim.poke("swap_in", 1)
+        sim.step()
+        sim.poke("swap_in", 0)
+        sim.poke("a_in", -3)
+        sim.settle()
+        assert sim.peek("c_partial") == -12  # same cycle (combinational)
+
+    def test_signed_wraparound_matches_width(self, gemm):
+        spec = naming.spec_from_name(gemm, "MNK-MTM")
+        pe, _ = build_pe(spec, width=8)
+        sim = Simulator(pe)
+        for port in ("load_en", "swap_in"):
+            sim.poke(port, 0)
+        sim.poke("b_load_in", 100)
+        sim.poke("load_en", 1)
+        sim.step()
+        sim.poke("load_en", 0)
+        sim.poke("swap_in", 1)
+        sim.step()
+        sim.poke("swap_in", 0)
+        sim.poke("a_in", 100)
+        sim.settle()
+        # 100*100 = 10000 -> wraps to 10000 mod 256 = 16 (two's complement)
+        assert sim.peek("c_partial") == ((10000 + 128) % 256) - 128

@@ -1,0 +1,57 @@
+"""Tests for reduction tree construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.netlist import Module
+from repro.hw.reduction import adder_count, reduce_tree, tree_depth
+from repro.sim.engine import Simulator
+
+
+def build_tree_module(n):
+    m = Module("tree")
+    leaves = [m.input(f"x{i}", 16) for i in range(n)]
+    m.output("sum", reduce_tree(m, leaves))
+    return m
+
+
+class TestStructure:
+    def test_single_leaf_passthrough(self):
+        m = Module("t")
+        a = m.input("a", 8)
+        assert reduce_tree(m, [a]) is a
+        assert m.cells == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_tree(Module("t"), [])
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 16])
+    def test_adder_count(self, n):
+        m = build_tree_module(n)
+        assert m.cell_count().get("add", 0) == adder_count(n) == n - 1
+
+    def test_depth_balanced(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(4) == 2
+        assert tree_depth(5) == 3
+        assert tree_depth(16) == 4
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            tree_depth(0)
+        with pytest.raises(ValueError):
+            adder_count(0)
+
+
+class TestBehaviour:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_sums_correctly(self, values):
+        m = build_tree_module(len(values))
+        sim = Simulator(m)
+        for i, v in enumerate(values):
+            sim.poke(f"x{i}", v)
+        sim.settle()
+        assert sim.peek("sum") == sum(values)

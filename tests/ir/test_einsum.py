@@ -1,0 +1,102 @@
+"""Unit tests for the einsum-style statement parser and reference semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ir.einsum import Statement, parse_statement
+from repro.ir.tensor import TensorRole
+
+
+class TestParser:
+    def test_gemm_roundtrip(self):
+        stmt = parse_statement("C[m,n] += A[m,k] * B[n,k]", m=4, n=5, k=6)
+        assert stmt.tensor_names == ("A", "B", "C")
+        assert stmt.output.tensor.name == "C"
+        assert stmt.output.tensor.role is TensorRole.OUTPUT
+        assert stmt.access("A").matrix == ((1, 0, 0), (0, 0, 1))
+        assert stmt.access("B").matrix == ((0, 1, 0), (0, 0, 1))
+        assert stmt.access("C").matrix == ((1, 0, 0), (0, 1, 0))
+
+    def test_conv_window_expression(self):
+        stmt = parse_statement(
+            "C[k,y,x] += A[c,y+p,x+q] * B[k,c,p,q]", k=2, c=2, y=4, x=4, p=3, q=3
+        )
+        a = stmt.access("A")
+        # space order: k c y x p q
+        assert a.matrix == (
+            (0, 1, 0, 0, 0, 0),
+            (0, 0, 1, 0, 1, 0),
+            (0, 0, 0, 1, 0, 1),
+        )
+
+    def test_three_input_tensors(self):
+        stmt = parse_statement("D[i,j] += A[i,k,l] * B[k,j] * C[l,j]", i=2, j=2, k=2, l=2)
+        assert stmt.tensor_names == ("A", "B", "C", "D")
+        assert len(stmt.inputs) == 3
+
+    def test_coefficient_in_index(self):
+        stmt = parse_statement("C[m] += A[2*m+k]", m=3, k=2)
+        assert stmt.access("A").matrix == ((2, 1),)
+        assert stmt.access("A").shape() == (6,)
+
+    def test_requires_plus_equals(self):
+        with pytest.raises(ValueError):
+            parse_statement("C[m] = A[m]", m=3)
+
+    def test_unknown_iterator_rejected(self):
+        with pytest.raises(ValueError):
+            parse_statement("C[m] += A[z]", m=3)
+
+    def test_unused_iterator_rejected(self):
+        with pytest.raises(ValueError):
+            parse_statement("C[m] += A[m]", m=3, k=4)
+
+    def test_duplicate_tensor_names_rejected(self):
+        with pytest.raises(ValueError):
+            parse_statement("A[m] += A[m+k]", m=3, k=2)
+
+    def test_named_statement(self):
+        stmt = parse_statement("C[m] += A[m+k]", name="blur", m=3, k=2)
+        assert stmt.name == "blur"
+
+
+class TestReference:
+    def test_gemm_matches_numpy(self):
+        stmt = parse_statement("C[m,n] += A[m,k] * B[n,k]", m=4, n=5, k=6)
+        rng = np.random.default_rng(7)
+        ins = stmt.random_inputs(rng)
+        expected = ins["A"] @ ins["B"].T
+        np.testing.assert_array_equal(stmt.reference(ins), expected)
+
+    def test_conv_matches_scipy_style(self):
+        stmt = parse_statement(
+            "C[k,y,x] += A[c,y+p,x+q] * B[k,c,p,q]", k=2, c=3, y=4, x=4, p=3, q=3
+        )
+        ins = stmt.random_inputs()
+        got = stmt.reference(ins)
+        a, b = ins["A"], ins["B"]
+        expected = np.zeros((2, 4, 4), dtype=np.int64)
+        for kk in range(2):
+            for yy in range(4):
+                for xx in range(4):
+                    expected[kk, yy, xx] = np.sum(
+                        a[:, yy : yy + 3, xx : xx + 3] * b[kk]
+                    )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_mttkrp_matches_einsum(self):
+        stmt = parse_statement("D[i,j] += A[i,k,l] * B[k,j] * C[l,j]", i=3, j=4, k=2, l=2)
+        ins = stmt.random_inputs()
+        expected = np.einsum("ikl,kj,lj->ij", ins["A"], ins["B"], ins["C"])
+        np.testing.assert_array_equal(stmt.reference(ins), expected)
+
+    def test_macs(self):
+        stmt = parse_statement("C[m,n] += A[m,k] * B[n,k]", m=4, n=5, k=6)
+        assert stmt.macs() == 4 * 5 * 6
+
+    def test_statement_validation(self):
+        stmt = parse_statement("C[m,n] += A[m,k] * B[n,k]", m=2, n=2, k=2)
+        with pytest.raises(ValueError):
+            Statement("bad", stmt.space, stmt.output, [])  # no inputs
+        with pytest.raises(ValueError):
+            Statement("bad", stmt.space, stmt.inputs[0], stmt.inputs)  # input as output

@@ -1,0 +1,115 @@
+"""Unit tests for iterators and iteration spaces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.iterspace import Iterator, IterationSpace
+
+
+class TestIterator:
+    def test_basic(self):
+        it = Iterator("m", 16)
+        assert it.name == "m"
+        assert it.extent == 16
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Iterator("2x", 4)
+        with pytest.raises(ValueError):
+            Iterator("", 4)
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            Iterator("m", 0)
+        with pytest.raises(ValueError):
+            Iterator("m", -3)
+
+    def test_frozen(self):
+        it = Iterator("m", 16)
+        with pytest.raises(AttributeError):
+            it.extent = 8
+
+
+class TestIterationSpace:
+    def test_from_extents_preserves_order(self):
+        sp = IterationSpace.from_extents(m=2, n=3, k=4)
+        assert sp.names == ("m", "n", "k")
+        assert sp.extents == (2, 3, 4)
+        assert sp.rank == 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            IterationSpace([Iterator("m", 2), Iterator("m", 3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IterationSpace([])
+
+    def test_position_and_lookup(self):
+        sp = IterationSpace.from_extents(m=2, n=3, k=4)
+        assert sp.position("n") == 1
+        assert sp.positions(("k", "m")) == (2, 0)
+        assert sp["k"].extent == 4
+        assert "n" in sp
+        assert "z" not in sp
+        with pytest.raises(KeyError):
+            sp.position("z")
+
+    def test_volume(self):
+        sp = IterationSpace.from_extents(m=2, n=3, k=4)
+        assert sp.volume() == 24
+
+    def test_points_lexicographic(self):
+        sp = IterationSpace.from_extents(i=2, j=2)
+        assert list(sp.points()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_points_count_matches_volume(self):
+        sp = IterationSpace.from_extents(a=3, b=2, c=2)
+        assert len(list(sp.points())) == sp.volume()
+
+    def test_select_reorders(self):
+        sp = IterationSpace.from_extents(m=2, n=3, k=4)
+        sub = sp.select(("k", "m"))
+        assert sub.names == ("k", "m")
+        assert sub.extents == (4, 2)
+
+    def test_complement_preserves_nest_order(self):
+        sp = IterationSpace.from_extents(m=2, n=3, k=4, l=5)
+        rest = sp.complement(("k", "m"))
+        assert rest.names == ("n", "l")
+
+    def test_complement_of_everything_is_unit(self):
+        sp = IterationSpace.from_extents(m=2, n=3)
+        rest = sp.complement(("m", "n"))
+        assert rest.volume() == 1
+
+    def test_complement_unknown_name(self):
+        sp = IterationSpace.from_extents(m=2)
+        with pytest.raises(KeyError):
+            sp.complement(("z",))
+
+    def test_with_extents_override(self):
+        sp = IterationSpace.from_extents(m=2, n=3)
+        sp2 = sp.with_extents(n=7)
+        assert sp2.extents == (2, 7)
+        assert sp.extents == (2, 3)  # original untouched
+        with pytest.raises(KeyError):
+            sp.with_extents(z=1)
+
+    def test_equality_and_hash(self):
+        a = IterationSpace.from_extents(m=2, n=3)
+        b = IterationSpace.from_extents(m=2, n=3)
+        c = IterationSpace.from_extents(n=3, m=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c  # order matters
+
+    @given(st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4))
+    def test_volume_is_product_of_extents(self, extents):
+        names = "abcd"
+        sp = IterationSpace([Iterator(names[i], e) for i, e in enumerate(extents)])
+        prod = 1
+        for e in extents:
+            prod *= e
+        assert sp.volume() == prod
+        assert len(list(sp.points())) == prod

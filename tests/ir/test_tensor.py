@@ -1,0 +1,83 @@
+"""Unit tests for tensors and affine access maps."""
+
+import pytest
+
+from repro.ir.iterspace import IterationSpace
+from repro.ir.tensor import Tensor, TensorAccess, TensorRole
+
+
+@pytest.fixture
+def gemm_space():
+    return IterationSpace.from_extents(m=4, n=5, k=6)
+
+
+class TestTensor:
+    def test_roles(self):
+        t = Tensor("C", 2, TensorRole.OUTPUT)
+        assert t.is_output
+        assert not Tensor("A", 2, TensorRole.INPUT).is_output
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Tensor("1bad", 2, TensorRole.INPUT)
+        with pytest.raises(ValueError):
+            Tensor("A", 0, TensorRole.INPUT)
+
+
+class TestTensorAccess:
+    def test_index_of_gemm_a(self, gemm_space):
+        # A[m, k] in GEMM
+        acc = TensorAccess(
+            Tensor("A", 2, TensorRole.INPUT), gemm_space, [(1, 0, 0), (0, 0, 1)]
+        )
+        assert acc.index_of((2, 3, 5)) == (2, 5)
+
+    def test_index_of_conv_window(self):
+        # A[c, y+p, x+q] pattern, space (c, y, x, p, q)
+        sp = IterationSpace.from_extents(c=2, y=4, x=4, p=3, q=3)
+        acc = TensorAccess(
+            Tensor("A", 3, TensorRole.INPUT),
+            sp,
+            [(1, 0, 0, 0, 0), (0, 1, 0, 1, 0), (0, 0, 1, 0, 1)],
+        )
+        assert acc.index_of((1, 2, 3, 1, 2)) == (1, 3, 5)
+
+    def test_row_count_must_match_rank(self, gemm_space):
+        with pytest.raises(ValueError):
+            TensorAccess(Tensor("A", 2, TensorRole.INPUT), gemm_space, [(1, 0, 0)])
+
+    def test_column_count_must_match_space(self, gemm_space):
+        with pytest.raises(ValueError):
+            TensorAccess(Tensor("A", 1, TensorRole.INPUT), gemm_space, [(1, 0)])
+
+    def test_restrict_selects_columns(self, gemm_space):
+        acc = TensorAccess(
+            Tensor("A", 2, TensorRole.INPUT), gemm_space, [(1, 0, 0), (0, 0, 1)]
+        )
+        # restrict to (k, m): columns swap
+        assert acc.restrict(("k", "m")) == ((0, 1), (1, 0))
+
+    def test_shape_simple(self, gemm_space):
+        acc = TensorAccess(
+            Tensor("A", 2, TensorRole.INPUT), gemm_space, [(1, 0, 0), (0, 0, 1)]
+        )
+        assert acc.shape() == (4, 6)
+
+    def test_shape_with_window_sum(self):
+        sp = IterationSpace.from_extents(y=4, p=3)
+        acc = TensorAccess(Tensor("A", 1, TensorRole.INPUT), sp, [(1, 1)])
+        # max index = (4-1) + (3-1) = 5 -> size 6
+        assert acc.shape() == (6,)
+        assert acc.footprint() == 6
+
+    def test_shape_rejects_negative_reach(self):
+        sp = IterationSpace.from_extents(y=4)
+        acc = TensorAccess(Tensor("A", 1, TensorRole.INPUT), sp, [(-1,)])
+        with pytest.raises(ValueError):
+            acc.shape()
+
+    def test_equality(self, gemm_space):
+        a1 = TensorAccess(Tensor("A", 2, TensorRole.INPUT), gemm_space, [(1, 0, 0), (0, 0, 1)])
+        a2 = TensorAccess(Tensor("A", 2, TensorRole.INPUT), gemm_space, [(1, 0, 0), (0, 0, 1)])
+        assert a1 == a2
+        assert hash(a1) == hash(a2)

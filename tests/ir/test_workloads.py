@@ -1,0 +1,83 @@
+"""Tests that the Table II workload formulas are encoded faithfully."""
+
+import numpy as np
+import pytest
+
+from repro.ir import workloads
+
+
+class TestTableII:
+    """Every workload formula from paper Table II, checked against numpy."""
+
+    def test_gemm(self):
+        stmt = workloads.gemm(4, 5, 6)
+        ins = stmt.random_inputs()
+        np.testing.assert_array_equal(stmt.reference(ins), ins["A"] @ ins["B"].T)
+
+    def test_batched_gemv(self):
+        stmt = workloads.batched_gemv(3, 4, 5)
+        ins = stmt.random_inputs()
+        expected = np.einsum("mkn,mk->mn", ins["A"], ins["B"])
+        np.testing.assert_array_equal(stmt.reference(ins), expected)
+
+    def test_conv2d(self):
+        stmt = workloads.conv2d(k=2, c=3, y=4, x=4, p=3, q=3)
+        ins = stmt.random_inputs()
+        expected = np.einsum(
+            "cypxq,kcpq->kyx",
+            np.lib.stride_tricks.sliding_window_view(ins["A"], (3, 3), axis=(1, 2)).transpose(0, 1, 3, 2, 4),
+            ins["B"],
+        )
+        np.testing.assert_array_equal(stmt.reference(ins), expected)
+
+    def test_depthwise_conv(self):
+        stmt = workloads.depthwise_conv(k=3, y=4, x=4, p=3, q=3)
+        ins = stmt.random_inputs()
+        a, b = ins["A"], ins["B"]
+        expected = np.zeros((3, 4, 4), dtype=np.int64)
+        for kk in range(3):
+            for yy in range(4):
+                for xx in range(4):
+                    expected[kk, yy, xx] = np.sum(a[kk, yy : yy + 3, xx : xx + 3] * b[kk])
+        np.testing.assert_array_equal(stmt.reference(ins), expected)
+
+    def test_mttkrp(self):
+        stmt = workloads.mttkrp(3, 4, 2, 2)
+        ins = stmt.random_inputs()
+        expected = np.einsum("ikl,kj,lj->ij", ins["A"], ins["B"], ins["C"])
+        np.testing.assert_array_equal(stmt.reference(ins), expected)
+
+    def test_ttmc(self):
+        stmt = workloads.ttmc(2, 3, 4, 2, 2)
+        ins = stmt.random_inputs()
+        expected = np.einsum("ilm,lj,mk->ijk", ins["A"], ins["B"], ins["C"])
+        np.testing.assert_array_equal(stmt.reference(ins), expected)
+
+
+class TestShapes:
+    def test_resnet_layer2_shape(self):
+        stmt = workloads.conv2d_resnet_layer2()
+        assert stmt.space.extents == (64, 64, 56, 56, 3, 3)
+        assert stmt.name == "conv2d_resnet_layer2"
+
+    def test_resnet_layer5_shape(self):
+        stmt = workloads.conv2d_resnet_layer5()
+        assert stmt.space["x"].extent == 7
+        assert stmt.space["y"].extent == 7
+        assert stmt.space["k"].extent == 512
+
+    def test_by_name(self):
+        stmt = workloads.by_name("gemm", m=8, n=8, k=8)
+        assert stmt.space.volume() == 512
+        with pytest.raises(KeyError):
+            workloads.by_name("nonexistent")
+
+    def test_all_table_ii_instantiable(self):
+        for name in workloads.TABLE_II:
+            stmt = workloads.by_name(name)
+            assert stmt.macs() > 0
+
+    def test_conv_input_shape_includes_halo(self):
+        stmt = workloads.conv2d(k=2, c=2, y=4, x=4, p=3, q=3)
+        # input image is (y + p - 1) x (x + q - 1)
+        assert stmt.access("A").shape() == (2, 6, 6)

@@ -1,0 +1,124 @@
+"""Tests for the Fig. 5 performance model."""
+
+import pytest
+
+from repro.core import naming
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig, PerfModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerfModel(ArrayConfig(rows=16, cols=16))
+
+
+@pytest.fixture(scope="module")
+def gemm():
+    return workloads.gemm(256, 256, 256)
+
+
+class TestArrayConfig:
+    def test_paper_setup(self):
+        cfg = ArrayConfig()
+        assert cfg.pes == 256
+        # 32 GB/s at 320 MHz = 100 bytes/cycle = 50 INT16 elements
+        assert cfg.bytes_per_cycle == 100.0
+        assert cfg.elements_per_cycle == 50.0
+
+
+class TestBasicInvariants:
+    def test_normalized_at_most_one(self, model, gemm):
+        for name in ["MNK-SST", "MNK-MTM", "MNK-STS", "MNK-SSS"]:
+            r = model.evaluate_named(gemm, name)
+            assert 0.0 < r.normalized <= 1.0
+
+    def test_peak_cycles(self, model, gemm):
+        r = model.evaluate_named(gemm, "MNK-SST")
+        assert r.peak_cycles == gemm.macs() / 256
+
+    def test_cycles_at_least_peak(self, model, gemm):
+        for name in ["MNK-SST", "MNK-MTM", "MNK-TSS"]:
+            r = model.evaluate_named(gemm, name)
+            assert r.cycles >= r.peak_cycles * 0.999
+
+
+class TestPaperFindings:
+    """Qualitative claims of paper §VI-A, one test each."""
+
+    def test_multicast_beats_systolic_gemm(self, model, gemm):
+        """'the performance of multicast dataflows (MTM) is better than
+        systolic dataflow' — smaller pipeline overhead."""
+        mtm = model.evaluate_named(gemm, "MNK-MTM")
+        sst = model.evaluate_named(gemm, "MNK-SST")
+        assert mtm.normalized > sst.normalized
+
+    def test_systolic_skew_shrinks_with_longer_time_loop(self, model):
+        small = model.evaluate_named(workloads.gemm(64, 64, 64), "MNK-SST")
+        large = model.evaluate_named(workloads.gemm(64, 64, 1024), "MNK-SST")
+        assert large.normalized > small.normalized
+
+    def test_batched_gemv_bandwidth_bound(self, model):
+        """Unicast A makes Batched-GEMV bandwidth-bound (~5x stall)."""
+        bg = workloads.batched_gemv(64, 256, 256)
+        r = model.evaluate_named(bg, "MNK-UST")
+        assert r.bandwidth_stall > 4.0
+        assert r.normalized < 0.25
+
+    def test_unicast_worse_than_reuse_dataflows_mttkrp(self, model):
+        mt = workloads.mttkrp(64, 64, 64, 64)
+        unicast = model.evaluate_named(mt, "IKL-UBBB")
+        reuse = model.evaluate_named(mt, "IJK-SSBT")
+        assert unicast.normalized < reuse.normalized
+
+    def test_small_kernel_loops_waste_pes(self, model):
+        """Selecting p (extent 3) spatially uses 15/16 rows (packed)."""
+        conv = workloads.conv2d(k=64, c=64, y=56, x=56, p=3, q=3)
+        spec = naming.spec_from_name(conv, "XPQ-MMT")
+        r = model.evaluate(spec)
+        assert r.utilization < 1.0
+        assert r.utilization >= 15 / 16 * 0.9
+
+    def test_resnet_layer5_worse_than_layer2_for_xy_dataflows(self, model):
+        """x = y = 7 cannot fill a 16-wide array (paper Fig. 5f vs 5g)."""
+        l2 = naming.spec_from_name(workloads.conv2d_resnet_layer2(), "XYP-MST")
+        l5 = naming.spec_from_name(workloads.conv2d_resnet_layer5(), "XYP-MST")
+        r2, r5 = model.evaluate(l2), model.evaluate(l5)
+        assert r5.utilization < r2.utilization
+
+    def test_kcx_best_for_conv(self, model):
+        """'selecting KCX iterations can deliver better performance because
+        it becomes standard GEMM with large loop bounds'."""
+        layer = workloads.conv2d_resnet_layer2()
+        score = lambda s: model.evaluate(s).normalized
+        kcx = naming.best_spec_from_name(layer, "KCX-SST", score)
+        xyp = naming.best_spec_from_name(layer, "XYP-MST", score)
+        assert model.evaluate(kcx).normalized > model.evaluate(xyp).normalized
+
+    def test_communication_delay_dominates_short_stages(self, model):
+        """KPX-MST-style dataflows idle on communication when the execution
+        window is small (paper §VI-A)."""
+        conv = workloads.conv2d_resnet_layer5()
+        spec = naming.spec_from_name(conv, "KPX-MST")
+        r = model.evaluate(spec)
+        assert r.breakdown["skew"] > r.breakdown["exec"] * 0.3
+        assert r.normalized < 0.5
+
+    def test_depthwise_multicast_best(self, model):
+        """KPX/XYP-MMM-style all-multicast dataflows win for Depthwise."""
+        dw = workloads.depthwise_conv(k=64, y=56, x=56, p=3, q=3)
+        score = lambda s: model.evaluate(s).normalized
+        mmm = naming.best_spec_from_name(dw, "KQX-MMM", score)
+        # KXY selects (k, x, y): A and C have full-rank access -> unicast,
+        # the paper's bandwidth-bound worst case for this workload.
+        unicast = naming.best_spec_from_name(dw, "KXY-UBU", score)
+        assert model.evaluate(mmm).normalized > model.evaluate(unicast).normalized
+
+
+class TestPacking:
+    def test_packing_toggle(self):
+        conv = workloads.conv2d(k=64, c=64, y=56, x=56, p=3, q=3)
+        spec = naming.spec_from_name(conv, "XPQ-MMT")
+        packed = PerfModel(ArrayConfig()).evaluate(spec)
+        unpacked = PerfModel(ArrayConfig(), allow_packing=False).evaluate(spec)
+        assert packed.utilization > unpacked.utilization
+        assert packed.cycles < unpacked.cycles

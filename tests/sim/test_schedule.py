@@ -1,0 +1,111 @@
+"""Tests for STT-derived injection/collection schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import naming
+from repro.hw.generator import AcceleratorGenerator
+from repro.hw.memory import Scratchpad
+from repro.sim.schedule import ScheduleConflict, StageSchedule, build_stage_schedule
+from repro.hw.plan import Stage
+from repro.ir import workloads
+
+
+def make(name="MNK-SST", rows=4, cols=4, m=4, n=4, k=4):
+    gemm = workloads.gemm(m, n, k)
+    spec = naming.spec_from_name(gemm, name)
+    design = AcceleratorGenerator(spec, rows, cols).generate()
+    sp = Scratchpad(spec, gemm.random_inputs())
+    return design, sp
+
+
+class TestStageSchedule:
+    def test_inject_conflict_detection(self):
+        sched = StageSchedule(stage=Stage(0, {}, {}))
+        sched.inject(3, "a_in_r0c0", 7)
+        sched.inject(3, "a_in_r0c0", 7)  # same value: fine
+        with pytest.raises(ScheduleConflict):
+            sched.inject(3, "a_in_r0c0", 8)
+
+    def test_negative_cycle_rejected(self):
+        sched = StageSchedule(stage=Stage(0, {}, {}))
+        with pytest.raises(ScheduleConflict):
+            sched.inject(-1, "a_in_r0c0", 7)
+
+
+class TestBuildSchedule:
+    def test_injections_within_stage(self):
+        design, sp = make()
+        stage = next(design.plan.stages())
+        sched = build_stage_schedule(design.plan, design.info, sp, stage)
+        for cyc in sched.injections:
+            assert 0 <= cyc < design.timing.total
+
+    def test_collections_within_stage(self):
+        design, sp = make()
+        stage = next(design.plan.stages())
+        sched = build_stage_schedule(design.plan, design.info, sp, stage)
+        assert sched.collections
+        for cyc, port, index in sched.collections:
+            assert 0 <= cyc < design.timing.total
+            assert port in design.top.outputs
+
+    def test_injection_ports_are_design_inputs(self):
+        design, sp = make()
+        stage = next(design.plan.stages())
+        sched = build_stage_schedule(design.plan, design.info, sp, stage)
+        for row in sched.injections.values():
+            for port in row:
+                assert port in design.top.inputs
+
+    def test_data_ports_complete(self):
+        design, sp = make()
+        stage = next(design.plan.stages())
+        sched = build_stage_schedule(design.plan, design.info, sp, stage)
+        control = set(design.info.controls)
+        expected = {p for p in design.top.inputs if p not in control}
+        assert set(sched.data_ports) == expected
+
+    def test_systolic_injections_only_at_boundary(self):
+        design, sp = make("MNK-SST")
+        stage = next(design.plan.stages())
+        sched = build_stage_schedule(design.plan, design.info, sp, stage)
+        a_dir = design.info.tensor("A").sy_space
+        grid = design.plan.grid
+        entries = {p for p in grid.points() if grid.is_entry(p, a_dir)}
+        for row in sched.injections.values():
+            for port in row:
+                if port.startswith("a_in_"):
+                    r, c = port.split("_r")[1].split("c")
+                    assert (int(r), int(c)) in entries
+
+    def test_collections_cover_all_outputs(self):
+        """Across all stages, every output element is collected (>= once)."""
+        design, sp = make("MNK-SST", m=4, n=4, k=4)
+        collected = set()
+        for stage in design.plan.stages():
+            sched = build_stage_schedule(design.plan, design.info, sp, stage)
+            for _, _, index in sched.collections:
+                collected.add(index)
+        assert collected == {(i, j) for i in range(4) for j in range(4)}
+
+    def test_stationary_loads_fill_load_phase(self):
+        design, sp = make("MNK-STS")  # B stationary
+        stage = next(design.plan.stages())
+        sched = build_stage_schedule(design.plan, design.info, sp, stage)
+        load_cycles = [c for c in sched.injections if c < design.timing.load_len]
+        assert len(load_cycles) == design.timing.load_len
+        for cyc in range(design.timing.load_len):
+            ports = sched.injections[cyc]
+            assert any(p.startswith("b_load_") for p in ports)
+
+    def test_multicast_bus_values_shared(self):
+        design, sp = make("MNK-MTM")
+        stage = next(design.plan.stages())
+        # Reuse consistency is enforced internally; building without a
+        # ScheduleConflict is itself the assertion.
+        sched = build_stage_schedule(design.plan, design.info, sp, stage)
+        bus_injections = [
+            (c, p) for c, row in sched.injections.items() for p in row if p.startswith("a_bus")
+        ]
+        assert bus_injections

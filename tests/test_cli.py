@@ -1,0 +1,50 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_to_file(tmp_path, capsys):
+    out = tmp_path / "gemm.v"
+    rc = main(
+        ["generate", "gemm", "MNK-SST", "--rows", "2", "--cols", "2", "-o", str(out),
+         "--extent", "m=4", "--extent", "n=4", "--extent", "k=4"]
+    )
+    assert rc == 0
+    text = out.read_text()
+    assert "module pe (" in text
+    assert "endmodule" in text
+
+
+def test_generate_stdout(capsys):
+    rc = main(["generate", "gemm", "MNK-SST", "--rows", "2", "--cols", "2",
+               "--extent", "m=4", "--extent", "n=4", "--extent", "k=4"])
+    assert rc == 0
+    assert "module" in capsys.readouterr().out
+
+
+def test_verify(capsys):
+    rc = main(["verify", "gemm", "MNK-SST", "--rows", "2", "--cols", "2",
+               "--extent", "m=4", "--extent", "n=4", "--extent", "k=4"])
+    assert rc == 0
+    assert "matches" in capsys.readouterr().out
+
+
+def test_evaluate(capsys):
+    rc = main(["evaluate", "gemm", "MNK-MTM", "--rows", "16", "--cols", "16"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "performance" in out and "mW" in out
+
+
+def test_enumerate(capsys):
+    rc = main(["enumerate", "gemm", "--extent", "m=8", "--extent", "n=8",
+               "--extent", "k=8"])
+    assert rc == 0
+    assert "distinct realizable designs" in capsys.readouterr().out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["generate", "nope", "MNK-SST"])
