@@ -1,0 +1,81 @@
+"""Evaluation-engine throughput: cold vs warm sweeps, serial vs parallel.
+
+The streaming engine's scaling claims, measured on the paper's headline
+sweep (every realizable GEMM dataflow on a 16x16 INT16 array):
+
+- a warm on-disk memo cache makes a repeated sweep >= 5x faster than the
+  cold run (both enumeration and model evaluation are memoized), and
+- process-pool evaluation (``workers=N``) returns bit-identical points in
+  the same order as the serial path.
+
+Run:  pytest benchmarks/bench_engine_sweep.py
+"""
+
+import time
+
+from bench_util import print_table
+
+from repro.explore.engine import EvaluationEngine
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig
+
+
+def _sweep(cache_path):
+    engine = EvaluationEngine(ArrayConfig(rows=16, cols=16), width=16, cache=cache_path)
+    t0 = time.perf_counter()
+    result = engine.evaluate(workloads.gemm(1024, 1024, 1024))
+    return result, time.perf_counter() - t0
+
+
+def test_engine_warm_cache_speedup(benchmark, tmp_path):
+    cache = tmp_path / "memo.json"
+
+    def run():
+        cold_result, cold_s = _sweep(cache)
+        warm_result, warm_s = _sweep(cache)
+        return cold_result, cold_s, warm_result, warm_s
+
+    cold_result, cold_s, warm_result, warm_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = cold_s / warm_s
+    print_table(
+        "engine sweep: 16x16 GEMM design space, cold vs warm memo cache",
+        ["run", "designs", "evaluated", "cache hits", "seconds"],
+        [
+            ["cold", len(cold_result), cold_result.stats.evaluated,
+             cold_result.stats.cache_hits, f"{cold_s:.3f}"],
+            ["warm", len(warm_result), warm_result.stats.evaluated,
+             warm_result.stats.cache_hits, f"{warm_s:.3f}"],
+        ],
+    )
+    print(f"  warm speedup: {speedup:.1f}x")
+
+    assert len(cold_result) == len(warm_result)
+    assert warm_result.stats.space_cache_hit
+    assert warm_result.stats.cache_hits == len(warm_result)
+    assert warm_result.stats.evaluated == 0
+    # identical metrics either way
+    assert [p.metrics() for p in cold_result] == [p.metrics() for p in warm_result]
+    # the acceptance bar: warm run at least 5x faster than cold
+    assert speedup >= 5.0, f"warm cache speedup only {speedup:.1f}x"
+
+
+def test_engine_parallel_matches_serial(benchmark):
+    engine = EvaluationEngine(ArrayConfig(rows=16, cols=16), width=16, chunk_size=8)
+    gemm = workloads.gemm(256, 256, 256)
+    selections = [("m", "n", "k")]
+
+    serial = engine.evaluate(gemm, selections=selections, workers=0)
+    parallel = benchmark.pedantic(
+        lambda: engine.evaluate(gemm, selections=selections, workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert [p.name for p in serial] == [p.name for p in parallel]
+    # bit-identical floats: pooled results travel by pickle, not text
+    assert [p.metrics() for p in serial] == [p.metrics() for p in parallel]
+    print(
+        f"\n  serial == parallel on {len(serial)} GEMM points "
+        f"({serial.stats.summary()})"
+    )

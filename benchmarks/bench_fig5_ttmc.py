@@ -5,7 +5,7 @@ output once per cycle per PE, ILM-UBBB streams A per PE) lose to dataflows
 that keep reuse on chip.
 """
 
-from bench_util import evaluate_names, print_series
+from bench_util import bench_engine, evaluate_names, print_series
 
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig, PerfModel
@@ -21,9 +21,9 @@ TTMC_DATAFLOWS = [
 
 
 def compute():
-    model = PerfModel(ArrayConfig())
+    engine = bench_engine(PerfModel(ArrayConfig()))
     tt = workloads.ttmc(64, 64, 64, 64, 64)
-    return evaluate_names(tt, TTMC_DATAFLOWS, model)
+    return evaluate_names(tt, TTMC_DATAFLOWS, engine)
 
 
 def test_fig5e_ttmc(benchmark):

@@ -6,35 +6,25 @@ only 1.16x; multicast-input designs (MM?) burn the most power, reduction-tree
 outputs stay cheap, stationary designs pay for control.
 """
 
-from bench_util import print_table
+from bench_util import bench_engine, print_table
 
-from repro.core.dataflow import DataflowType
-from repro.core.enumerate import enumerate_designs
-from repro.cost.model import CostModel
 from repro.ir import workloads
-
-ONE_D = frozenset(
-    {
-        DataflowType.UNICAST,
-        DataflowType.STATIONARY,
-        DataflowType.SYSTOLIC,
-        DataflowType.MULTICAST,
-    }
-)
-
-
-def sweep(statement, **kw):
-    model = CostModel(rows=16, cols=16, width=16, freq_mhz=320.0)
-    space = enumerate_designs(statement, realizable_only=True, canonical=True, **kw)
-    return [(spec, model.evaluate(spec)) for spec in space.specs]
+from repro.perf.model import ArrayConfig
 
 
 def compute():
-    gemm_points = sweep(workloads.gemm(1024, 1024, 1024))
-    dw_points = sweep(
-        workloads.depthwise_conv(k=64, y=56, x=56, p=3, q=3), allowed_types=ONE_D
+    engine = bench_engine(workers=0)
+    assert engine.array == ArrayConfig(rows=16, cols=16)  # paper §VI-A platform
+    gemm_result, dw_result = engine.sweep(
+        [workloads.gemm(1024, 1024, 1024)]
+    ) + engine.sweep(
+        [workloads.depthwise_conv(k=64, y=56, x=56, p=3, q=3)], one_d_only=True
     )
-    return gemm_points, dw_points
+    assert not gemm_result.failures and not dw_result.failures
+    return (
+        [(pt.spec, pt) for pt in gemm_result.points],
+        [(pt.spec, pt) for pt in dw_result.points],
+    )
 
 
 def _scatter_summary(label, points):

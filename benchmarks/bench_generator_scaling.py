@@ -45,3 +45,54 @@ def test_simulation_throughput(benchmark):
 
     cycles = benchmark(run)
     print(f"\n  simulated {cycles} cycles of a 4x4 array (flattened netlist)")
+
+
+def _smoke(budget_s: float = 60.0) -> int:
+    """Standalone perf sanity check for CI: no pytest-benchmark needed.
+
+    Generates small accelerators, runs one netlist simulation and a small
+    engine sweep, and fails when any step blows past the time budget — a
+    coarse tripwire against order-of-magnitude regressions.
+    """
+    import time
+
+    from repro.explore.engine import EvaluationEngine
+    from repro.perf.model import ArrayConfig
+
+    t0 = time.perf_counter()
+    spec = naming.spec_from_name(workloads.gemm(64, 64, 64), "MNK-SST")
+    for dim in (4, 8):
+        design = AcceleratorGenerator(spec, dim, dim).generate()
+        cells = design.top.cell_count()
+        assert cells["mul"] == dim * dim, (dim, cells)
+        print(f"  generated {dim}x{dim} accelerator: {cells.get('reg', 0)} regs")
+    gemm = workloads.gemm(4, 4, 8)
+    FunctionalHarness(naming.spec_from_name(gemm, "MNK-SST"), 4, 4).check()
+    print("  4x4 netlist simulation matches the numpy reference")
+    engine = EvaluationEngine(ArrayConfig(rows=8, cols=8))
+    result = engine.evaluate(
+        workloads.gemm(64, 64, 64), selections=[("m", "n", "k")]
+    )
+    assert len(result) > 20 and not result.failures, result.stats.summary()
+    print(f"  engine sweep: {result.stats.summary()}")
+    elapsed = time.perf_counter() - t0
+    print(f"  smoke total: {elapsed:.1f}s (budget {budget_s:.0f}s)")
+    if elapsed > budget_s:
+        print("  FAIL: smoke run exceeded the time budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="quick CI sanity run (no pytest)"
+    )
+    parser.add_argument("--budget", type=float, default=60.0, help="seconds allowed")
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run under pytest for full benchmarks, or pass --smoke")
+    sys.exit(_smoke(args.budget))

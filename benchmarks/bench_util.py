@@ -12,14 +12,36 @@ Run with::
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Sequence
 
 from repro.core.dataflow import DataflowSpec
 from repro.core.naming import best_spec_from_name
+from repro.explore.engine import EvaluationEngine
 from repro.ir.einsum import Statement
 from repro.perf.model import PerfModel, PerfResult
 
-__all__ = ["resolve_best", "print_table", "print_series", "evaluate_names"]
+__all__ = [
+    "bench_engine",
+    "resolve_best",
+    "print_table",
+    "print_series",
+    "evaluate_names",
+]
+
+#: Set ``REPRO_BENCH_CACHE=/path/cache.json`` to warm-cache benchmark reruns.
+_BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE")
+
+
+def bench_engine(model: PerfModel | None = None, **kwargs) -> EvaluationEngine:
+    """The shared evaluation engine for benchmark runs.
+
+    All paper benchmarks route through the engine so name resolution and
+    design evaluation hit the same memo cache (opt in via the
+    ``REPRO_BENCH_CACHE`` environment variable).
+    """
+    kwargs.setdefault("cache", _BENCH_CACHE)
+    return EvaluationEngine(perf=model, **kwargs)
 
 
 def resolve_best(
@@ -36,14 +58,13 @@ def resolve_best(
 
 
 def evaluate_names(
-    statement: Statement, names: Sequence[str], model: PerfModel
+    statement: Statement,
+    names: Sequence[str],
+    model: PerfModel | EvaluationEngine,
 ) -> list[tuple[str, PerfResult]]:
     """Evaluate a list of paper dataflow names, best STT per name."""
-    rows = []
-    for name in names:
-        spec = resolve_best(statement, name, model)
-        rows.append((name, model.evaluate(spec)))
-    return rows
+    engine = model if isinstance(model, EvaluationEngine) else bench_engine(model)
+    return engine.evaluate_names(statement, names)
 
 
 def print_series(title: str, rows: Sequence[tuple[str, PerfResult]]) -> None:

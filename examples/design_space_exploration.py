@@ -1,23 +1,38 @@
 """Design-space exploration: the paper's headline workflow.
 
-Enumerates every realizable GEMM dataflow for a 16x16 INT16 array (paper
-Fig. 6 reports 148 such designs), evaluates performance, area and power, and
-prints the Pareto frontier over (performance, power).
+Runs the streaming evaluation engine end to end: lazily enumerates every
+realizable GEMM dataflow for a 16x16 INT16 array (paper Fig. 6 reports 148
+such designs), evaluates performance, area and power through the memoized
+pipeline, reports any designs the models reject, and prints the Pareto
+frontier over (performance, power).
 
 Run:  python examples/design_space_exploration.py
+
+Pass a path as the first argument to keep a warm on-disk memo cache, e.g.
+``python examples/design_space_exploration.py /tmp/dse.json`` — the second
+run then skips both enumeration and evaluation.
 """
 
-from repro.explore import explore, pareto_front
+import sys
+
+from repro.explore.engine import EvaluationEngine
 from repro.ir import workloads
+from repro.perf.model import ArrayConfig
 
 
 def main() -> None:
+    cache = sys.argv[1] if len(sys.argv) > 1 else None
+    engine = EvaluationEngine(ArrayConfig(rows=16, cols=16), width=16, cache=cache)
     gemm = workloads.gemm(1024, 1024, 1024)
     print("enumerating + evaluating the GEMM dataflow design space ...")
-    points = explore(gemm, rows=16, cols=16, width=16)
-    print(f"{len(points)} distinct realizable designs (paper: 148)\n")
+    result = engine.evaluate(gemm)
+    print(f"{len(result)} distinct realizable designs (paper: 148)")
+    print(f"pipeline: {result.stats.summary()}")
+    if result.failures:
+        print(result.failure_report())
+    print()
 
-    points.sort(key=lambda p: -p.normalized_perf)
+    points = result.best(len(result))
     print(f"{'dataflow':<12} {'perf':>6} {'area mm2':>9} {'power mW':>9}")
     for pt in points[:10]:
         print(
@@ -26,10 +41,7 @@ def main() -> None:
         )
     print("   ...")
 
-    front = pareto_front(
-        points,
-        objectives=[lambda p: -p.normalized_perf, lambda p: p.power_mw],
-    )
+    front = result.pareto()
     front.sort(key=lambda p: p.power_mw)
     print(f"\nPareto frontier (maximize perf, minimize power): {len(front)} designs")
     for pt in front:

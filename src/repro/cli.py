@@ -6,11 +6,13 @@ Examples::
     python -m repro.cli verify conv2d KCX-SST --rows 4 --cols 4
     python -m repro.cli evaluate gemm MNK-MTM --rows 16 --cols 16
     python -m repro.cli enumerate depthwise_conv --one-d
+    python -m repro.cli explore gemm depthwise_conv --workers 4 --cache dse.json
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.core import naming
@@ -109,6 +111,63 @@ def cmd_enumerate(args) -> int:
     return 0
 
 
+def _workload_statement(name: str, extents: dict[str, int]):
+    """Instantiate a Table II workload, applying only the extents it takes."""
+    factory = workloads.TABLE_II[name]
+    accepted = set(inspect.signature(factory).parameters) - {"name"}
+    return factory(**{k: v for k, v in extents.items() if k in accepted})
+
+
+def cmd_explore(args) -> int:
+    from repro.explore.engine import EvaluationEngine
+    from repro.perf.model import ArrayConfig
+
+    extents = {}
+    for item in args.extent:
+        name, _, value = item.partition("=")
+        extents[name] = int(value)
+    accepted = set()
+    for workload in args.workloads:
+        accepted |= set(inspect.signature(workloads.TABLE_II[workload]).parameters)
+    accepted -= {"name"}
+    unknown = sorted(set(extents) - accepted)
+    if unknown:
+        print(
+            f"error: extent(s) {', '.join(unknown)} not accepted by any of "
+            f"{', '.join(args.workloads)} (valid: {', '.join(sorted(accepted))})",
+            file=sys.stderr,
+        )
+        return 2
+    engine = EvaluationEngine(
+        ArrayConfig(rows=args.rows, cols=args.cols),
+        width=args.width,
+        workers=args.workers,
+        cache=args.cache,
+    )
+    statements = [_workload_statement(name, extents) for name in args.workloads]
+    results = engine.sweep(statements, one_d_only=args.one_d)
+    for result in results:
+        print(
+            f"== {result.workload} on {result.array.rows}x{result.array.cols} "
+            f"({result.stats.summary()}) =="
+        )
+        if result.failures:
+            print(result.failure_report())
+        ranked = result.best(args.top)
+        print(f"{'dataflow':<14} {'perf':>6} {'cycles':>12} {'area mm2':>9} {'power mW':>9}")
+        for pt in ranked:
+            print(
+                f"{pt.name:<14} {pt.normalized_perf:>5.1%} {pt.cycles:>12.3g} "
+                f"{pt.area_mm2:>9.3f} {pt.power_mw:>9.1f}"
+            )
+        front = result.pareto()
+        front.sort(key=lambda p: p.power_mw)
+        names = ", ".join(pt.name for pt in front)
+        print(f"pareto frontier (max perf, min power): {len(front)} designs: {names}")
+        print()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="TensorLib reproduction CLI"
@@ -133,6 +192,34 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p_enum, with_dataflow=False)
     p_enum.add_argument("--one-d", action="store_true", help="1-D dataflow types only")
     p_enum.set_defaults(func=cmd_enumerate)
+
+    p_exp = sub.add_parser(
+        "explore", help="sweep + evaluate the design space (multi-workload)"
+    )
+    p_exp.add_argument(
+        "workloads", nargs="+", choices=sorted(workloads.TABLE_II), metavar="workload"
+    )
+    p_exp.add_argument("--rows", type=int, default=16)
+    p_exp.add_argument("--cols", type=int, default=16)
+    p_exp.add_argument("--width", type=int, default=16)
+    p_exp.add_argument(
+        "--extent",
+        action="append",
+        default=[],
+        metavar="LOOP=N",
+        help="override a loop extent where the workload has it (repeatable)",
+    )
+    p_exp.add_argument("--one-d", action="store_true", help="1-D dataflow types only")
+    p_exp.add_argument(
+        "--workers", type=int, default=0, help="process-pool evaluation (0 = serial)"
+    )
+    p_exp.add_argument(
+        "--cache", metavar="PATH", help="on-disk JSON memo cache for warm re-runs"
+    )
+    p_exp.add_argument(
+        "--top", type=int, default=5, help="how many best-performing designs to print"
+    )
+    p_exp.set_defaults(func=cmd_explore)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -5,28 +5,44 @@ distinct Depthwise-Conv2D designs for a 16x16 array.  Distinctness is by
 *hardware identity*: two STT matrices that classify every tensor identically
 (same dataflow type, same reuse directions) generate the same accelerator.
 
-:func:`enumerate_specs` walks complexity-ordered full-rank matrices for one
-loop selection; :func:`enumerate_designs` additionally sweeps loop selections.
+Enumeration is *streaming*: :func:`iter_specs` and :func:`iter_designs` are
+lazy generators that walk complexity-ordered full-rank matrices and yield each
+surviving design as soon as it is found, so the space is never materialized
+and downstream consumers (:class:`repro.explore.engine.EvaluationEngine`) can
+evaluate, batch, or abort mid-stream.  Pruning is composable: the built-in
+predicates (dataflow-type filter, nearest-neighbour realizability,
+canonical-dedup via a shared signature cache) and arbitrary user predicates
+all plug into the same stream, and an :class:`EnumerationStats` counter
+records *why* candidates were dropped instead of silently discarding them.
+
+:func:`enumerate_specs` / :func:`enumerate_designs` remain as thin eager
+wrappers producing the same designs in the same order.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.dataflow import DataflowSpec, DataflowType
 from repro.core.naming import stt_candidates
 from repro.ir.einsum import Statement
 
 __all__ = [
+    "iter_specs",
+    "iter_designs",
     "enumerate_specs",
     "enumerate_designs",
     "loop_selections",
     "DesignSpace",
+    "EnumerationStats",
     "is_realizable",
     "canonical_signature",
 ]
+
+#: A composable pruning predicate: keep the spec when it returns True.
+Predicate = Callable[[DataflowSpec], bool]
 
 #: The 8 symmetries of a square PE array (dihedral group): relabelling PE
 #: coordinates produces electrically identical hardware, so the design-space
@@ -102,6 +118,100 @@ def loop_selections(statement: Statement) -> Iterator[tuple[str, ...]]:
             yield combo
 
 
+@dataclass
+class EnumerationStats:
+    """Mutable tally of what the enumeration stream did with each candidate.
+
+    ``candidates`` counts STT matrices tried; the remaining fields partition
+    the rejected ones by reason, so nothing is dropped silently.
+    """
+
+    candidates: int = 0
+    invalid: int = 0  # no dataflow exists (DataflowSpec raised ValueError)
+    type_filtered: int = 0  # outside ``allowed_types``
+    unrealizable: int = 0  # fails the nearest-neighbour interconnect filter
+    predicate_filtered: int = 0  # dropped by a user predicate
+    duplicates: int = 0  # hardware-identical to an earlier design
+    yielded: int = 0
+
+    def merge(self, other: "EnumerationStats") -> None:
+        for name in (
+            "candidates",
+            "invalid",
+            "type_filtered",
+            "unrealizable",
+            "predicate_filtered",
+            "duplicates",
+            "yielded",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def summary(self) -> str:
+        return (
+            f"{self.yielded} designs from {self.candidates} candidates "
+            f"(invalid {self.invalid}, type-filtered {self.type_filtered}, "
+            f"unrealizable {self.unrealizable}, predicate-filtered "
+            f"{self.predicate_filtered}, duplicates {self.duplicates})"
+        )
+
+
+def iter_specs(
+    statement: Statement,
+    selected: Sequence[str],
+    *,
+    bound: int = 1,
+    limit: int | None = None,
+    allowed_types: frozenset[DataflowType] | None = None,
+    realizable_only: bool = False,
+    canonical: bool = False,
+    predicates: Sequence[Predicate] = (),
+    seen: set | None = None,
+    stats: EnumerationStats | None = None,
+) -> Iterator[DataflowSpec]:
+    """Stream distinct dataflow designs for one loop selection.
+
+    Deduplicates on :meth:`DataflowSpec.signature` (or
+    :func:`canonical_signature` with ``canonical=True``) and keeps the
+    simplest STT representative of each design (the candidate stream is
+    complexity-ordered).  ``realizable_only`` restricts to nearest-neighbour
+    interconnect, matching the paper's synthesized sweeps.  ``predicates``
+    are extra user filters applied after the built-in ones; ``seen`` lets a
+    caller share one signature cache across selections; ``stats`` tallies
+    every rejection reason.
+    """
+    seen = seen if seen is not None else set()
+    stats = stats if stats is not None else EnumerationStats()
+    count = 0
+    for stt in stt_candidates(bound):
+        stats.candidates += 1
+        try:
+            spec = DataflowSpec(statement, selected, stt)
+        except ValueError:
+            stats.invalid += 1
+            continue
+        if allowed_types is not None and any(
+            fl.kind not in allowed_types for fl in spec.flows
+        ):
+            stats.type_filtered += 1
+            continue
+        if realizable_only and not is_realizable(spec):
+            stats.unrealizable += 1
+            continue
+        if predicates and not all(pred(spec) for pred in predicates):
+            stats.predicate_filtered += 1
+            continue
+        sig = canonical_signature(spec) if canonical else spec.signature()
+        if sig in seen:
+            stats.duplicates += 1
+            continue
+        seen.add(sig)
+        stats.yielded += 1
+        yield spec
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
 def enumerate_specs(
     statement: Statement,
     selected: Sequence[str],
@@ -112,35 +222,18 @@ def enumerate_specs(
     realizable_only: bool = False,
     canonical: bool = False,
 ) -> list[DataflowSpec]:
-    """Distinct dataflow designs for one loop selection.
-
-    Deduplicates on :meth:`DataflowSpec.signature` (or
-    :func:`canonical_signature` with ``canonical=True``) and keeps the
-    simplest STT representative of each design (the candidate stream is
-    complexity-ordered).  ``realizable_only`` restricts to nearest-neighbour
-    interconnect, matching the paper's synthesized sweeps.
-    """
-    seen: set[tuple] = set()
-    out: list[DataflowSpec] = []
-    for stt in stt_candidates(bound):
-        try:
-            spec = DataflowSpec(statement, selected, stt)
-        except ValueError:
-            continue
-        if allowed_types is not None and any(
-            fl.kind not in allowed_types for fl in spec.flows
-        ):
-            continue
-        if realizable_only and not is_realizable(spec):
-            continue
-        sig = canonical_signature(spec) if canonical else spec.signature()
-        if sig in seen:
-            continue
-        seen.add(sig)
-        out.append(spec)
-        if limit is not None and len(out) >= limit:
-            break
-    return out
+    """Eager wrapper around :func:`iter_specs` (same designs, same order)."""
+    return list(
+        iter_specs(
+            statement,
+            selected,
+            bound=bound,
+            limit=limit,
+            allowed_types=allowed_types,
+            realizable_only=realizable_only,
+            canonical=canonical,
+        )
+    )
 
 
 @dataclass
@@ -153,6 +246,9 @@ class DesignSpace:
     def __len__(self) -> int:
         return len(self.specs)
 
+    def __iter__(self) -> Iterator[DataflowSpec]:
+        return iter(self.specs)
+
     def by_letters(self, letters: str) -> list[DataflowSpec]:
         return [s for s in self.specs if s.letters == letters.upper()]
 
@@ -161,6 +257,58 @@ class DesignSpace:
         for spec in self.specs:
             hist[spec.letters] = hist.get(spec.letters, 0) + 1
         return dict(sorted(hist.items()))
+
+
+def iter_designs(
+    statement: Statement,
+    *,
+    selections: Iterable[Sequence[str]] | None = None,
+    bound: int = 1,
+    per_selection_limit: int | None = None,
+    allowed_types: frozenset[DataflowType] | None = None,
+    realizable_only: bool = False,
+    canonical: bool = False,
+    predicates: Sequence[Predicate] = (),
+    stats: EnumerationStats | None = None,
+) -> Iterator[DataflowSpec]:
+    """Stream loop selections x STT matrices into a deduplicated design space.
+
+    Designs are yielded as soon as they survive pruning — the full space is
+    never held in memory, so a consumer can evaluate, batch or stop early.
+    With ``canonical=True``, unordered loop selections are also deduplicated:
+    ``(m, n, k)`` and ``(n, m, k)`` relabel the same hardware, so only sorted
+    selections are swept.
+    """
+    stats = stats if stats is not None else EnumerationStats()
+    seen: set[tuple] = set()
+    chosen = selections if selections is not None else loop_selections(statement)
+    if canonical and selections is None:
+        chosen = sorted({tuple(sorted(sel)) for sel in chosen})
+    for sel in chosen:
+        per_sel_seen: set[tuple] = set()
+        for spec in iter_specs(
+            statement,
+            tuple(sel),
+            bound=bound,
+            limit=per_selection_limit,
+            allowed_types=allowed_types,
+            realizable_only=realizable_only,
+            canonical=canonical,
+            predicates=predicates,
+            seen=per_sel_seen,
+            stats=stats,
+        ):
+            sig = (
+                (tuple(sorted(sel)), canonical_signature(spec))
+                if canonical
+                else spec.signature()
+            )
+            if sig in seen:
+                stats.yielded -= 1
+                stats.duplicates += 1
+                continue
+            seen.add(sig)
+            yield spec
 
 
 def enumerate_designs(
@@ -173,29 +321,17 @@ def enumerate_designs(
     realizable_only: bool = False,
     canonical: bool = False,
 ) -> DesignSpace:
-    """Sweep loop selections x STT matrices into a deduplicated design space.
-
-    With ``canonical=True``, unordered loop selections are also deduplicated:
-    ``(m, n, k)`` and ``(n, m, k)`` relabel the same hardware, so only sorted
-    selections are swept.
-    """
+    """Eager wrapper around :func:`iter_designs` returning a :class:`DesignSpace`."""
     space = DesignSpace(statement)
-    seen: set[tuple] = set()
-    chosen = selections if selections is not None else loop_selections(statement)
-    if canonical and selections is None:
-        chosen = sorted({tuple(sorted(sel)) for sel in chosen})
-    for sel in chosen:
-        for spec in enumerate_specs(
+    space.specs.extend(
+        iter_designs(
             statement,
-            tuple(sel),
+            selections=selections,
             bound=bound,
-            limit=per_selection_limit,
+            per_selection_limit=per_selection_limit,
             allowed_types=allowed_types,
             realizable_only=realizable_only,
             canonical=canonical,
-        ):
-            sig = (tuple(sorted(sel)), canonical_signature(spec)) if canonical else spec.signature()
-            if sig not in seen:
-                seen.add(sig)
-                space.specs.append(spec)
+        )
+    )
     return space

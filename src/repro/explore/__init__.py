@@ -1,13 +1,33 @@
-"""Design-space exploration: enumerate -> evaluate -> Pareto.
+"""Design-space exploration: enumerate -> prune -> evaluate -> Pareto.
 
 The productivity claim of the paper is that generation is cheap enough to
-sweep the whole dataflow space; this package packages that loop:
-:func:`repro.explore.dse.explore` runs the enumeration of
-:mod:`repro.core.enumerate` through the performance and cost models and
-:func:`repro.explore.pareto.pareto_front` extracts the interesting frontier.
+sweep the whole dataflow space; this package packages that loop as a
+streaming pipeline.  :class:`repro.explore.engine.EvaluationEngine` owns the
+full flow — lazy enumeration (:mod:`repro.core.enumerate`), composable
+pruning, serial or process-pool evaluation through the performance and cost
+models with a two-level memo cache, structured failure reporting, and
+multi-workload sweeps — while :func:`repro.explore.dse.explore` remains the
+simple one-call facade and :func:`repro.explore.pareto.pareto_front`
+extracts the interesting frontier.
 """
 
 from repro.explore.dse import DesignPoint, explore
+from repro.explore.engine import (
+    DesignFailure,
+    EvaluationEngine,
+    EvaluationResult,
+    EvaluationStats,
+    MemoCache,
+)
 from repro.explore.pareto import pareto_front
 
-__all__ = ["DesignPoint", "explore", "pareto_front"]
+__all__ = [
+    "DesignPoint",
+    "DesignFailure",
+    "EvaluationEngine",
+    "EvaluationResult",
+    "EvaluationStats",
+    "MemoCache",
+    "explore",
+    "pareto_front",
+]

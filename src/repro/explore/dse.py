@@ -1,54 +1,33 @@
-"""Design-space exploration driver."""
+"""Design-space exploration driver (legacy wrapper).
+
+:func:`explore` predates the streaming engine and is kept as a thin facade:
+it builds a serial :class:`repro.explore.engine.EvaluationEngine`, runs the
+enumerate -> prune -> evaluate pipeline, and returns the successful
+:class:`DesignPoint` list.  Unlike the original implementation it no longer
+swallows designs the models reject — skipped designs are surfaced as a
+:class:`RuntimeWarning` with a per-reason count (use the engine directly to
+get the structured failure channel).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
 from typing import Iterable, Sequence
 
-from repro.core.dataflow import DataflowSpec, DataflowType
-from repro.core.enumerate import enumerate_designs
+from repro.core.dataflow import DataflowSpec
 from repro.cost.model import CostModel
+from repro.explore.engine import (
+    ONE_D_TYPES,
+    DesignFailure,
+    DesignPoint,
+    EvaluationEngine,
+    MemoCache,
+    explore_warning,
+)
 from repro.ir.einsum import Statement
 from repro.perf.model import ArrayConfig, PerfModel
 
-__all__ = ["DesignPoint", "explore"]
-
-#: The 1-D dataflow types (the synthesized sweeps of paper Fig. 6 stay in
-#: this subset; 2-D reuse designs add line registers the paper's Chisel
-#: templates realize the same way but the scatter plots do not include).
-ONE_D_TYPES = frozenset(
-    {
-        DataflowType.UNICAST,
-        DataflowType.STATIONARY,
-        DataflowType.SYSTOLIC,
-        DataflowType.MULTICAST,
-    }
-)
-
-
-@dataclass
-class DesignPoint:
-    """One evaluated dataflow design."""
-
-    spec: DataflowSpec
-    normalized_perf: float
-    cycles: float
-    area_mm2: float
-    power_mw: float
-
-    @property
-    def name(self) -> str:
-        return self.spec.name
-
-    @property
-    def letters(self) -> str:
-        return self.spec.letters
-
-    def __repr__(self) -> str:
-        return (
-            f"DesignPoint({self.name}, perf={self.normalized_perf:.3f}, "
-            f"area={self.area_mm2:.3f}mm2, power={self.power_mw:.1f}mW)"
-        )
+__all__ = ["DesignPoint", "DesignFailure", "ONE_D_TYPES", "explore"]
 
 
 def explore(
@@ -62,36 +41,30 @@ def explore(
     selections: Sequence[Sequence[str]] | None = None,
     perf: PerfModel | None = None,
     cost: CostModel | None = None,
+    workers: int = 0,
+    cache: MemoCache | str | os.PathLike | None = None,
 ) -> list[DesignPoint]:
     """Enumerate (or take) designs and evaluate perf + area + power.
 
-    Designs whose tile cannot fit the array (degenerate skews) are skipped.
+    Designs the models reject (degenerate skews, unsupported dataflows) are
+    reported via a ``RuntimeWarning`` naming the count and reasons; the
+    returned list holds only the successfully evaluated points, in
+    enumeration order.  ``workers``/``cache`` pass through to the engine for
+    parallel evaluation and cross-run memoization.
     """
-    perf = perf or PerfModel(ArrayConfig(rows=rows, cols=cols))
-    cost = cost or CostModel(rows=rows, cols=cols, width=width)
-    if specs is None:
-        space = enumerate_designs(
-            statement,
-            realizable_only=True,
-            canonical=True,
-            selections=selections,
-            allowed_types=ONE_D_TYPES if one_d_only else None,
-        )
-        specs = space.specs
-    points = []
-    for spec in specs:
-        try:
-            pr = perf.evaluate(spec)
-            cr = cost.evaluate(spec)
-        except (ValueError, NotImplementedError):
-            continue
-        points.append(
-            DesignPoint(
-                spec=spec,
-                normalized_perf=pr.normalized,
-                cycles=pr.cycles,
-                area_mm2=cr.area_mm2,
-                power_mw=cr.power_mw,
-            )
-        )
-    return points
+    engine = EvaluationEngine(
+        array=perf.config if perf is not None else ArrayConfig(rows=rows, cols=cols),
+        width=width,
+        perf=perf,
+        cost=cost,
+        workers=workers,
+        cache=cache,
+    )
+    result = engine.evaluate(
+        statement,
+        specs=specs,
+        one_d_only=one_d_only,
+        selections=selections,
+    )
+    explore_warning(result)
+    return result.points

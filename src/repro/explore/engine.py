@@ -1,0 +1,743 @@
+"""Unified streaming evaluation engine for design-space exploration.
+
+This module owns the full **enumerate -> prune -> evaluate -> Pareto**
+pipeline that every consumer (the legacy :func:`repro.explore.dse.explore`
+wrapper, the ``repro.cli explore`` subcommand, the examples and the paper
+benchmarks) runs through:
+
+1. **Enumerate** — :func:`repro.core.enumerate.iter_designs` streams the STT
+   space lazily; the space is never materialized up front.
+2. **Prune** — composable predicates (nearest-neighbour realizability,
+   dataflow-type filters, canonical-dedup signature cache, user filters) drop
+   candidates in-stream, with every rejection reason tallied.
+3. **Evaluate** — each surviving design runs through the performance and cost
+   models, either serially or on a process pool (``workers=N``) in
+   deterministically-ordered chunks; results are bit-identical either way.
+   A two-level memo cache (in-memory dict + optional on-disk JSON) keyed by
+   ``(canonical_signature, array_config, cost_params)`` skips re-evaluation
+   across repeated sweeps, and a *space* cache skips re-enumeration entirely.
+4. **Report** — designs that fail a model are not swallowed: each becomes a
+   :class:`DesignPoint` carrying a structured :class:`DesignFailure`, counted
+   in :class:`EvaluationStats` and returned alongside the successes.
+
+:meth:`EvaluationEngine.sweep` runs the pipeline across many workloads and
+array configurations in one call — the substrate for multi-workload DSE.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.dataflow import DataflowSpec, DataflowType
+from repro.core.enumerate import (
+    EnumerationStats,
+    Predicate,
+    canonical_signature,
+    iter_designs,
+)
+from repro.core.naming import best_spec_from_name
+from repro.core.stt import STT
+from repro.cost.model import CostModel, CostParams
+from repro.ir import workloads as workload_lib
+from repro.ir.einsum import Statement
+from repro.perf.model import ArrayConfig, PerfModel, PerfResult
+
+__all__ = [
+    "ONE_D_TYPES",
+    "DesignFailure",
+    "DesignPoint",
+    "EvaluationStats",
+    "EvaluationResult",
+    "MemoCache",
+    "EvaluationEngine",
+]
+
+#: The 1-D dataflow types (the synthesized sweeps of paper Fig. 6 stay in
+#: this subset; 2-D reuse designs add line registers the paper's Chisel
+#: templates realize the same way but the scatter plots do not include).
+ONE_D_TYPES = frozenset(
+    {
+        DataflowType.UNICAST,
+        DataflowType.STATIONARY,
+        DataflowType.SYSTOLIC,
+        DataflowType.MULTICAST,
+    }
+)
+
+
+@dataclass(frozen=True)
+class DesignFailure:
+    """Structured record of why a design could not be evaluated."""
+
+    spec_name: str
+    letters: str
+    stage: str  # "perf" or "cost"
+    reason: str  # "ExceptionType: message"
+
+    def __str__(self) -> str:
+        return f"{self.spec_name} [{self.stage}] {self.reason}"
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated dataflow design.
+
+    A point either carries metrics (``failure is None``) or a structured
+    :class:`DesignFailure` explaining which model stage rejected it — skipped
+    designs are first-class results, not silently dropped.
+    """
+
+    spec: DataflowSpec
+    normalized_perf: float = float("nan")
+    cycles: float = float("nan")
+    area_mm2: float = float("nan")
+    power_mw: float = float("nan")
+    failure: DesignFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def letters(self) -> str:
+        return self.spec.letters
+
+    def metrics(self) -> tuple[float, float, float, float]:
+        """The evaluated metrics as a tuple (for equality/regression checks)."""
+        return (self.normalized_perf, self.cycles, self.area_mm2, self.power_mw)
+
+    def __repr__(self) -> str:
+        if self.failure is not None:
+            return f"DesignPoint({self.name}, failed: {self.failure.reason})"
+        return (
+            f"DesignPoint({self.name}, perf={self.normalized_perf:.3f}, "
+            f"area={self.area_mm2:.3f}mm2, power={self.power_mw:.1f}mW)"
+        )
+
+
+@dataclass
+class EvaluationStats:
+    """Counters for one pipeline run: nothing disappears without a tally."""
+
+    enumerated: int = 0
+    evaluated: int = 0  # ran through the models this run (cache misses)
+    skipped: int = 0  # designs with a structured failure
+    cache_hits: int = 0
+    cache_misses: int = 0
+    space_cache_hit: bool = False
+    enum: EnumerationStats = field(default_factory=EnumerationStats)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.enumerated} designs",
+            f"{self.evaluated} evaluated",
+            f"{self.cache_hits} cache hits",
+        ]
+        if self.skipped:
+            parts.append(f"{self.skipped} skipped")
+        if self.space_cache_hit:
+            parts.append("space cache hit")
+        return ", ".join(parts)
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of one workload x array-config pipeline run."""
+
+    workload: str
+    array: ArrayConfig
+    points: list[DesignPoint]  # successfully evaluated, enumeration order
+    failures: list[DesignPoint]  # points carrying a DesignFailure
+    stats: EvaluationStats
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[DesignPoint]:
+        return iter(self.points)
+
+    def best(self, n: int = 1) -> list[DesignPoint]:
+        """The ``n`` highest-performance points."""
+        return sorted(self.points, key=lambda p: -p.normalized_perf)[:n]
+
+    def pareto(
+        self,
+        objectives: Sequence[Callable[[DesignPoint], float]] | None = None,
+        minimize: Sequence[bool] | None = None,
+    ) -> list[DesignPoint]:
+        """Pareto frontier of the evaluated points.
+
+        Defaults to the paper's Fig. 6 trade-off: maximize normalized
+        performance, minimize power.
+        """
+        from repro.explore.pareto import pareto_front
+
+        if objectives is None:
+            objectives = [lambda p: -p.normalized_perf, lambda p: p.power_mw]
+        return pareto_front(self.points, objectives, minimize)
+
+    def failure_report(self) -> str:
+        """Human-readable summary of skipped designs, grouped by reason."""
+        if not self.failures:
+            return "no designs skipped"
+        by_reason: dict[str, int] = {}
+        for pt in self.failures:
+            assert pt.failure is not None
+            key = f"[{pt.failure.stage}] {pt.failure.reason}"
+            by_reason[key] = by_reason.get(key, 0) + 1
+        lines = [f"{len(self.failures)} designs skipped:"]
+        for reason, count in sorted(by_reason.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {count}x {reason}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Memoization
+# ----------------------------------------------------------------------
+class MemoCache:
+    """Two-level memo cache: in-memory dict plus optional on-disk JSON.
+
+    Three sections, all keyed by strings stable across processes and runs:
+
+    - ``points`` — evaluated metrics (or structured failures) keyed by
+      ``(statement, selection, canonical_signature, array_config,
+      cost_params)``.
+    - ``spaces`` — enumerated design spaces as ``(selection, STT matrix)``
+      pairs keyed by the statement and enumeration options; a hit skips the
+      full STT-candidate walk (the dominant cost of a cold sweep).
+    - ``names`` — resolved paper dataflow names (``MNK-SST`` -> simplest best
+      STT) keyed by statement, name and scoring configuration.
+
+    ``flush()`` persists atomically (write-temp + rename); a corrupt or
+    missing file degrades to an empty cache rather than failing the sweep.
+    """
+
+    _SECTIONS = ("points", "spaces", "names")
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = os.fspath(path) if path is not None else None
+        self._data: dict[str, dict[str, object]] = {s: {} for s in self._SECTIONS}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if self.path is not None:
+            self.load()
+
+    # -- persistence ---------------------------------------------------
+    def load(self) -> None:
+        if self.path is None or not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path) as fh:
+                raw = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return
+        for section in self._SECTIONS:
+            stored = raw.get(section)
+            if isinstance(stored, dict):
+                self._data[section].update(stored)
+
+    def flush(self) -> None:
+        """Persist to disk (no-op for purely in-memory caches)."""
+        if self.path is None or not self._dirty:
+            return
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(self._data, fh)
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return sum(len(self._data[s]) for s in self._SECTIONS)
+
+    # -- typed accessors -----------------------------------------------
+    def get(self, section: str, key: str):
+        value = self._data[section].get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, section: str, key: str, value) -> None:
+        self._data[section][key] = value
+        self._dirty = True
+
+
+# ----------------------------------------------------------------------
+# Worker functions (module-level so the process pool can pickle them)
+# ----------------------------------------------------------------------
+def _evaluate_one(spec: DataflowSpec, perf: PerfModel, cost: CostModel) -> tuple:
+    """Evaluate one design, returning a transport-friendly outcome tuple.
+
+    ``("ok", perf, cycles, area, power)`` on success or
+    ``("fail", stage, reason)`` when a model rejects the design.  Floats
+    travel through pickle unchanged, so pooled results are bit-identical to
+    serial ones.
+    """
+    try:
+        pr = perf.evaluate(spec)
+    except (ValueError, NotImplementedError) as exc:
+        return ("fail", "perf", f"{type(exc).__name__}: {exc}")
+    try:
+        cr = cost.evaluate(spec)
+    except (ValueError, NotImplementedError) as exc:
+        return ("fail", "cost", f"{type(exc).__name__}: {exc}")
+    return ("ok", pr.normalized, pr.cycles, cr.area_mm2, cr.power_mw)
+
+
+def _evaluate_chunk(payload: tuple) -> list[tuple]:
+    specs, perf, cost = payload
+    return [_evaluate_one(spec, perf, cost) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class EvaluationEngine:
+    """Owns the enumerate -> prune -> evaluate -> Pareto pipeline.
+
+    Parameters
+    ----------
+    array:
+        Hardware configuration (defaults to the paper's 16x16 / 320 MHz).
+    width:
+        Datapath bit width for the cost model.
+    cost_params / sram_words:
+        Cost-model calibration knobs.
+    perf / cost:
+        Pre-built models (override ``array``/``width`` when given).
+    workers:
+        ``0``/``1`` evaluates serially; ``N > 1`` uses a process pool with
+        deterministically-ordered chunks.  Results are bit-identical.
+    chunk_size:
+        Designs per pool task (amortizes pickling overhead).
+    cache:
+        A :class:`MemoCache`, a filesystem path for an on-disk JSON cache, or
+        ``None`` to disable memoization.
+    """
+
+    def __init__(
+        self,
+        array: ArrayConfig | None = None,
+        *,
+        width: int = 16,
+        cost_params: CostParams | None = None,
+        sram_words: int = 32768,
+        perf: PerfModel | None = None,
+        cost: CostModel | None = None,
+        workers: int = 0,
+        chunk_size: int = 32,
+        cache: MemoCache | str | os.PathLike | None = None,
+    ):
+        if perf is not None and array is None:
+            array = perf.config
+        self.array = array or ArrayConfig()
+        self._custom_models = perf is not None or cost is not None
+        self.perf = perf or PerfModel(self.array)
+        self.cost = cost or CostModel(
+            rows=self.array.rows,
+            cols=self.array.cols,
+            width=width,
+            freq_mhz=self.array.freq_mhz,
+            params=cost_params,
+            sram_words=sram_words,
+        )
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        if isinstance(cache, (str, os.PathLike)):
+            cache = MemoCache(cache)
+        self.cache = cache
+
+    # -- cache keys ----------------------------------------------------
+    @staticmethod
+    def _statement_key(statement: Statement) -> tuple:
+        # Access matrices must be part of the identity: two statements with
+        # equal names/extents but different index expressions classify
+        # dataflows differently and must not alias in a persistent cache.
+        return (
+            statement.name,
+            statement.space.names,
+            statement.space.extents,
+            tuple(
+                (acc.tensor.name, acc.tensor.is_output, tuple(acc.matrix))
+                for acc in statement.accesses
+            ),
+        )
+
+    def _config_key(self) -> tuple:
+        return (
+            dataclasses.astuple(self.array),
+            self.cost.rows,
+            self.cost.cols,
+            self.cost.width,
+            self.cost.freq_mhz,
+            self.cost.sram_words,
+            dataclasses.astuple(self.cost.params),
+        )
+
+    def _design_key(self, statement: Statement, spec: DataflowSpec) -> str:
+        # Canonical signatures identify hardware up to mirroring/rotating the
+        # array, which only preserves the models' outputs when the array is
+        # square; rectangular arrays fall back to the exact signature.
+        if self.array.rows == self.array.cols:
+            sig = canonical_signature(spec)
+        else:
+            sig = spec.signature()
+        return repr(
+            (self._statement_key(statement), spec.selected, sig, self._config_key())
+        )
+
+    # -- stage 1+2: streaming enumeration with pruning ------------------
+    def iter_space(
+        self,
+        statement: Statement,
+        *,
+        one_d_only: bool = False,
+        selections: Iterable[Sequence[str]] | None = None,
+        predicates: Sequence[Predicate] = (),
+        bound: int = 1,
+        per_selection_limit: int | None = None,
+        realizable_only: bool = True,
+        canonical: bool = True,
+        stats: EvaluationStats | None = None,
+    ) -> Iterator[DataflowSpec]:
+        """Stream the pruned design space, through the space cache when warm.
+
+        A cache hit replays the stored ``(selection, STT matrix)`` pairs —
+        reconstructing a spec is ~100x cheaper than discovering it — and a
+        miss records the pairs as they stream past for the next run.
+        """
+        allowed_types = ONE_D_TYPES if one_d_only else None
+        stats = stats or EvaluationStats()
+        if selections is not None:
+            # materialize up front: generators would be consumed by key
+            # construction below and arrive empty at iter_designs
+            selections = [tuple(sel) for sel in selections]
+        cacheable = self.cache is not None and not predicates
+        space_key = None
+        if cacheable:
+            space_key = repr(
+                (
+                    self._statement_key(statement),
+                    bound,
+                    sorted(t.value for t in allowed_types) if allowed_types else None,
+                    realizable_only,
+                    canonical,
+                    tuple(selections) if selections is not None else None,
+                    per_selection_limit,
+                )
+            )
+            stored = self.cache.get("spaces", space_key)
+            if stored is not None:
+                stats.space_cache_hit = True
+                for sel, matrix in stored:
+                    yield DataflowSpec(
+                        statement,
+                        tuple(sel),
+                        STT(tuple(tuple(row) for row in matrix)),
+                    )
+                return
+        recorded: list[list] = []
+        for spec in iter_designs(
+            statement,
+            selections=selections,
+            bound=bound,
+            per_selection_limit=per_selection_limit,
+            allowed_types=allowed_types,
+            realizable_only=realizable_only,
+            canonical=canonical,
+            predicates=predicates,
+            stats=stats.enum,
+        ):
+            if cacheable:
+                recorded.append(
+                    [list(spec.selected), [list(row) for row in spec.stt.matrix]]
+                )
+            yield spec
+        if cacheable:
+            self.cache.put("spaces", space_key, recorded)
+
+    # -- stage 3: evaluation --------------------------------------------
+    def evaluate(
+        self,
+        statement: Statement,
+        *,
+        specs: Iterable[DataflowSpec] | None = None,
+        one_d_only: bool = False,
+        selections: Iterable[Sequence[str]] | None = None,
+        predicates: Sequence[Predicate] = (),
+        bound: int = 1,
+        per_selection_limit: int | None = None,
+        realizable_only: bool = True,
+        canonical: bool = True,
+        workers: int | None = None,
+    ) -> EvaluationResult:
+        """Run the full pipeline for one workload.
+
+        ``specs`` bypasses enumeration (evaluate an explicit design list).
+        Points come back in enumeration order regardless of ``workers``.
+        """
+        workers = self.workers if workers is None else workers
+        stats = EvaluationStats()
+        stream: Iterable[DataflowSpec]
+        if specs is not None:
+            stream = specs
+        else:
+            stream = self.iter_space(
+                statement,
+                one_d_only=one_d_only,
+                selections=selections,
+                predicates=predicates,
+                bound=bound,
+                per_selection_limit=per_selection_limit,
+                realizable_only=realizable_only,
+                canonical=canonical,
+                stats=stats,
+            )
+
+        # Stream through the memo cache and the models: a design is evaluated
+        # (or resolved from cache) as it comes off the enumeration stream —
+        # only the result points are retained, never the un-evaluated space.
+        points: list[DesignPoint] = []
+        failures: list[DesignPoint] = []
+
+        def emit(spec: DataflowSpec, outcome: tuple, key: str | None) -> None:
+            if key is not None:
+                self.cache.put("points", key, list(outcome))
+            if outcome[0] == "ok":
+                _, perf_n, cycles, area, power = outcome
+                points.append(
+                    DesignPoint(
+                        spec=spec,
+                        normalized_perf=perf_n,
+                        cycles=cycles,
+                        area_mm2=area,
+                        power_mw=power,
+                    )
+                )
+            else:
+                _, stage, reason = outcome
+                failures.append(
+                    DesignPoint(
+                        spec=spec,
+                        failure=DesignFailure(
+                            spec_name=spec.name,
+                            letters=spec.letters,
+                            stage=stage,
+                            reason=reason,
+                        ),
+                    )
+                )
+
+        def lookup(spec: DataflowSpec) -> tuple[tuple | None, str | None]:
+            stats.enumerated += 1
+            if self.cache is None:
+                return None, None
+            key = self._design_key(statement, spec)
+            cached = self.cache.get("points", key)
+            if cached is not None:
+                stats.cache_hits += 1
+                return tuple(cached), None
+            stats.cache_misses += 1
+            return None, key
+
+        if workers <= 1:
+            for spec in stream:
+                outcome, key = lookup(spec)
+                if outcome is None:
+                    outcome = _evaluate_one(spec, self.perf, self.cost)
+                    stats.evaluated += 1
+                emit(spec, outcome, key)
+        else:
+            self._evaluate_parallel(stream, workers, lookup, emit, stats)
+
+        stats.skipped = len(failures)
+        if self.cache is not None:
+            self.cache.flush()
+        return EvaluationResult(
+            workload=statement.name,
+            array=self.array,
+            points=points,
+            failures=failures,
+            stats=stats,
+        )
+
+    def _evaluate_parallel(self, stream, workers, lookup, emit, stats) -> None:
+        """Pool evaluation with bounded in-flight chunks, enumeration order.
+
+        Cache misses batch into ``chunk_size`` pool tasks as the stream is
+        consumed; at most ``2 * workers`` chunks are in flight, and chunks
+        drain FIFO, so memory stays bounded and emission order (hence the
+        result lists) is bit-identical to the serial path.
+        """
+        from collections import deque
+        from concurrent.futures import ProcessPoolExecutor
+
+        max_inflight = 2 * workers
+        queue: deque = deque()  # (records, future-or-None)
+        buffer: list = []  # (spec, cached-outcome-or-None, cache-key)
+        misses: list[DataflowSpec] = []
+
+        def drain_one() -> None:
+            records, future = queue.popleft()
+            outcomes = iter(future.result()) if future is not None else iter(())
+            for spec, cached, key in records:
+                if cached is not None:
+                    emit(spec, cached, None)
+                else:
+                    stats.evaluated += 1
+                    emit(spec, next(outcomes), key)
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+
+            def flush_chunk() -> None:
+                nonlocal buffer, misses
+                future = (
+                    pool.submit(_evaluate_chunk, (misses, self.perf, self.cost))
+                    if misses
+                    else None
+                )
+                queue.append((buffer, future))
+                buffer, misses = [], []
+                while len(queue) > max_inflight:
+                    drain_one()
+
+            for spec in stream:
+                outcome, key = lookup(spec)
+                buffer.append((spec, outcome, key))
+                if outcome is None:
+                    misses.append(spec)
+                    if len(misses) >= self.chunk_size:
+                        flush_chunk()
+            if buffer:
+                flush_chunk()
+            while queue:
+                drain_one()
+
+    # -- named-dataflow evaluation (paper Fig. 5 benchmarks) -------------
+    def evaluate_names(
+        self,
+        statement: Statement,
+        names: Sequence[str],
+        *,
+        bound: int = 1,
+        limit: int = 24,
+    ) -> list[tuple[str, PerfResult]]:
+        """Evaluate paper dataflow names, best-scoring STT per name.
+
+        Name resolution walks the full STT candidate stream (the expensive
+        part); the resolved ``(selection, matrix)`` pair is memoized in the
+        ``names`` cache section so warm runs skip straight to the model.
+        """
+        rows: list[tuple[str, PerfResult]] = []
+        for name in names:
+            spec = None
+            key = None
+            if self.cache is not None:
+                # name resolution scores specs with the perf model only, so
+                # the key must not embed cost-model knobs (spurious misses)
+                key = repr(
+                    (
+                        self._statement_key(statement),
+                        name,
+                        bound,
+                        limit,
+                        dataclasses.astuple(self.array),
+                    )
+                )
+                stored = self.cache.get("names", key)
+                if stored is not None:
+                    sel, matrix = stored
+                    spec = DataflowSpec(
+                        statement,
+                        tuple(sel),
+                        STT(tuple(tuple(row) for row in matrix)),
+                    )
+            if spec is None:
+                spec = best_spec_from_name(
+                    statement,
+                    name,
+                    lambda s: self.perf.evaluate(s).normalized,
+                    bound=bound,
+                    limit=limit,
+                )
+                if self.cache is not None:
+                    self.cache.put(
+                        "names",
+                        key,
+                        [list(spec.selected), [list(row) for row in spec.stt.matrix]],
+                    )
+            rows.append((name, self.perf.evaluate(spec)))
+        if self.cache is not None:
+            self.cache.flush()
+        return rows
+
+    # -- stage 4: multi-workload sweeps ----------------------------------
+    def sweep(
+        self,
+        workloads: Sequence[Statement | str],
+        configs: Sequence[ArrayConfig] | None = None,
+        **evaluate_kwargs,
+    ) -> list[EvaluationResult]:
+        """Run the pipeline over ``workloads`` x ``configs``.
+
+        Workloads may be :class:`Statement` objects or Table II names
+        (resolved via :func:`repro.ir.workloads.by_name`).  All runs share
+        this engine's memo cache, so overlapping sweeps get warmer as they
+        go.  Results arrive in ``configs``-major order.
+        """
+        configs = list(configs) if configs is not None else [self.array]
+        statements = [
+            workload_lib.by_name(w) if isinstance(w, str) else w for w in workloads
+        ]
+        results: list[EvaluationResult] = []
+        for config in configs:
+            engine = self if config == self.array else self._sibling(config)
+            for statement in statements:
+                results.append(engine.evaluate(statement, **evaluate_kwargs))
+        return results
+
+    def _sibling(self, config: ArrayConfig) -> "EvaluationEngine":
+        """An engine for another array config sharing this one's cache."""
+        if self._custom_models:
+            # Custom models are bound to this engine's config; silently
+            # rebuilding defaults for other configs would mix models within
+            # one sweep and invalidate cross-config comparisons.
+            raise ValueError(
+                "sweep() across array configs is not supported on an engine "
+                "built with custom perf/cost models; construct one engine "
+                "per config instead"
+            )
+        return EvaluationEngine(
+            config,
+            width=self.cost.width,
+            cost_params=self.cost.params,
+            sram_words=self.cost.sram_words,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            cache=self.cache,
+        )
+
+
+def explore_warning(result: EvaluationResult, *, stacklevel: int = 3) -> None:
+    """Emit the legacy-wrapper warning for skipped designs (if any)."""
+    if result.failures:
+        warnings.warn(
+            f"explore({result.workload}): {result.failure_report()}",
+            RuntimeWarning,
+            stacklevel=stacklevel,
+        )

@@ -1,0 +1,313 @@
+"""Tests for the streaming evaluation engine (enumerate -> prune -> evaluate)."""
+
+import json
+
+import pytest
+
+from repro.core.enumerate import EnumerationStats, enumerate_designs, iter_designs
+from repro.explore.dse import explore
+from repro.explore.engine import (
+    ONE_D_TYPES,
+    DesignFailure,
+    EvaluationEngine,
+    MemoCache,
+)
+from repro.ir import workloads
+from repro.perf.model import ArrayConfig
+
+
+@pytest.fixture()
+def small_engine():
+    return EvaluationEngine(ArrayConfig(rows=8, cols=8), width=16)
+
+
+GEMM_SEL = [("m", "n", "k")]
+
+
+class TestStreamingEnumeration:
+    def test_lazy_matches_eager(self):
+        gemm = workloads.gemm(16, 16, 16)
+        stats = EnumerationStats()
+        lazy = list(
+            iter_designs(gemm, realizable_only=True, canonical=True, stats=stats)
+        )
+        eager = enumerate_designs(gemm, realizable_only=True, canonical=True)
+        assert [s.signature() for s in lazy] == [s.signature() for s in eager]
+        assert stats.yielded == len(lazy)
+        assert stats.candidates > stats.yielded
+
+    def test_streaming_early_stop(self):
+        """The space is never materialized: taking 5 designs is cheap."""
+        gemm = workloads.gemm(16, 16, 16)
+        stream = iter_designs(gemm, realizable_only=True, canonical=True)
+        first5 = [next(stream) for _ in range(5)]
+        assert len({s.signature() for s in first5}) == 5
+
+    def test_gemm_count_matches_paper_magnitude(self):
+        """Paper §VI-B: 148 distinct realizable GEMM designs on 16x16."""
+        gemm = workloads.gemm(16, 16, 16)
+        count = sum(1 for _ in iter_designs(gemm, realizable_only=True, canonical=True))
+        assert 100 <= count <= 300
+
+    def test_depthwise_count_matches_paper_magnitude(self):
+        """Paper §VI-B: 33 distinct realizable Depthwise designs on 16x16.
+
+        Design distinctness is extent-independent (classification only reads
+        access matrices), so small extents give the full-size count fast.
+        """
+        dw = workloads.depthwise_conv(k=8, y=8, x=8, p=3, q=3)
+        count = sum(
+            1
+            for _ in iter_designs(
+                dw, realizable_only=True, canonical=True, allowed_types=ONE_D_TYPES
+            )
+        )
+        assert 20 <= count <= 150
+
+    def test_user_predicate_prunes_in_stream(self):
+        gemm = workloads.gemm(16, 16, 16)
+        stats = EnumerationStats()
+        no_multicast = lambda spec: "M" not in spec.letters
+        designs = list(
+            iter_designs(
+                gemm,
+                selections=GEMM_SEL,
+                realizable_only=True,
+                canonical=True,
+                predicates=[no_multicast],
+                stats=stats,
+            )
+        )
+        assert designs
+        assert all("M" not in s.letters for s in designs)
+        assert stats.predicate_filtered > 0
+
+
+class TestEngineEvaluate:
+    def test_points_match_legacy_explore(self, small_engine):
+        gemm = workloads.gemm(64, 64, 64)
+        result = small_engine.evaluate(gemm, selections=GEMM_SEL)
+        legacy = explore(gemm, rows=8, cols=8, selections=GEMM_SEL)
+        assert [p.name for p in result.points] == [p.name for p in legacy]
+        assert [p.metrics() for p in result.points] == [p.metrics() for p in legacy]
+
+    def test_serial_parallel_bit_identical(self):
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), chunk_size=8)
+        gemm = workloads.gemm(64, 64, 64)
+        serial = engine.evaluate(gemm, selections=GEMM_SEL, workers=0)
+        parallel = engine.evaluate(gemm, selections=GEMM_SEL, workers=2)
+        assert len(serial) > 20
+        assert [p.name for p in serial] == [p.name for p in parallel]
+        assert [p.metrics() for p in serial] == [p.metrics() for p in parallel]
+
+    def test_serial_parallel_bit_identical_depthwise(self):
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), chunk_size=8)
+        dw = workloads.depthwise_conv(k=8, y=8, x=8, p=3, q=3)
+        serial = engine.evaluate(
+            dw, selections=[("k", "y", "x")], one_d_only=True, workers=0
+        )
+        parallel = engine.evaluate(
+            dw, selections=[("k", "y", "x")], one_d_only=True, workers=2
+        )
+        assert [p.metrics() for p in serial] == [p.metrics() for p in parallel]
+
+    def test_generator_selections_not_exhausted(self, tmp_path):
+        """selections may be a generator; cache-key construction must not
+        consume it before enumeration (regression: empty space poisoned the
+        persistent cache)."""
+        path = tmp_path / "memo.json"
+        gemm = workloads.gemm(64, 64, 64)
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path)
+        result = engine.evaluate(gemm, selections=(sel for sel in GEMM_SEL))
+        assert len(result) > 20
+        warm = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path).evaluate(
+            gemm, selections=GEMM_SEL
+        )
+        assert warm.stats.space_cache_hit
+        assert len(warm) == len(result)
+
+    def test_explicit_specs_bypass_enumeration(self, small_engine):
+        from repro.core import naming
+
+        gemm = workloads.gemm(64, 64, 64)
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        result = small_engine.evaluate(gemm, specs=[spec])
+        assert len(result) == 1
+        assert result.points[0].name == "MNK-SST"
+
+    def test_pareto_and_best_helpers(self, small_engine):
+        gemm = workloads.gemm(64, 64, 64)
+        result = small_engine.evaluate(gemm, selections=GEMM_SEL)
+        front = result.pareto()
+        assert front and len(front) <= len(result)
+        best = result.best(3)
+        assert len(best) == 3
+        assert best[0].normalized_perf == max(p.normalized_perf for p in result)
+
+
+class TestFailureChannel:
+    def _failing_engine(self):
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8))
+
+        class FailingPerf:
+            config = engine.array
+
+            def evaluate(self, spec):
+                raise ValueError("injected model failure")
+
+        engine.perf = FailingPerf()
+        return engine
+
+    def test_failures_are_structured_not_swallowed(self):
+        engine = self._failing_engine()
+        gemm = workloads.gemm(64, 64, 64)
+        result = engine.evaluate(gemm, selections=GEMM_SEL)
+        assert result.points == []
+        assert result.stats.skipped == len(result.failures) > 20
+        failure = result.failures[0].failure
+        assert isinstance(failure, DesignFailure)
+        assert failure.stage == "perf"
+        assert "injected model failure" in failure.reason
+        assert not result.failures[0].ok
+        assert "skipped" in result.failure_report()
+
+    def test_legacy_wrapper_warns_on_skips(self):
+        from repro.core import naming
+
+        gemm = workloads.gemm(64, 64, 64)
+        spec = naming.spec_from_name(gemm, "MNK-SST")
+        engine = self._failing_engine()
+        with pytest.warns(RuntimeWarning, match="skipped"):
+            pts = explore(
+                gemm, rows=8, cols=8, specs=[spec], perf=engine.perf
+            )
+        assert pts == []
+
+    def test_legacy_wrapper_silent_when_clean(self, recwarn):
+        gemm = workloads.gemm(64, 64, 64)
+        explore(gemm, rows=8, cols=8, selections=GEMM_SEL)
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+
+class TestMemoCache:
+    def test_warm_run_hits_cache(self, tmp_path):
+        path = tmp_path / "memo.json"
+        gemm = workloads.gemm(64, 64, 64)
+
+        cold_engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path)
+        cold = cold_engine.evaluate(gemm, selections=GEMM_SEL)
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.evaluated == len(cold)
+        assert path.exists()
+
+        warm_engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path)
+        warm = warm_engine.evaluate(gemm, selections=GEMM_SEL)
+        assert warm.stats.space_cache_hit
+        assert warm.stats.cache_hits == len(warm)
+        assert warm.stats.evaluated == 0
+        assert [p.metrics() for p in warm] == [p.metrics() for p in cold]
+
+    def test_cache_file_is_json(self, tmp_path):
+        path = tmp_path / "memo.json"
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path)
+        engine.evaluate(workloads.gemm(64, 64, 64), selections=GEMM_SEL)
+        data = json.loads(path.read_text())
+        assert set(data) >= {"points", "spaces"}
+        assert data["points"]
+
+    def test_different_config_misses(self, tmp_path):
+        path = tmp_path / "memo.json"
+        gemm = workloads.gemm(64, 64, 64)
+        EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path).evaluate(
+            gemm, selections=GEMM_SEL
+        )
+        other = EvaluationEngine(ArrayConfig(rows=4, cols=4), cache=path).evaluate(
+            gemm, selections=GEMM_SEL
+        )
+        assert other.stats.cache_hits == 0
+
+    def test_corrupt_cache_degrades_gracefully(self, tmp_path):
+        path = tmp_path / "memo.json"
+        path.write_text("{not json")
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path)
+        result = engine.evaluate(workloads.gemm(64, 64, 64), selections=GEMM_SEL)
+        assert len(result) > 20
+
+    def test_in_memory_cache_across_repeat_evaluates(self):
+        cache = MemoCache()
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=cache)
+        gemm = workloads.gemm(64, 64, 64)
+        first = engine.evaluate(gemm, selections=GEMM_SEL)
+        second = engine.evaluate(gemm, selections=GEMM_SEL)
+        assert second.stats.cache_hits == len(first)
+        assert second.stats.evaluated == 0
+
+    def test_same_name_different_accesses_do_not_alias(self, tmp_path):
+        """Statement identity includes the access matrices: a different
+        einsum with the same name, loops and extents must miss the cache."""
+        from repro.ir.einsum import parse_statement
+
+        path = tmp_path / "memo.json"
+        gemm = workloads.gemm(64, 64, 64)  # C[m,n] += A[m,k] * B[n,k]
+        imposter = parse_statement(
+            "C[m,n] += A[k,m] * B[k,n]", name="gemm", m=64, n=64, k=64
+        )
+        EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path).evaluate(
+            gemm, selections=GEMM_SEL
+        )
+        other = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path).evaluate(
+            imposter, selections=GEMM_SEL
+        )
+        assert not other.stats.space_cache_hit
+        assert other.stats.cache_hits == 0
+
+    def test_evaluate_names_memoized(self, tmp_path):
+        path = tmp_path / "memo.json"
+        gemm = workloads.gemm(64, 64, 64)
+        cold = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path)
+        rows_cold = cold.evaluate_names(gemm, ["MNK-SST", "MNK-MTM"])
+        warm = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=path)
+        rows_warm = warm.evaluate_names(gemm, ["MNK-SST", "MNK-MTM"])
+        assert warm.cache.hits == 2
+        assert [(n, r.cycles) for n, r in rows_cold] == [
+            (n, r.cycles) for n, r in rows_warm
+        ]
+
+
+class TestSweep:
+    def test_multi_workload_sweep(self, small_engine):
+        results = small_engine.sweep(
+            [workloads.gemm(64, 64, 64), "batched_gemv"],
+            selections=None,
+            one_d_only=True,
+        )
+        assert [r.workload for r in results] == ["gemm", "batched_gemv"]
+        assert all(len(r) > 0 for r in results)
+
+    def test_multi_config_sweep_rejects_custom_models(self):
+        """Custom models are config-bound; sweeping other configs with them
+        silently swapped in defaults before — now it refuses."""
+        from repro.perf.model import PerfModel
+
+        engine = EvaluationEngine(perf=PerfModel(ArrayConfig(rows=8, cols=8)))
+        with pytest.raises(ValueError, match="custom perf/cost"):
+            engine.sweep(
+                [workloads.gemm(64, 64, 64)],
+                configs=[ArrayConfig(rows=8, cols=8), ArrayConfig(rows=4, cols=4)],
+                selections=GEMM_SEL,
+            )
+
+    def test_multi_config_sweep_shares_cache(self):
+        cache = MemoCache()
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=cache)
+        configs = [ArrayConfig(rows=8, cols=8), ArrayConfig(rows=4, cols=4)]
+        results = engine.sweep(
+            [workloads.gemm(64, 64, 64)], configs=configs, selections=GEMM_SEL
+        )
+        assert len(results) == 2
+        assert results[0].array.rows == 8 and results[1].array.rows == 4
+        # both configs' points landed in the one shared cache
+        rerun = engine.sweep(
+            [workloads.gemm(64, 64, 64)], configs=configs, selections=GEMM_SEL
+        )
+        assert all(r.stats.evaluated == 0 for r in rerun)

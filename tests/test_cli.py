@@ -45,6 +45,41 @@ def test_enumerate(capsys):
     assert "distinct realizable designs" in capsys.readouterr().out
 
 
+def test_explore(tmp_path, capsys):
+    cache = tmp_path / "memo.json"
+    argv = ["explore", "gemm", "--rows", "8", "--cols", "8", "--top", "3",
+            "--extent", "m=64", "--extent", "n=64", "--extent", "k=64",
+            "--cache", str(cache)]
+    rc = main(argv)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "gemm on 8x8" in out
+    assert "pareto frontier" in out
+    assert cache.exists()
+    # warm rerun reuses the memo cache: nothing re-evaluated
+    rc = main(argv)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "0 evaluated" in out
+    assert "space cache hit" in out
+
+
+def test_explore_multi_workload(capsys):
+    rc = main(["explore", "gemm", "batched_gemv", "--rows", "4", "--cols", "4",
+               "--one-d", "--top", "2",
+               "--extent", "m=16", "--extent", "n=16", "--extent", "k=16"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "gemm on 4x4" in out
+    assert "batched_gemv on 4x4" in out
+
+
+def test_explore_unknown_extent_rejected(capsys):
+    rc = main(["explore", "gemm", "--rows", "4", "--cols", "4", "--extent", "mm=2048"])
+    assert rc == 2
+    assert "mm" in capsys.readouterr().err
+
+
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["generate", "nope", "MNK-SST"])
