@@ -7,7 +7,6 @@ its contribution on workloads the paper highlights.
 
 from bench_util import print_table, resolve_best
 
-from repro.core.dataflow import DataflowType
 from repro.hw.plan import StagePlan
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig, PerfModel

@@ -1,10 +1,12 @@
-"""Evaluation-engine throughput: cold vs warm sweeps, serial vs parallel.
+"""Evaluation-session throughput: cold vs warm sweeps, serial vs parallel.
 
-The streaming engine's scaling claims, measured on the paper's headline
-sweep (every realizable GEMM dataflow on a 16x16 INT16 array):
+The unified :class:`repro.api.Session` facade's scaling claims, measured on
+the paper's headline sweep (every realizable GEMM dataflow on a 16x16 INT16
+array):
 
-- a warm on-disk memo cache makes a repeated sweep >= 5x faster than the
-  cold run (both enumeration and model evaluation are memoized), and
+- a warm on-disk memo cache makes a repeated ``Session.sweep()`` >= 5x
+  faster than the cold run (both enumeration and model evaluation are
+  memoized), and
 - process-pool evaluation (``workers=N``) returns bit-identical points in
   the same order as the serial path.
 
@@ -15,19 +17,19 @@ import time
 
 from bench_util import print_table
 
-from repro.explore.engine import EvaluationEngine
+from repro.api import Session
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig
 
 
 def _sweep(cache_path):
-    engine = EvaluationEngine(ArrayConfig(rows=16, cols=16), width=16, cache=cache_path)
+    session = Session(ArrayConfig(rows=16, cols=16), width=16, cache=cache_path)
     t0 = time.perf_counter()
-    result = engine.evaluate(workloads.gemm(1024, 1024, 1024))
+    (result,) = session.sweep([workloads.gemm(1024, 1024, 1024)])
     return result, time.perf_counter() - t0
 
 
-def test_engine_warm_cache_speedup(benchmark, tmp_path):
+def test_session_warm_cache_speedup(benchmark, tmp_path):
     cache = tmp_path / "memo.json"
 
     def run():
@@ -40,7 +42,7 @@ def test_engine_warm_cache_speedup(benchmark, tmp_path):
     )
     speedup = cold_s / warm_s
     print_table(
-        "engine sweep: 16x16 GEMM design space, cold vs warm memo cache",
+        "Session.sweep: 16x16 GEMM design space, cold vs warm memo cache",
         ["run", "designs", "evaluated", "cache hits", "seconds"],
         [
             ["cold", len(cold_result), cold_result.stats.evaluated,
@@ -61,14 +63,14 @@ def test_engine_warm_cache_speedup(benchmark, tmp_path):
     assert speedup >= 5.0, f"warm cache speedup only {speedup:.1f}x"
 
 
-def test_engine_parallel_matches_serial(benchmark):
-    engine = EvaluationEngine(ArrayConfig(rows=16, cols=16), width=16, chunk_size=8)
+def test_session_parallel_matches_serial(benchmark):
+    session = Session(ArrayConfig(rows=16, cols=16), width=16, chunk_size=8)
     gemm = workloads.gemm(256, 256, 256)
     selections = [("m", "n", "k")]
 
-    serial = engine.evaluate(gemm, selections=selections, workers=0)
+    serial = session.explore(gemm, selections=selections, workers=0)
     parallel = benchmark.pedantic(
-        lambda: engine.evaluate(gemm, selections=selections, workers=2),
+        lambda: session.explore(gemm, selections=selections, workers=2),
         rounds=1,
         iterations=1,
     )

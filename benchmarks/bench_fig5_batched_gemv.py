@@ -5,7 +5,7 @@ unicast dataflows exist for it, and the 32 GB/s on-chip bandwidth caps
 normalized performance around 20% (paper §VI-A).
 """
 
-from bench_util import bench_engine, evaluate_names, print_series
+from bench_util import bench_session, evaluate_names, print_series
 
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig, PerfModel
@@ -21,9 +21,9 @@ BATCHED_GEMV_DATAFLOWS = [
 
 
 def compute():
-    engine = bench_engine(PerfModel(ArrayConfig()))
+    session = bench_session(PerfModel(ArrayConfig()))
     bg = workloads.batched_gemv(64, 512, 512)
-    return evaluate_names(bg, BATCHED_GEMV_DATAFLOWS, engine)
+    return evaluate_names(bg, BATCHED_GEMV_DATAFLOWS, session)
 
 
 def test_fig5b_batched_gemv(benchmark):

@@ -12,7 +12,7 @@ Infeasible figure labels (KCP-BUS, KPX-MMM, XYP-MMM — see EXPERIMENTS.md)
 are replaced by their nearest feasible neighbours.
 """
 
-from bench_util import bench_engine, evaluate_names, print_series
+from bench_util import bench_session, evaluate_names, print_series
 
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig, PerfModel
@@ -31,10 +31,10 @@ CONV_DATAFLOWS = [
 
 
 def compute():
-    engine = bench_engine(PerfModel(ArrayConfig()))
+    session = bench_session(PerfModel(ArrayConfig()))
     out = {}
     for layer in (workloads.conv2d_resnet_layer2(), workloads.conv2d_resnet_layer5()):
-        out[layer.name] = evaluate_names(layer, CONV_DATAFLOWS, engine)
+        out[layer.name] = evaluate_names(layer, CONV_DATAFLOWS, session)
     return out
 
 

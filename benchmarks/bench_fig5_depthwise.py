@@ -13,7 +13,7 @@ those selections, forcing U) — the nearest feasible unicast designs KXY-UBU
 and KPQ-UUB stand in for them.
 """
 
-from bench_util import bench_engine, evaluate_names, print_series
+from bench_util import bench_session, evaluate_names, print_series
 
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig, PerfModel
@@ -30,9 +30,9 @@ DEPTHWISE_DATAFLOWS = [
 
 
 def compute():
-    engine = bench_engine(PerfModel(ArrayConfig()))
+    session = bench_session(PerfModel(ArrayConfig()))
     dw = workloads.depthwise_conv(k=64, y=56, x=56, p=3, q=3)
-    return evaluate_names(dw, DEPTHWISE_DATAFLOWS, engine)
+    return evaluate_names(dw, DEPTHWISE_DATAFLOWS, session)
 
 
 def test_fig5c_depthwise(benchmark):

@@ -6,7 +6,7 @@ because of smaller pipeline overhead; every GEMM dataflow reaches high
 utilization because all three loops are large.
 """
 
-from bench_util import bench_engine, evaluate_names, print_series
+from bench_util import bench_session, evaluate_names, print_series
 
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig, PerfModel
@@ -28,9 +28,9 @@ GEMM_DATAFLOWS = [
 
 
 def compute():
-    engine = bench_engine(PerfModel(ArrayConfig()))
+    session = bench_session(PerfModel(ArrayConfig()))
     gemm = workloads.gemm(1024, 1024, 1024)
-    return evaluate_names(gemm, GEMM_DATAFLOWS, engine)
+    return evaluate_names(gemm, GEMM_DATAFLOWS, session)
 
 
 def test_fig5a_gemm(benchmark):

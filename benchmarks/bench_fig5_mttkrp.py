@@ -5,7 +5,7 @@ others because unicast dataflows require all PEs to transfer data with
 on-chip memory simultaneously and bandwidth becomes insufficient."
 """
 
-from bench_util import bench_engine, evaluate_names, print_series
+from bench_util import bench_session, evaluate_names, print_series
 
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig, PerfModel
@@ -21,9 +21,9 @@ MTTKRP_DATAFLOWS = [
 
 
 def compute():
-    engine = bench_engine(PerfModel(ArrayConfig()))
+    session = bench_session(PerfModel(ArrayConfig()))
     mt = workloads.mttkrp(128, 128, 128, 128)
-    return evaluate_names(mt, MTTKRP_DATAFLOWS, engine)
+    return evaluate_names(mt, MTTKRP_DATAFLOWS, session)
 
 
 def test_fig5d_mttkrp(benchmark):

@@ -5,7 +5,7 @@ output once per cycle per PE, ILM-UBBB streams A per PE) lose to dataflows
 that keep reuse on chip.
 """
 
-from bench_util import bench_engine, evaluate_names, print_series
+from bench_util import bench_session, evaluate_names, print_series
 
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig, PerfModel
@@ -21,9 +21,9 @@ TTMC_DATAFLOWS = [
 
 
 def compute():
-    engine = bench_engine(PerfModel(ArrayConfig()))
+    session = bench_session(PerfModel(ArrayConfig()))
     tt = workloads.ttmc(64, 64, 64, 64, 64)
-    return evaluate_names(tt, TTMC_DATAFLOWS, engine)
+    return evaluate_names(tt, TTMC_DATAFLOWS, session)
 
 
 def test_fig5e_ttmc(benchmark):

@@ -6,18 +6,18 @@ only 1.16x; multicast-input designs (MM?) burn the most power, reduction-tree
 outputs stay cheap, stationary designs pay for control.
 """
 
-from bench_util import bench_engine, print_table
+from bench_util import bench_session, print_table
 
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig
 
 
 def compute():
-    engine = bench_engine(workers=0)
-    assert engine.array == ArrayConfig(rows=16, cols=16)  # paper §VI-A platform
-    gemm_result, dw_result = engine.sweep(
+    session = bench_session(workers=0)
+    assert session.array == ArrayConfig(rows=16, cols=16)  # paper §VI-A platform
+    gemm_result, dw_result = session.sweep(
         [workloads.gemm(1024, 1024, 1024)]
-    ) + engine.sweep(
+    ) + session.sweep(
         [workloads.depthwise_conv(k=64, y=56, x=56, p=3, q=3)], one_d_only=True
     )
     assert not gemm_result.failures and not dw_result.failures

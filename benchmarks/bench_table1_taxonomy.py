@@ -6,7 +6,7 @@ inner loop of every design-space sweep)."""
 
 from bench_util import print_table
 
-from repro.core.dataflow import DataflowSpec, DataflowType, classify
+from repro.core.dataflow import DataflowSpec, classify
 from repro.core.naming import stt_candidates
 from repro.core.reuse import reuse_space
 from repro.core.stt import STT

@@ -20,9 +20,9 @@ def compute():
     conv_spec = naming.spec_from_name(
         workloads.conv2d(k=16, c=16, y=16, x=16, p=3, q=3), "KCX-STS"
     )
-    ours_mm = model.evaluate(mm_spec, 10, 16, "MM")
-    ours_conv = model.evaluate(conv_spec, 10, 16, "Conv")
-    ours_mm_fp = model.evaluate(mm_spec, 10, 16, "MM", floorplan_optimized=True)
+    ours_mm = model.evaluate(mm_spec, 10, 16, workload_label="MM")
+    ours_conv = model.evaluate(conv_spec, 10, 16, workload_label="Conv")
+    ours_mm_fp = model.evaluate(mm_spec, 10, 16, workload_label="MM", floorplan_optimized=True)
     return ours_mm, ours_conv, ours_mm_fp
 
 

@@ -13,16 +13,16 @@ Run with::
 from __future__ import annotations
 
 import os
-from typing import Callable, Sequence
+from typing import Sequence
 
+from repro.api import Session
 from repro.core.dataflow import DataflowSpec
 from repro.core.naming import best_spec_from_name
-from repro.explore.engine import EvaluationEngine
 from repro.ir.einsum import Statement
 from repro.perf.model import PerfModel, PerfResult
 
 __all__ = [
-    "bench_engine",
+    "bench_session",
     "resolve_best",
     "print_table",
     "print_series",
@@ -33,15 +33,15 @@ __all__ = [
 _BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE")
 
 
-def bench_engine(model: PerfModel | None = None, **kwargs) -> EvaluationEngine:
-    """The shared evaluation engine for benchmark runs.
+def bench_session(model: PerfModel | None = None, **kwargs) -> Session:
+    """The shared evaluation session for benchmark runs.
 
-    All paper benchmarks route through the engine so name resolution and
-    design evaluation hit the same memo cache (opt in via the
-    ``REPRO_BENCH_CACHE`` environment variable).
+    All paper benchmarks route through the :class:`repro.api.Session` facade
+    so name resolution and design evaluation hit the same memo cache (opt in
+    via the ``REPRO_BENCH_CACHE`` environment variable).
     """
     kwargs.setdefault("cache", _BENCH_CACHE)
-    return EvaluationEngine(perf=model, **kwargs)
+    return Session(perf=model, **kwargs)
 
 
 def resolve_best(
@@ -60,11 +60,11 @@ def resolve_best(
 def evaluate_names(
     statement: Statement,
     names: Sequence[str],
-    model: PerfModel | EvaluationEngine,
+    model: PerfModel | Session,
 ) -> list[tuple[str, PerfResult]]:
     """Evaluate a list of paper dataflow names, best STT per name."""
-    engine = model if isinstance(model, EvaluationEngine) else bench_engine(model)
-    return engine.evaluate_names(statement, names)
+    session = model if isinstance(model, Session) else bench_session(model)
+    return session.evaluate_names(statement, names)
 
 
 def print_series(title: str, rows: Sequence[tuple[str, PerfResult]]) -> None:

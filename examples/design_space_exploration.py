@@ -1,31 +1,32 @@
 """Design-space exploration: the paper's headline workflow.
 
-Runs the streaming evaluation engine end to end: lazily enumerates every
-realizable GEMM dataflow for a 16x16 INT16 array (paper Fig. 6 reports 148
-such designs), evaluates performance, area and power through the memoized
-pipeline, reports any designs the models reject, and prints the Pareto
-frontier over (performance, power).
+Runs the unified :class:`repro.api.Session` facade end to end: lazily
+enumerates every realizable GEMM dataflow for a 16x16 INT16 array (paper
+Fig. 6 reports 148 such designs), evaluates performance, area and power
+through the memoized pipeline, reports any designs the models reject, and
+prints the Pareto frontier over (performance, power).
 
 Run:  python examples/design_space_exploration.py
 
 Pass a path as the first argument to keep a warm on-disk memo cache, e.g.
 ``python examples/design_space_exploration.py /tmp/dse.json`` — the second
-run then skips both enumeration and evaluation.
+run then skips both enumeration and evaluation.  Caches from several
+machines merge with ``python -m repro.cli cache merge``.
 """
 
 import sys
 
-from repro.explore.engine import EvaluationEngine
+from repro.api import Session
 from repro.ir import workloads
 from repro.perf.model import ArrayConfig
 
 
 def main() -> None:
     cache = sys.argv[1] if len(sys.argv) > 1 else None
-    engine = EvaluationEngine(ArrayConfig(rows=16, cols=16), width=16, cache=cache)
+    session = Session(ArrayConfig(rows=16, cols=16), width=16, cache=cache)
     gemm = workloads.gemm(1024, 1024, 1024)
     print("enumerating + evaluating the GEMM dataflow design space ...")
-    result = engine.evaluate(gemm)
+    result = session.explore(gemm)
     print(f"{len(result)} distinct realizable designs (paper: 148)")
     print(f"pipeline: {result.stats.summary()}")
     if result.failures:
@@ -57,6 +58,16 @@ def main() -> None:
         f"({hottest.power_mw / coolest.power_mw:.2f}x; paper reports 1.8x), "
         f"hottest is {hottest.name} (double multicast input, as in the paper)"
     )
+
+    # The same session is the front door to every single-design backend —
+    # perf, cost and the FPGA Table III model answer one call convention
+    # (and share the same memo cache as the sweep above).
+    print("\nunified front door (Session.evaluate, one design, three backends):")
+    for backend in ("perf", "cost", "fpga"):
+        r = session.evaluate(
+            "gemm", "MNK-SST", backend=backend, extents={"m": 64, "n": 64, "k": 64}
+        )
+        print(f"  {r!r}")
 
 
 if __name__ == "__main__":

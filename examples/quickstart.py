@@ -1,19 +1,22 @@
-"""Quickstart: generate, inspect, and functionally verify an accelerator.
+"""Quickstart: generate, inspect, verify and evaluate an accelerator.
 
 The classic output-stationary systolic GEMM array (paper dataflow MNK-SST),
-in five steps:
+in six steps:
 
 1. describe the kernel as a perfect loop nest,
 2. pick a dataflow by name (an STT matrix is searched automatically),
 3. generate the complete hardware (PEs, interconnect, controller, memory),
 4. emit Verilog,
-5. run the generated netlist on real data and compare against numpy.
+5. run the generated netlist on real data and compare against numpy,
+6. evaluate the same design through the unified `repro.api.Session` facade
+   (performance and area/power through one call convention).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
+from repro.api import Session
 from repro.core import naming
 from repro.hw.generator import AcceleratorGenerator
 from repro.ir import workloads
@@ -56,6 +59,18 @@ def main() -> None:
     print(
         f"netlist simulation matched numpy over {harness.cycles_run} cycles "
         f"({design.plan.n_stages()} stages). All good."
+    )
+
+    # 6. Evaluate the same named design through the unified API facade:
+    #    every backend (perf, cost, fpga, sim) answers the same call.
+    session = Session()
+    perf = session.evaluate("gemm", "MNK-SST", extents={"m": 8, "n": 8, "k": 8})
+    cost = session.evaluate(
+        "gemm", "MNK-SST", backend="cost", extents={"m": 8, "n": 8, "k": 8}
+    )
+    print(
+        f"Session.evaluate: {perf['normalized_perf']:.1%} of peak on a 16x16 array, "
+        f"{cost['area_mm2']:.3f} mm^2, {cost['power_mw']:.1f} mW"
     )
 
 

@@ -9,18 +9,27 @@ for Tensor Algebra* (DAC 2021).  The pipeline mirrors the paper:
 3. Generate the accelerator — PE templates, interconnect, reduction trees,
    controller, memory configuration — as a structural netlist and emit
    Verilog (:mod:`repro.hw`).
-4. Simulate the generated netlist cycle-by-cycle and validate against numpy
-   (:mod:`repro.sim`), or evaluate analytically for paper-scale workloads
-   (:mod:`repro.perf`, :mod:`repro.cost`, :mod:`repro.fpga`).
+4. Evaluate through the unified :mod:`repro.api` facade: one
+   :class:`~repro.api.Session` routes every backend — analytic performance
+   (:mod:`repro.perf`), ASIC area/power (:mod:`repro.cost`), FPGA resources
+   (:mod:`repro.fpga`), and cycle-accurate netlist simulation against numpy
+   (:mod:`repro.sim`) — through a single ``evaluate(request)`` convention
+   with a shared, mergeable memo cache, and owns the design-space pipeline
+   (``explore()`` / ``sweep()``, :mod:`repro.explore`).
 
 Quickstart::
 
-    from repro import workloads, naming
+    from repro import Session, workloads, naming
     from repro.hw.generator import AcceleratorGenerator
 
     gemm = workloads.gemm(64, 64, 64)
     spec = naming.spec_from_name(gemm, "MNK-SST")      # output stationary
     design = AcceleratorGenerator(spec, rows=4, cols=4).generate()
+
+    session = Session(cache="memo.json")
+    session.evaluate("gemm", "MNK-SST")                  # perf backend
+    session.evaluate("gemm", "MNK-SST", backend="cost")  # same front door
+    session.explore("gemm").pareto()                     # full design space
 """
 
 from repro.ir import workloads
@@ -35,6 +44,24 @@ __all__ = [
     "DataflowType",
     "TensorDataflow",
     "STT",
+    "Session",
+    "DesignRequest",
+    "EvalResult",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
+
+#: Top-level API surface re-exported lazily so ``import repro`` stays light.
+_API_EXPORTS = ("Session", "DesignRequest", "EvalResult")
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_EXPORTS))

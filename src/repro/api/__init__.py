@@ -1,0 +1,55 @@
+"""Unified public API: one session, one request type, pluggable backends.
+
+The TensorLib pipeline exposes four evaluation backends that historically had
+four incompatible call conventions (``CostModel.evaluate``,
+``PerfModel.evaluate``/``evaluate_named``, ``FPGAModel.evaluate``,
+``sim.harness.run_functional``).  This package is the coherent front door:
+
+- :class:`~repro.api.types.DesignRequest` / :class:`~repro.api.types.EvalResult`
+  — typed, versioned, JSON round-trippable descriptions of one evaluation;
+- :class:`~repro.api.registry.Evaluator` + :func:`register_evaluator` — the
+  pluggable backend registry (``"cost"``, ``"perf"``, ``"fpga"``, ``"sim"``
+  built in);
+- :class:`~repro.api.session.Session` — the facade owning backend selection,
+  the shared memo cache, and the worker pool, with ``evaluate()`` /
+  ``explore()`` / ``sweep()`` as the whole surface.
+
+Quickstart::
+
+    from repro.api import Session
+
+    session = Session(cache="memo.json")
+    print(session.evaluate("gemm", "MNK-SST"))                  # perf
+    print(session.evaluate("gemm", "MNK-SST", backend="cost"))  # area/power
+    frontier = session.explore("gemm").pareto()
+"""
+
+from repro.api.registry import (
+    Evaluator,
+    available_backends,
+    get_evaluator,
+    register_evaluator,
+    reset_registry,
+    unregister_evaluator,
+)
+from repro.api.session import Session
+from repro.api.types import (
+    SCHEMA_VERSION,
+    DesignRequest,
+    EvalResult,
+    SchemaVersionError,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "DesignRequest",
+    "EvalResult",
+    "Evaluator",
+    "Session",
+    "available_backends",
+    "get_evaluator",
+    "register_evaluator",
+    "reset_registry",
+    "unregister_evaluator",
+]

@@ -1,0 +1,128 @@
+"""The pluggable evaluator-backend registry.
+
+Anything that can turn a :class:`~repro.api.types.DesignRequest` into an
+:class:`~repro.api.types.EvalResult` is an :class:`Evaluator`; the four
+built-in backends (``cost``, ``perf``, ``fpga``, ``sim``) adapt the
+pre-existing models/harness, and downstream code can register its own with::
+
+    @register_evaluator("rtl-synth")
+    class SynthEvaluator:
+        backend = "rtl-synth"
+        def evaluate(self, request):
+            ...
+
+Built-ins load lazily on first lookup, so importing :mod:`repro.api` stays
+cheap and registering a replacement backend never races the defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.api.types import DesignRequest, EvalResult
+
+__all__ = [
+    "Evaluator",
+    "register_evaluator",
+    "unregister_evaluator",
+    "get_evaluator",
+    "available_backends",
+    "reset_registry",
+]
+
+
+@runtime_checkable
+class Evaluator(Protocol):
+    """One evaluation backend: ``evaluate(request) -> EvalResult``."""
+
+    backend: str
+
+    def evaluate(self, request: DesignRequest) -> EvalResult: ...
+
+
+#: backend name -> zero-argument factory (usually the evaluator class)
+_REGISTRY: dict[str, Callable[[], Evaluator]] = {}
+#: lazily-instantiated evaluators, one per backend name
+_INSTANCES: dict[str, Evaluator] = {}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        from repro.api import backends
+
+        backends.register_builtins()  # idempotent: never clobbers user entries
+
+
+def register_evaluator(name: str, factory: Callable[[], Evaluator] | None = None, *, override: bool = False):
+    """Register an evaluator backend under ``name``.
+
+    Usable directly (``register_evaluator("x", XEval)``) or as a class
+    decorator (``@register_evaluator("x")``).  Re-registering an existing
+    name requires ``override=True`` — accidental shadowing of a built-in is
+    an error, deliberate replacement is supported.
+    """
+    if factory is None:
+        return lambda cls: register_evaluator(name, cls, override=override)
+    _ensure_builtins()
+    if name in _REGISTRY and not override:
+        raise ValueError(
+            f"evaluator backend {name!r} is already registered; "
+            "pass override=True to replace it"
+        )
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+    return factory
+
+
+def unregister_evaluator(name: str) -> None:
+    """Remove a backend (built-ins reappear after :func:`reset_registry`)."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise LookupError(f"no evaluator backend {name!r} registered")
+    del _REGISTRY[name]
+    _INSTANCES.pop(name, None)
+
+
+def get_evaluator(name: str) -> Evaluator:
+    """The (cached) evaluator instance for ``name``.
+
+    Raises ``LookupError`` naming the registered backends when unknown.
+    """
+    _ensure_builtins()
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        factory = _REGISTRY.get(name)
+        if factory is None:
+            raise LookupError(
+                f"unknown evaluator backend {name!r}; registered: {available_backends()}"
+            )
+        # factory errors (including KeyError) propagate as themselves
+        instance = _INSTANCES[name] = factory()
+    return instance
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def reset_registry() -> None:
+    """Restore the registry to the built-in backends only (test helper)."""
+    global _builtins_loaded
+    _REGISTRY.clear()
+    _INSTANCES.clear()
+    _builtins_loaded = False
+    _ensure_builtins()
+
+
+def _register_builtin(name: str, factory: Callable[[], Evaluator]) -> None:
+    """Registration path used by :mod:`repro.api.backends` at import time.
+
+    Bypasses ``_ensure_builtins`` (it *is* the builtin load) and never
+    overwrites a user registration that won the race.
+    """
+    _REGISTRY.setdefault(name, factory)

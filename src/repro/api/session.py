@@ -1,0 +1,251 @@
+"""The :class:`Session` facade — the single front door to evaluation.
+
+A session owns the three things every consumer used to wire up by hand:
+
+- **backend selection** — ``evaluate()`` routes requests through the
+  evaluator registry, so cost/perf/FPGA/simulation all answer to one call;
+- **the memo cache** — one two-level :class:`~repro.explore.engine.MemoCache`
+  shared by single-design requests (``api`` section, keying *every* backend
+  including FPGA Table III and the functional simulator) and by the
+  design-space engine (``points``/``spaces``/``names`` sections);
+- **the worker pool** — ``explore()``/``sweep()`` delegate to one lazily
+  built :class:`~repro.explore.engine.EvaluationEngine` configured with the
+  session's process-pool settings.
+
+Usage::
+
+    from repro.api import Session
+
+    with Session(array=ArrayConfig(rows=16, cols=16), cache="dse.json") as s:
+        r = s.evaluate("gemm", "MNK-SST")                  # perf backend
+        c = s.evaluate("gemm", "MNK-SST", backend="cost")  # same front door
+        result = s.explore("gemm")                         # full design space
+        results = s.sweep(["gemm", "depthwise_conv"])      # multi-workload
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api.registry import get_evaluator
+from repro.api.types import DesignRequest, EvalResult, SchemaVersionError
+from repro.cost.model import CostModel, CostParams
+from repro.explore.engine import EvaluationEngine, EvaluationResult, MemoCache
+from repro.ir import workloads as workload_lib
+from repro.ir.einsum import Statement
+from repro.perf.model import ArrayConfig, PerfModel
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One configured evaluation context: array + cache + worker pool.
+
+    Parameters mirror :class:`~repro.explore.engine.EvaluationEngine` —
+    ``array``/``width``/``cost_params``/``sram_words`` describe the platform,
+    ``workers``/``chunk_size`` the process pool, ``cache`` the memo cache
+    (a :class:`MemoCache`, a JSON path, or ``None`` to disable memoization).
+    ``perf``/``cost`` accept pre-built custom models for the engine paths.
+
+    ``autoflush`` (default ``True``) persists the on-disk cache after every
+    :meth:`evaluate` — right for one-shot/CLI use.  Tight evaluation loops
+    over a large cache should pass ``autoflush=False`` and rely on
+    :meth:`flush` / the context manager, which writes once at the end
+    instead of rewriting the file per call.
+    """
+
+    def __init__(
+        self,
+        array: ArrayConfig | None = None,
+        *,
+        width: int = 16,
+        cost_params: CostParams | None = None,
+        sram_words: int = 32768,
+        perf: PerfModel | None = None,
+        cost: CostModel | None = None,
+        workers: int = 0,
+        chunk_size: int = 32,
+        cache: MemoCache | str | os.PathLike | None = None,
+        autoflush: bool = True,
+    ):
+        if perf is not None and array is None:
+            array = perf.config
+        self.array = array or ArrayConfig()
+        self.width = width
+        self.cost_params = cost_params
+        self.sram_words = sram_words
+        self.workers = workers
+        self.chunk_size = chunk_size
+        if isinstance(cache, (str, os.PathLike)):
+            cache = MemoCache(cache)
+        self.cache = cache
+        self.autoflush = autoflush
+        self._perf_override = perf
+        self._cost_override = cost
+        self._engine: EvaluationEngine | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()
+
+    def flush(self) -> None:
+        """Persist the memo cache (no-op when memoization is off)."""
+        if self.cache is not None:
+            self.cache.flush()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Per-section entry counts and hit/miss counters (empty when off)."""
+        return self.cache.stats() if self.cache is not None else {}
+
+    # -- the engine behind explore()/sweep() ----------------------------
+    @property
+    def engine(self) -> EvaluationEngine:
+        """The lazily built design-space engine sharing this session's cache."""
+        if self._engine is None:
+            self._engine = EvaluationEngine(
+                self.array,
+                width=self.width,
+                cost_params=self.cost_params,
+                sram_words=self.sram_words,
+                perf=self._perf_override,
+                cost=self._cost_override,
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                cache=self.cache,
+            )
+        return self._engine
+
+    # -- single-design evaluation ---------------------------------------
+    def request(
+        self,
+        workload: str,
+        dataflow: str | None = None,
+        *,
+        backend: str = "perf",
+        extents: Mapping[str, int] | None = None,
+        selection: Sequence[str] | None = None,
+        stt: Sequence[Sequence[int]] | None = None,
+        options: Mapping[str, Any] | None = None,
+        array: ArrayConfig | None = None,
+        width: int | None = None,
+        cost: CostParams | None = None,
+        sram_words: int | None = None,
+    ) -> DesignRequest:
+        """Build a :class:`DesignRequest`, filling defaults from the session."""
+        return DesignRequest(
+            workload=workload,
+            dataflow=dataflow,
+            selection=tuple(selection) if selection is not None else None,
+            stt=tuple(tuple(row) for row in stt) if stt is not None else None,
+            backend=backend,
+            extents=dict(extents or {}),
+            array=array or self.array,
+            width=self.width if width is None else width,
+            cost=cost if cost is not None else self.cost_params,
+            sram_words=self.sram_words if sram_words is None else sram_words,
+            options=dict(options or {}),
+        )
+
+    def evaluate(
+        self,
+        request: DesignRequest | str,
+        dataflow: str | None = None,
+        **request_kwargs,
+    ) -> EvalResult:
+        """Evaluate one design through the backend registry, memoized.
+
+        Accepts a ready :class:`DesignRequest` (self-contained: its own
+        array/width/cost are honored) or the convenience form
+        ``evaluate("gemm", "MNK-SST", backend="cost", ...)`` which builds one
+        with session defaults.  The result is served from the memo cache when
+        an identical request was evaluated before — for *any* backend, which
+        is what extends memoization to the FPGA model and the simulator.
+        """
+        if not isinstance(request, DesignRequest):
+            request = self.request(request, dataflow, **request_kwargs)
+        elif dataflow is not None or request_kwargs:
+            raise TypeError(
+                "pass either a DesignRequest or workload/dataflow arguments, not both"
+            )
+        key = request.cache_key()
+        if self.cache is not None:
+            stored = self.cache.get("api", key)
+            if stored is not None:
+                try:
+                    # deep-copy so caller mutations of the returned result
+                    # can never reach back into the cache's own dicts
+                    hit = EvalResult.from_dict(copy.deepcopy(stored))
+                except (SchemaVersionError, ValueError, TypeError, KeyError):
+                    # stale entry from another schema/build: degrade to a
+                    # miss and overwrite, same contract as a corrupt file
+                    pass
+                else:
+                    hit.cached = True
+                    return hit
+        result = get_evaluator(request.backend).evaluate(request)
+        # Successes and resolve-stage failures are deterministic facts about
+        # the design space (and resolve failures cost a full STT walk), so
+        # both memoize.  Backend-stage failures do not: a sim mismatch or a
+        # model rejection may be a bug fixed by the next build, and the cache
+        # key carries no code version — recompute rather than pin the past.
+        cacheable = result.ok or result.failure_stage == "resolve"
+        if self.cache is not None and cacheable:
+            payload = result.to_dict()  # to_dict deep-copies the payload
+            payload["cached"] = False
+            self.cache.put("api", key, payload)
+            if self.autoflush:
+                self.cache.flush()
+        return result
+
+    # -- design-space exploration ---------------------------------------
+    def explore(self, workload: Statement | str, **evaluate_kwargs) -> EvaluationResult:
+        """Run the full enumerate -> prune -> evaluate pipeline for one workload.
+
+        ``workload`` may be a Table II name or a ready
+        :class:`~repro.ir.einsum.Statement`; keyword arguments pass through to
+        :meth:`EvaluationEngine.evaluate` (``selections``, ``one_d_only``,
+        ``predicates``, ``workers`` ...).
+        """
+        statement = (
+            workload_lib.by_name(workload) if isinstance(workload, str) else workload
+        )
+        return self.engine.evaluate(statement, **evaluate_kwargs)
+
+    def sweep(
+        self,
+        workloads: Sequence[Statement | str],
+        configs: Sequence[ArrayConfig] | None = None,
+        **evaluate_kwargs,
+    ) -> list[EvaluationResult]:
+        """Run the pipeline over ``workloads`` x array ``configs`` (shared cache)."""
+        return self.engine.sweep(workloads, configs=configs, **evaluate_kwargs)
+
+    def evaluate_names(
+        self,
+        statement: Statement | str,
+        names: Sequence[str],
+        *,
+        bound: int = 1,
+        limit: int = 24,
+    ):
+        """Evaluate paper dataflow names (best STT per name), memoized."""
+        if isinstance(statement, str):
+            statement = workload_lib.by_name(statement)
+        return self.engine.evaluate_names(statement, names, bound=bound, limit=limit)
+
+    def iter_space(self, statement: Statement, **kwargs) -> Iterable:
+        """Stream the pruned design space (see :meth:`EvaluationEngine.iter_space`)."""
+        return self.engine.iter_space(statement, **kwargs)
+
+    def __repr__(self) -> str:
+        cached = "none" if self.cache is None else f"{len(self.cache)} entries"
+        return (
+            f"Session({self.array.rows}x{self.array.cols} @ "
+            f"{self.array.freq_mhz:g} MHz, width={self.width}, "
+            f"workers={self.workers}, cache={cached})"
+        )

@@ -1,25 +1,30 @@
 """Command-line interface: generate, verify and evaluate accelerators.
 
+All evaluation commands (``verify``, ``evaluate``, ``explore``) route through
+the unified :class:`repro.api.Session` facade, so they share one backend
+registry and one mergeable memo cache (``--cache``).
+
 Examples::
 
     python -m repro.cli generate gemm MNK-SST --rows 4 --cols 4 -o gemm.v
-    python -m repro.cli verify conv2d KCX-SST --rows 4 --cols 4
+    python -m repro.cli verify conv2d KCX-SST --rows 4 --cols 4 --cache memo.json
     python -m repro.cli evaluate gemm MNK-MTM --rows 16 --cols 16
-    python -m repro.cli enumerate depthwise_conv --one-d
     python -m repro.cli explore gemm depthwise_conv --workers 4 --cache dse.json
+    python -m repro.cli cache merge -o merged.json shard0.json shard1.json
+    python -m repro.cli cache stats merged.json
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 
 from repro.core import naming
-from repro.cost.model import CostModel
 from repro.hw.generator import AcceleratorGenerator
 from repro.ir import workloads
-from repro.perf.model import ArrayConfig, PerfModel
+from repro.perf.model import ArrayConfig
 
 __all__ = ["main"]
 
@@ -65,32 +70,80 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_verify(args) -> int:
-    from repro.sim.harness import run_functional
+def _extents(args) -> dict[str, int]:
+    extents = {}
+    for item in args.extent:
+        name, _, value = item.partition("=")
+        extents[name] = int(value)
+    return extents
 
-    stmt = _statement(args)
-    spec = naming.spec_from_name(stmt, args.dataflow)
-    run_functional(spec, rows=args.rows, cols=args.cols)
+
+def _session(args, **kwargs):
+    from repro.api import Session
+
+    return Session(
+        ArrayConfig(rows=args.rows, cols=args.cols),
+        cache=getattr(args, "cache", None),
+        **kwargs,
+    )
+
+
+def cmd_verify(args) -> int:
+    session = _session(args)
+    result = session.evaluate(
+        args.workload, args.dataflow, backend="sim", extents=_extents(args)
+    )
+    if not result.ok:
+        print(
+            f"error: [{result.failure_stage}] {result.failure_reason}",
+            file=sys.stderr,
+        )
+        return 1
+    cached = " (memoized)" if result.cached else ""
     print(
-        f"{spec.name} on {args.rows}x{args.cols}: netlist simulation matches "
-        "the numpy reference"
+        f"{result.dataflow} on {args.rows}x{args.cols}: netlist simulation matches "
+        f"the numpy reference over {result['cycles_run']:.0f} cycles{cached}"
     )
     return 0
 
 
 def cmd_evaluate(args) -> int:
-    stmt = _statement(args)
-    model = PerfModel(ArrayConfig(rows=args.rows, cols=args.cols))
-    spec = naming.best_spec_from_name(
-        stmt, args.dataflow, lambda s: model.evaluate(s).normalized
+    session = _session(args)
+    extents = _extents(args)
+    perf = session.evaluate(
+        args.workload,
+        args.dataflow,
+        backend="perf",
+        extents=extents,
+        options={"resolve": "best"},
     )
-    perf = model.evaluate(spec)
-    cost = CostModel(rows=args.rows, cols=args.cols).evaluate(spec)
-    print(f"dataflow     {spec.name}  (STT {spec.stt.matrix})")
-    print(f"performance  {perf.normalized:.1%} of peak ({perf.cycles:.3g} cycles)")
-    print(f"utilization  {perf.utilization:.2f}   bandwidth stall {perf.bandwidth_stall:.2f}x")
-    print(f"area         {cost.area_mm2:.3f} mm^2")
-    print(f"power        {cost.power_mw:.1f} mW")
+    if not perf.ok:
+        print(f"error: [{perf.failure_stage}] {perf.failure_reason}", file=sys.stderr)
+        return 1
+    # reuse the already-resolved design: the best-by-perf STT walk is the
+    # expensive part, and the cost backend must score the same spec anyway
+    cost = session.evaluate(
+        args.workload,
+        backend="cost",
+        extents=extents,
+        selection=perf.details["selection"],
+        stt=perf.details["stt"],
+    )
+    if not cost.ok:
+        print(f"error: [{cost.failure_stage}] {cost.failure_reason}", file=sys.stderr)
+        return 1
+    stt = tuple(tuple(row) for row in perf.details["stt"])
+    print(f"dataflow     {perf.dataflow}  (STT {stt})")
+    print(
+        f"performance  {perf['normalized_perf']:.1%} of peak "
+        f"({perf['cycles']:.3g} cycles)"
+    )
+    print(
+        f"utilization  {perf['utilization']:.2f}   "
+        f"bandwidth stall {perf['bandwidth_stall']:.2f}x"
+    )
+    print(f"area         {cost['area_mm2']:.3f} mm^2")
+    print(f"power        {cost['power_mw']:.1f} mW")
     return 0
 
 
@@ -119,13 +172,7 @@ def _workload_statement(name: str, extents: dict[str, int]):
 
 
 def cmd_explore(args) -> int:
-    from repro.explore.engine import EvaluationEngine
-    from repro.perf.model import ArrayConfig
-
-    extents = {}
-    for item in args.extent:
-        name, _, value = item.partition("=")
-        extents[name] = int(value)
+    extents = _extents(args)
     accepted = set()
     for workload in args.workloads:
         accepted |= set(inspect.signature(workloads.TABLE_II[workload]).parameters)
@@ -138,14 +185,9 @@ def cmd_explore(args) -> int:
             file=sys.stderr,
         )
         return 2
-    engine = EvaluationEngine(
-        ArrayConfig(rows=args.rows, cols=args.cols),
-        width=args.width,
-        workers=args.workers,
-        cache=args.cache,
-    )
+    session = _session(args, width=args.width, workers=args.workers)
     statements = [_workload_statement(name, extents) for name in args.workloads]
-    results = engine.sweep(statements, one_d_only=args.one_d)
+    results = session.sweep(statements, one_d_only=args.one_d)
     for result in results:
         print(
             f"== {result.workload} on {result.array.rows}x{result.array.cols} "
@@ -168,6 +210,89 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _print_cache_stats(label: str, stats: dict[str, int]) -> None:
+    from repro.explore.engine import MemoCache
+
+    sections = ", ".join(f"{stats[s]} {s}" for s in MemoCache._SECTIONS)
+    print(f"{label}: {sections}")
+
+
+def _check_cache_file(path: str) -> str | None:
+    """Return an error message when ``path`` is missing or not valid JSON.
+
+    ``MemoCache.load`` deliberately degrades a corrupt file to an empty cache
+    (a sweep must not die on its own cache), but the cache *tools* exist to
+    audit and combine files — silently treating a truncated shard as empty
+    would ship an incomplete merged cache with exit code 0.
+    """
+    import json
+
+    if not os.path.exists(path):
+        return f"no such cache file: {path}"
+    try:
+        with open(path) as fh:
+            json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return f"corrupt cache file {path}: {exc}"
+    return None
+
+
+def cmd_cache(args) -> int:
+    """Inspect, merge and compact on-disk JSON memo caches.
+
+    ``merge`` is the sharded-sweep companion: run ``sweep()`` on different
+    machines with per-shard cache files, then fold them into one warm cache.
+    """
+    from repro.explore.engine import MemoCache
+
+    if args.cache_cmd == "stats":
+        for path in args.paths:
+            error = _check_cache_file(path)
+            if error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            cache = MemoCache(path)
+            _print_cache_stats(f"{path} ({os.path.getsize(path)} bytes)", cache.stats())
+        return 0
+
+    if args.cache_cmd == "merge":
+        for path in args.paths:
+            error = _check_cache_file(path)
+            if error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+        out = MemoCache(args.output)
+        total = 0
+        for path in args.paths:
+            added = MemoCache(path)
+            counts = out.merge_from(added)
+            new = sum(counts.values())
+            total += new
+            print(f"merged {path}: {new} new entries ({len(added)} total in shard)")
+        out.flush(force=True)
+        _print_cache_stats(f"wrote {args.output} (+{total})", out.stats())
+        return 0
+
+    if args.cache_cmd == "compact":
+        error = _check_cache_file(args.path)
+        if error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        before = os.path.getsize(args.path)
+        cache = MemoCache(args.path)
+        if args.output:
+            cache.path = args.output
+        cache.flush(force=True)
+        after = os.path.getsize(cache.path)
+        print(
+            f"compacted {args.path} -> {cache.path}: "
+            f"{before} -> {after} bytes ({len(cache)} entries)"
+        )
+        return 0
+
+    raise AssertionError(args.cache_cmd)  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="TensorLib reproduction CLI"
@@ -182,10 +307,16 @@ def main(argv: list[str] | None = None) -> int:
 
     p_ver = sub.add_parser("verify", help="simulate generated netlist vs numpy")
     _add_common(p_ver)
+    p_ver.add_argument(
+        "--cache", metavar="PATH", help="memoize verification runs in a JSON cache"
+    )
     p_ver.set_defaults(func=cmd_verify)
 
     p_eval = sub.add_parser("evaluate", help="performance/area/power models")
     _add_common(p_eval)
+    p_eval.add_argument(
+        "--cache", metavar="PATH", help="memoize model evaluations in a JSON cache"
+    )
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_enum = sub.add_parser("enumerate", help="count the dataflow design space")
@@ -220,6 +351,26 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=5, help="how many best-performing designs to print"
     )
     p_exp.set_defaults(func=cmd_explore)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect, merge and compact JSON memo caches"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_cmd", required=True)
+    p_stats = cache_sub.add_parser("stats", help="per-section entry counts")
+    p_stats.add_argument("paths", nargs="+", metavar="CACHE")
+    p_stats.set_defaults(func=cmd_cache)
+    p_merge = cache_sub.add_parser(
+        "merge", help="fold shard caches into one (for distributed sweeps)"
+    )
+    p_merge.add_argument("-o", "--output", required=True, metavar="OUT")
+    p_merge.add_argument("paths", nargs="+", metavar="CACHE")
+    p_merge.set_defaults(func=cmd_cache)
+    p_compact = cache_sub.add_parser(
+        "compact", help="re-serialize a cache compactly (drops foreign junk)"
+    )
+    p_compact.add_argument("path", metavar="CACHE")
+    p_compact.add_argument("-o", "--output", metavar="OUT", help="write here instead of in place")
+    p_compact.set_defaults(func=cmd_cache)
 
     args = parser.parse_args(argv)
     return args.func(args)

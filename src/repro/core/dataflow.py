@@ -27,7 +27,6 @@ from dataclasses import dataclass
 from math import gcd
 from typing import Sequence
 
-from repro.core import linalg
 from repro.core.linalg import IntVector
 from repro.core.reuse import ReuseSpace, orient, reuse_space
 from repro.core.stt import STT

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from functools import lru_cache
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 from repro.core import linalg
 from repro.core.dataflow import DataflowSpec

@@ -13,7 +13,7 @@ dataflows' energy premium to exactly this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.dataflow import DataflowSpec, DataflowType
 from repro.hw.geometry import Grid

@@ -91,6 +91,30 @@ class CostModel:
         self.params = params or CostParams()
         self.sram_words = sram_words
 
+    @classmethod
+    def for_array(
+        cls,
+        array,
+        *,
+        width: int = 16,
+        params: CostParams | None = None,
+        sram_words: int = 32768,
+    ) -> "CostModel":
+        """Build a cost model matching an :class:`~repro.perf.model.ArrayConfig`.
+
+        The single construction path used by the evaluation engine and the
+        ``cost`` API backend, so geometry/frequency can never drift between
+        the perf and cost sides of one evaluation.
+        """
+        return cls(
+            rows=array.rows,
+            cols=array.cols,
+            width=width,
+            freq_mhz=array.freq_mhz,
+            params=params,
+            sram_words=sram_words,
+        )
+
     # ------------------------------------------------------------------
     def evaluate(self, spec: DataflowSpec) -> CostResult:
         p = self.params

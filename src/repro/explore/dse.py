@@ -1,17 +1,25 @@
-"""Design-space exploration driver (legacy wrapper).
+"""Design-space exploration driver (deprecated shim).
 
-:func:`explore` predates the streaming engine and is kept as a thin facade:
-it builds a serial :class:`repro.explore.engine.EvaluationEngine`, runs the
-enumerate -> prune -> evaluate pipeline, and returns the successful
-:class:`DesignPoint` list.  Unlike the original implementation it no longer
-swallows designs the models reject — skipped designs are surfaced as a
-:class:`RuntimeWarning` with a per-reason count (use the engine directly to
-get the structured failure channel).
+:func:`explore` predates both the streaming engine and the unified
+:class:`repro.api.Session` facade.  It is kept as a thin deprecation shim:
+it builds a :class:`Session`, runs the enumerate -> prune -> evaluate
+pipeline through it, and returns the successful :class:`DesignPoint` list.
+Designs the models reject are surfaced as a :class:`RuntimeWarning` with a
+per-reason count (use ``Session.explore()`` to get the structured failure
+channel, stats, and Pareto helpers).
+
+Migration::
+
+    explore(stmt, rows=16, cols=16, workers=4, cache="memo.json")
+    # becomes
+    Session(ArrayConfig(rows=16, cols=16), workers=4, cache="memo.json") \\
+        .explore(stmt).points
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Iterable, Sequence
 
 from repro.core.dataflow import DataflowSpec
@@ -20,7 +28,6 @@ from repro.explore.engine import (
     ONE_D_TYPES,
     DesignFailure,
     DesignPoint,
-    EvaluationEngine,
     MemoCache,
     explore_warning,
 )
@@ -44,15 +51,21 @@ def explore(
     workers: int = 0,
     cache: MemoCache | str | os.PathLike | None = None,
 ) -> list[DesignPoint]:
-    """Enumerate (or take) designs and evaluate perf + area + power.
+    """Deprecated: use :meth:`repro.api.Session.explore` instead.
 
-    Designs the models reject (degenerate skews, unsupported dataflows) are
-    reported via a ``RuntimeWarning`` naming the count and reasons; the
-    returned list holds only the successfully evaluated points, in
-    enumeration order.  ``workers``/``cache`` pass through to the engine for
-    parallel evaluation and cross-run memoization.
+    Enumerates (or takes) designs and evaluates perf + area + power.  Designs
+    the models reject are reported via a ``RuntimeWarning``; the returned
+    list holds only the successfully evaluated points, in enumeration order.
     """
-    engine = EvaluationEngine(
+    from repro.api import Session
+
+    warnings.warn(
+        "repro.explore.dse.explore() is deprecated; use "
+        "repro.api.Session(...).explore(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    session = Session(
         array=perf.config if perf is not None else ArrayConfig(rows=rows, cols=cols),
         width=width,
         perf=perf,
@@ -60,7 +73,7 @@ def explore(
         workers=workers,
         cache=cache,
     )
-    result = engine.evaluate(
+    result = session.explore(
         statement,
         specs=specs,
         one_d_only=one_d_only,

@@ -216,12 +216,18 @@ class MemoCache:
       full STT-candidate walk (the dominant cost of a cold sweep).
     - ``names`` — resolved paper dataflow names (``MNK-SST`` -> simplest best
       STT) keyed by statement, name and scoring configuration.
+    - ``api`` — whole :class:`repro.api.EvalResult` payloads keyed by the
+      canonical :meth:`repro.api.DesignRequest.cache_key`, which is how the
+      FPGA resource model and the functional simulator memoize too.
 
     ``flush()`` persists atomically (write-temp + rename); a corrupt or
     missing file degrades to an empty cache rather than failing the sweep.
+    Caches are mergeable (:meth:`merge_from`), the substrate for combining
+    shards of a ``sweep()`` distributed across machines — see the
+    ``repro cache`` CLI subcommand.
     """
 
-    _SECTIONS = ("points", "spaces", "names")
+    _SECTIONS = ("points", "spaces", "names", "api")
 
     def __init__(self, path: str | os.PathLike | None = None):
         self.path = os.fspath(path) if path is not None else None
@@ -246,18 +252,51 @@ class MemoCache:
             if isinstance(stored, dict):
                 self._data[section].update(stored)
 
-    def flush(self) -> None:
-        """Persist to disk (no-op for purely in-memory caches)."""
-        if self.path is None or not self._dirty:
+    def flush(self, force: bool = False) -> None:
+        """Persist to disk (no-op for purely in-memory or clean caches).
+
+        ``force=True`` rewrites even when nothing changed — the compaction
+        path, which re-serializes with minimal separators and drops whatever
+        junk an interrupted or foreign writer left in the file.
+        """
+        if self.path is None or not (self._dirty or force):
             return
         tmp = f"{self.path}.tmp.{os.getpid()}"
         with open(tmp, "w") as fh:
-            json.dump(self._data, fh)
+            json.dump(self._data, fh, separators=(",", ":"))
         os.replace(tmp, self.path)
         self._dirty = False
 
     def __len__(self) -> int:
         return sum(len(self._data[s]) for s in self._SECTIONS)
+
+    # -- sharding support ----------------------------------------------
+    def merge_from(self, other: "MemoCache | str | os.PathLike") -> dict[str, int]:
+        """Fold another cache (object or JSON file) into this one.
+
+        Entries already present locally win — shards of the same design space
+        hold identical values for identical keys, so first-wins keeps merging
+        deterministic regardless of file order.  Returns the count of newly
+        added entries per section.
+        """
+        if not isinstance(other, MemoCache):
+            other = MemoCache(other)
+        added = {}
+        for section in self._SECTIONS:
+            ours = self._data[section]
+            new = {k: v for k, v in other._data[section].items() if k not in ours}
+            if new:
+                ours.update(new)
+                self._dirty = True
+            added[section] = len(new)
+        return added
+
+    def stats(self) -> dict[str, int]:
+        """Entry count per section (plus hit/miss counters for this run)."""
+        out = {section: len(self._data[section]) for section in self._SECTIONS}
+        out["hits"] = self.hits
+        out["misses"] = self.misses
+        return out
 
     # -- typed accessors -----------------------------------------------
     def get(self, section: str, key: str):
@@ -344,13 +383,8 @@ class EvaluationEngine:
         self.array = array or ArrayConfig()
         self._custom_models = perf is not None or cost is not None
         self.perf = perf or PerfModel(self.array)
-        self.cost = cost or CostModel(
-            rows=self.array.rows,
-            cols=self.array.cols,
-            width=width,
-            freq_mhz=self.array.freq_mhz,
-            params=cost_params,
-            sram_words=sram_words,
+        self.cost = cost or CostModel.for_array(
+            self.array, width=width, params=cost_params, sram_words=sram_words
         )
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -629,6 +663,51 @@ class EvaluationEngine:
                 drain_one()
 
     # -- named-dataflow evaluation (paper Fig. 5 benchmarks) -------------
+    def resolve_name(
+        self, statement: Statement, name: str, *, bound: int = 1, limit: int = 24
+    ) -> DataflowSpec:
+        """The best-performing STT realization of a paper dataflow name.
+
+        Name resolution walks the full STT candidate stream (the expensive
+        part); the resolved ``(selection, matrix)`` pair is memoized in the
+        ``names`` cache section so warm runs skip straight to the model.
+        """
+        key = None
+        if self.cache is not None:
+            # name resolution scores specs with the perf model only, so
+            # the key must not embed cost-model knobs (spurious misses)
+            key = repr(
+                (
+                    self._statement_key(statement),
+                    name,
+                    bound,
+                    limit,
+                    dataclasses.astuple(self.array),
+                )
+            )
+            stored = self.cache.get("names", key)
+            if stored is not None:
+                sel, matrix = stored
+                return DataflowSpec(
+                    statement,
+                    tuple(sel),
+                    STT(tuple(tuple(row) for row in matrix)),
+                )
+        spec = best_spec_from_name(
+            statement,
+            name,
+            lambda s: self.perf.evaluate(s).normalized,
+            bound=bound,
+            limit=limit,
+        )
+        if self.cache is not None:
+            self.cache.put(
+                "names",
+                key,
+                [list(spec.selected), [list(row) for row in spec.stt.matrix]],
+            )
+        return spec
+
     def evaluate_names(
         self,
         statement: Statement,
@@ -637,51 +716,11 @@ class EvaluationEngine:
         bound: int = 1,
         limit: int = 24,
     ) -> list[tuple[str, PerfResult]]:
-        """Evaluate paper dataflow names, best-scoring STT per name.
-
-        Name resolution walks the full STT candidate stream (the expensive
-        part); the resolved ``(selection, matrix)`` pair is memoized in the
-        ``names`` cache section so warm runs skip straight to the model.
-        """
-        rows: list[tuple[str, PerfResult]] = []
-        for name in names:
-            spec = None
-            key = None
-            if self.cache is not None:
-                # name resolution scores specs with the perf model only, so
-                # the key must not embed cost-model knobs (spurious misses)
-                key = repr(
-                    (
-                        self._statement_key(statement),
-                        name,
-                        bound,
-                        limit,
-                        dataclasses.astuple(self.array),
-                    )
-                )
-                stored = self.cache.get("names", key)
-                if stored is not None:
-                    sel, matrix = stored
-                    spec = DataflowSpec(
-                        statement,
-                        tuple(sel),
-                        STT(tuple(tuple(row) for row in matrix)),
-                    )
-            if spec is None:
-                spec = best_spec_from_name(
-                    statement,
-                    name,
-                    lambda s: self.perf.evaluate(s).normalized,
-                    bound=bound,
-                    limit=limit,
-                )
-                if self.cache is not None:
-                    self.cache.put(
-                        "names",
-                        key,
-                        [list(spec.selected), [list(row) for row in spec.stt.matrix]],
-                    )
-            rows.append((name, self.perf.evaluate(spec)))
+        """Evaluate paper dataflow names, best-scoring STT per name."""
+        rows = [
+            (name, self.perf.evaluate(self.resolve_name(statement, name, bound=bound, limit=limit)))
+            for name in names
+        ]
         if self.cache is not None:
             self.cache.flush()
         return rows

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.dataflow import DataflowSpec, DataflowType
+from repro.core.dataflow import DataflowSpec
 from repro.hw.geometry import Grid
 
-__all__ = ["FPGADevice", "VU9P", "ARRIA10", "FPGAReport", "FPGAModel"]
+__all__ = ["FPGADevice", "VU9P", "ARRIA10", "FPGAReport", "FPGAModel", "EVAL_DEFAULTS"]
 
 
 @dataclass(frozen=True)
@@ -83,11 +83,37 @@ class FPGAParams:
     conv_mux_ns: float = 0.28  # sliding-window line-buffer muxing
 
 
+#: The one place the per-evaluation defaults live (mirrored by the keyword-only
+#: arguments of :meth:`FPGAModel.evaluate` and re-used by the ``fpga`` backend
+#: of :mod:`repro.api`):
+#:
+#: ==================== =========== ==================================
+#: option               default     meaning
+#: ==================== =========== ==================================
+#: workload_label       ``"MM"``    Table III row label; labels starting
+#:                                  with ``Conv`` add line-buffer LUTs,
+#:                                  window-mux delay and halo'd tiles
+#: buffer_bytes         ``None``    on-chip tile buffer per tensor; ``None``
+#:                                  sizes it from the workload label
+#: floorplan_optimized  ``False``   SLR-aware placement (§VI-C): removes the
+#:                                  SLR-crossing term from the critical path
+#: generator            ``"TensorLib"`` row attribution in the report
+#: ==================== =========== ==================================
+EVAL_DEFAULTS: dict[str, object] = {
+    "workload_label": "MM",
+    "buffer_bytes": None,
+    "floorplan_optimized": False,
+    "generator": "TensorLib",
+}
+
+
 class FPGAModel:
     """Estimate Table III metrics for a generated design.
 
     ``vec`` is the per-PE vectorization factor (the paper uses 8 FP32 MACs
-    per PE); ``buffer_bytes`` the provisioned on-chip tile buffer.
+    per PE); ``buffer_bytes`` the provisioned on-chip tile buffer.  All
+    per-evaluation configuration is keyword-only with the defaults documented
+    once in :data:`EVAL_DEFAULTS`.
     """
 
     def __init__(
@@ -105,6 +131,7 @@ class FPGAModel:
         spec: DataflowSpec,
         rows: int,
         cols: int,
+        *,
         workload_label: str = "MM",
         buffer_bytes: int | None = None,
         floorplan_optimized: bool = False,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping
 
 __all__ = ["CellKind", "Wire", "Cell", "Instance", "Module", "FlatNetlist", "flatten"]
 

@@ -53,7 +53,6 @@ def emit_module(mod: Module) -> str:
     port_wires = {id(w) for w in mod.inputs.values()}
     reg_outs = {id(c.out) for c in mod.cells if c.kind.is_sequential}
     referenced: set[int] = set()
-    wire_names: dict[int, str] = {id(w): w.name for w in mod.wires}
     for cell in mod.cells:
         referenced.add(id(cell.out))
         referenced.update(id(w) for w in cell.pins.values())

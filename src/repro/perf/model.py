@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.dataflow import DataflowSpec, DataflowType
-from repro.hw.plan import StagePlan, choose_tile
+from repro.hw.plan import StagePlan
 
 __all__ = ["ArrayConfig", "PerfResult", "PerfModel"]
 
@@ -143,8 +143,24 @@ class PerfModel:
         )
 
     def evaluate_named(self, statement, name: str) -> PerfResult:
+        """Deprecated second entry point; use the unified API instead.
+
+        Named-dataflow resolution now lives in one place — the ``perf``
+        backend of :mod:`repro.api` (``Session.evaluate(workload, name)``)
+        — so the model exposes a single ``evaluate(spec)`` signature like
+        every other backend.
+        """
+        import warnings
+
         from repro.core.naming import spec_from_name
 
+        warnings.warn(
+            "PerfModel.evaluate_named() is deprecated; use "
+            "repro.api.Session.evaluate(workload, name, backend='perf') or "
+            "PerfModel.evaluate(naming.spec_from_name(statement, name))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.evaluate(spec_from_name(statement, name))
 
     # ------------------------------------------------------------------

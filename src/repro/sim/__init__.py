@@ -10,6 +10,6 @@
 """
 
 from repro.sim.engine import Simulator
-from repro.sim.harness import FunctionalHarness, run_functional
+from repro.sim.harness import FunctionalHarness, run_functional, verify_functional
 
-__all__ = ["Simulator", "FunctionalHarness", "run_functional"]
+__all__ = ["Simulator", "FunctionalHarness", "run_functional", "verify_functional"]

@@ -1,0 +1,78 @@
+"""Evaluator registry: built-ins, registration, override, removal."""
+
+import pytest
+
+from repro.api import (
+    DesignRequest,
+    EvalResult,
+    available_backends,
+    get_evaluator,
+    register_evaluator,
+    reset_registry,
+    unregister_evaluator,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    reset_registry()
+
+
+class FakeEvaluator:
+    backend = "fake"
+
+    def evaluate(self, request: DesignRequest) -> EvalResult:
+        return EvalResult(
+            backend=self.backend,
+            workload=request.workload,
+            dataflow=request.dataflow,
+            metrics={"answer": 42.0},
+        )
+
+
+class TestBuiltins:
+    def test_four_builtin_backends(self):
+        assert set(available_backends()) >= {"cost", "perf", "fpga", "sim"}
+
+    def test_get_evaluator_caches_instances(self):
+        assert get_evaluator("cost") is get_evaluator("cost")
+
+    def test_unknown_backend_names_known_ones(self):
+        with pytest.raises(LookupError, match="cost"):
+            get_evaluator("does-not-exist")
+
+
+class TestRegistration:
+    def test_register_and_route(self):
+        register_evaluator("fake", FakeEvaluator)
+        assert "fake" in available_backends()
+        result = get_evaluator("fake").evaluate(
+            DesignRequest(workload="gemm", dataflow="MNK-SST", backend="fake")
+        )
+        assert result["answer"] == 42.0
+
+    def test_decorator_form(self):
+        @register_evaluator("decorated")
+        class Decorated(FakeEvaluator):
+            backend = "decorated"
+
+        assert get_evaluator("decorated").backend == "decorated"
+
+    def test_duplicate_requires_override(self):
+        register_evaluator("fake", FakeEvaluator)
+        with pytest.raises(ValueError, match="override"):
+            register_evaluator("fake", FakeEvaluator)
+
+    def test_override_replaces_builtin(self):
+        register_evaluator("cost", FakeEvaluator, override=True)
+        assert isinstance(get_evaluator("cost"), FakeEvaluator)
+        reset_registry()
+        assert not isinstance(get_evaluator("cost"), FakeEvaluator)
+
+    def test_unregister(self):
+        register_evaluator("fake", FakeEvaluator)
+        unregister_evaluator("fake")
+        assert "fake" not in available_backends()
+        with pytest.raises(LookupError):
+            unregister_evaluator("fake")

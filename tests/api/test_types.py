@@ -1,0 +1,134 @@
+"""DesignRequest/EvalResult: construction, versioning, JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    DesignRequest,
+    EvalResult,
+    SchemaVersionError,
+)
+from repro.cost.model import CostParams
+from repro.perf.model import ArrayConfig
+
+
+def _request(**overrides):
+    kwargs = dict(
+        workload="gemm",
+        dataflow="MNK-SST",
+        backend="cost",
+        extents={"m": 64, "n": 64, "k": 64},
+        array=ArrayConfig(rows=8, cols=8),
+        width=16,
+        options={"resolve": "best"},
+    )
+    kwargs.update(overrides)
+    return DesignRequest(**kwargs)
+
+
+class TestDesignRequest:
+    def test_round_trip_json(self):
+        req = _request()
+        assert DesignRequest.from_json(req.to_json()) == req
+
+    def test_round_trip_with_explicit_stt(self):
+        req = _request(
+            dataflow=None,
+            selection=["m", "n", "k"],
+            stt=[[1, 0, 0], [0, 1, 0], [0, 0, 1]],
+        )
+        back = DesignRequest.from_json(req.to_json())
+        assert back == req
+        assert back.stt == ((1, 0, 0), (0, 1, 0), (0, 0, 1))
+        assert back.selection == ("m", "n", "k")
+
+    def test_round_trip_with_cost_params(self):
+        req = _request(cost=CostParams(e_mul=0.5))
+        back = DesignRequest.from_json(req.to_json())
+        assert back.cost == CostParams(e_mul=0.5)
+        assert back == req
+
+    def test_needs_a_design(self):
+        with pytest.raises(ValueError, match="dataflow name or an explicit"):
+            DesignRequest(workload="gemm")
+
+    def test_stt_needs_selection(self):
+        with pytest.raises(ValueError, match="selection"):
+            DesignRequest(workload="gemm", stt=[[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_unknown_schema_version_rejected(self):
+        payload = _request().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError, match="not supported"):
+            DesignRequest.from_dict(payload)
+        payload["schema_version"] = None
+        with pytest.raises(SchemaVersionError):
+            DesignRequest.from_dict(payload)
+
+    def test_unknown_fields_rejected(self):
+        payload = _request().to_dict()
+        payload["frobnicate"] = True
+        with pytest.raises(ValueError, match="frobnicate"):
+            DesignRequest.from_dict(payload)
+
+    def test_cache_key_is_canonical(self):
+        """Key independence from dict ordering and sequence flavour."""
+        a = _request(extents={"m": 64, "n": 64, "k": 64})
+        b = _request(extents={"k": 64, "n": 64, "m": 64})
+        assert a.cache_key() == b.cache_key()
+        c = _request(
+            dataflow=None,
+            selection=("m", "n", "k"),
+            stt=((1, 0, 0), (0, 1, 0), (0, 0, 1)),
+        )
+        d = _request(
+            dataflow=None,
+            selection=["m", "n", "k"],
+            stt=[[1, 0, 0], [0, 1, 0], [0, 0, 1]],
+        )
+        assert c.cache_key() == d.cache_key()
+        # and the key is itself valid, version-stamped JSON
+        decoded = json.loads(a.cache_key())
+        assert decoded["schema_version"] == SCHEMA_VERSION
+
+    def test_different_requests_different_keys(self):
+        assert _request().cache_key() != _request(backend="perf").cache_key()
+        assert (
+            _request().cache_key()
+            != _request(array=ArrayConfig(rows=4, cols=4)).cache_key()
+        )
+
+
+class TestEvalResult:
+    def test_round_trip_json(self):
+        res = EvalResult(
+            backend="cost",
+            workload="gemm",
+            dataflow="MNK-SST",
+            metrics={"area_mm2": 0.87, "power_mw": 45.2},
+            details={"stt": [[1, 0, 0], [0, 1, 0], [0, 0, 1]]},
+        )
+        assert EvalResult.from_json(res.to_json()) == res
+
+    def test_failure_round_trip(self):
+        res = EvalResult.failure(
+            "sim", "gemm", stage="resolve", reason="LookupError: no STT"
+        )
+        back = EvalResult.from_json(res.to_json())
+        assert back == res
+        assert not back.ok
+        assert back.failure_stage == "resolve"
+
+    def test_metric_getitem(self):
+        res = EvalResult(backend="perf", workload="gemm", metrics={"cycles": 5.0})
+        assert res["cycles"] == 5.0
+        with pytest.raises(KeyError):
+            res["nope"]
+
+    def test_unknown_schema_version_rejected(self):
+        payload = EvalResult(backend="perf", workload="gemm").to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(SchemaVersionError):
+            EvalResult.from_dict(payload)

@@ -1,6 +1,5 @@
 """Tests for design-space enumeration and canonicalization."""
 
-import pytest
 
 from repro.core.dataflow import DataflowType
 from repro.core.enumerate import (

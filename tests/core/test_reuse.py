@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import linalg
-from repro.core.reuse import ReuseSpace, TIME_AXIS, orient, reuse_space
+from repro.core.reuse import ReuseSpace, orient, reuse_space
 from repro.core.stt import STT
 from repro.ir import workloads
 

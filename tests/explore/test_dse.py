@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import naming
-from repro.explore.dse import DesignPoint, explore
+from repro.explore.dse import explore
 from repro.explore.pareto import pareto_front
 from repro.ir import workloads
 

@@ -24,7 +24,7 @@ class TestTableIII:
     """The TensorLib rows of paper Table III (10x16 array, vec 8, FP32)."""
 
     def test_mm_row(self, mm_spec):
-        r = FPGAModel().evaluate(mm_spec, 10, 16, "MM")
+        r = FPGAModel().evaluate(mm_spec, 10, 16, workload_label="MM")
         assert r.row()["DSP%"] == 75
         assert abs(r.freq_mhz - 263) <= 5
         assert abs(r.gops - 673) <= 15
@@ -32,7 +32,7 @@ class TestTableIII:
         assert 45 <= r.bram_pct <= 57
 
     def test_conv_row(self, conv_spec):
-        r = FPGAModel().evaluate(conv_spec, 10, 16, "Conv")
+        r = FPGAModel().evaluate(conv_spec, 10, 16, workload_label="Conv")
         assert r.row()["DSP%"] == 75
         assert abs(r.freq_mhz - 245) <= 6
         assert abs(r.gops - 626) <= 16
@@ -42,7 +42,7 @@ class TestTableIII:
     def test_throughput_improvement_over_prior(self, mm_spec):
         """The paper's headline: 21% throughput gain on MM vs the best prior
         generator (PolySA's 555 Gop/s)."""
-        ours = FPGAModel().evaluate(mm_spec, 10, 16, "MM")
+        ours = FPGAModel().evaluate(mm_spec, 10, 16, workload_label="MM")
         best_prior = max(
             b.gops for b in PRIOR_GENERATORS if b.workload == "MM"
         )
@@ -51,13 +51,13 @@ class TestTableIII:
 
     def test_frequency_improvement(self, mm_spec):
         """~15% frequency improvement vs PolySA's 229 MHz."""
-        ours = FPGAModel().evaluate(mm_spec, 10, 16, "MM")
+        ours = FPGAModel().evaluate(mm_spec, 10, 16, workload_label="MM")
         improvement = ours.freq_mhz / 229.0 - 1.0
         assert 0.10 <= improvement <= 0.20
 
     def test_floorplan_optimization(self, mm_spec):
         """§VI-C: manual floorplanning raises MM to ~328 MHz."""
-        r = FPGAModel().evaluate(mm_spec, 10, 16, "MM", floorplan_optimized=True)
+        r = FPGAModel().evaluate(mm_spec, 10, 16, workload_label="MM", floorplan_optimized=True)
         assert abs(r.freq_mhz - 328) <= 5
 
 
@@ -69,35 +69,35 @@ class TestFrequencyModel:
         systolic = naming.spec_from_name(gemm, "MNK-SSS")
         multicast = naming.spec_from_name(gemm, "MNK-MMT")
         m = FPGAModel()
-        f_sys = m.evaluate(systolic, 16, 16, "MM").freq_mhz
-        f_mc = m.evaluate(multicast, 16, 16, "MM").freq_mhz
+        f_sys = m.evaluate(systolic, 16, 16, workload_label="MM").freq_mhz
+        f_mc = m.evaluate(multicast, 16, 16, workload_label="MM").freq_mhz
         assert f_sys > f_mc
 
     def test_bigger_array_bigger_fanout_penalty(self):
         gemm = workloads.gemm(64, 64, 64)
         spec = naming.spec_from_name(gemm, "MNK-MMT")
         m = FPGAModel()
-        f_small = m.evaluate(spec, 4, 4, "MM").freq_mhz
-        f_large = m.evaluate(spec, 16, 16, "MM").freq_mhz
+        f_small = m.evaluate(spec, 4, 4, workload_label="MM").freq_mhz
+        f_large = m.evaluate(spec, 16, 16, workload_label="MM").freq_mhz
         assert f_small > f_large
 
 
 class TestResourceScaling:
     def test_dsp_proportional_to_macs(self, mm_spec):
         m = FPGAModel(vec=8)
-        r1 = m.evaluate(mm_spec, 5, 16, "MM")
-        r2 = m.evaluate(mm_spec, 10, 16, "MM")
+        r1 = m.evaluate(mm_spec, 5, 16, workload_label="MM")
+        r2 = m.evaluate(mm_spec, 10, 16, workload_label="MM")
         assert r2.dsp == 2 * r1.dsp
 
     def test_vectorization(self, mm_spec):
-        r_v4 = FPGAModel(vec=4).evaluate(mm_spec, 10, 16, "MM")
-        r_v8 = FPGAModel(vec=8).evaluate(mm_spec, 10, 16, "MM")
+        r_v4 = FPGAModel(vec=4).evaluate(mm_spec, 10, 16, workload_label="MM")
+        r_v8 = FPGAModel(vec=8).evaluate(mm_spec, 10, 16, workload_label="MM")
         assert r_v8.dsp == 2 * r_v4.dsp
         assert r_v8.gops > r_v4.gops
 
     def test_devices_differ(self, mm_spec):
-        vu9p = FPGAModel(device=VU9P).evaluate(mm_spec, 10, 16, "MM")
-        arria = FPGAModel(device=ARRIA10).evaluate(mm_spec, 10, 16, "MM")
+        vu9p = FPGAModel(device=VU9P).evaluate(mm_spec, 10, 16, workload_label="MM")
+        arria = FPGAModel(device=ARRIA10).evaluate(mm_spec, 10, 16, workload_label="MM")
         assert arria.dsp_pct > vu9p.dsp_pct  # Arria-10 has far fewer DSPs
 
 

@@ -7,12 +7,8 @@ from repro.core.dataflow import DataflowType
 from repro.hw.array import (
     acc_port,
     build_array,
-    bus_port,
     drain_port,
-    in_port,
     load_port,
-    out_port,
-    sum_port,
 )
 from repro.ir import workloads
 
@@ -31,7 +27,6 @@ class TestSystolicWiring:
         b_dir = info.tensor("B").sy_space
         assert a_dir is not None and b_dir is not None
         assert a_dir != b_dir
-        a_entries = [p for p in in_port("a", 0, 0).split() if p]  # dummy
         a_ports = [name for name in arr.inputs if name.startswith("a_in_")]
         b_ports = [name for name in arr.inputs if name.startswith("b_in_")]
         assert len(a_ports) == 4

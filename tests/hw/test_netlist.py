@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw.netlist import CellKind, Module, flatten
+from repro.hw.netlist import Module, flatten
 
 
 def make_adder():

@@ -56,7 +56,6 @@ class TestPortShapes:
     def test_all_stationary_inputs_rejected(self):
         """No template combination can gate idle cycles when every input is
         stage-held (see pe.py docstring)."""
-        tt = workloads.ttmc(4, 4, 4, 4, 4)
         from repro.core.dataflow import analyze
         from repro.core.stt import STT
 

@@ -7,7 +7,7 @@ import pytest
 from repro.core import naming
 from repro.hw.generator import AcceleratorGenerator
 from repro.hw.netlist import Module
-from repro.hw.verilog import emit_design, emit_module
+from repro.hw.verilog import emit_module
 from repro.ir import workloads
 
 

@@ -12,6 +12,11 @@ def model():
     return PerfModel(ArrayConfig(rows=16, cols=16))
 
 
+def evaluate_named(model, statement, name):
+    """The single-entry-point spelling of the old ``evaluate_named``."""
+    return model.evaluate(naming.spec_from_name(statement, name))
+
+
 @pytest.fixture(scope="module")
 def gemm():
     return workloads.gemm(256, 256, 256)
@@ -29,16 +34,16 @@ class TestArrayConfig:
 class TestBasicInvariants:
     def test_normalized_at_most_one(self, model, gemm):
         for name in ["MNK-SST", "MNK-MTM", "MNK-STS", "MNK-SSS"]:
-            r = model.evaluate_named(gemm, name)
+            r = evaluate_named(model, gemm, name)
             assert 0.0 < r.normalized <= 1.0
 
     def test_peak_cycles(self, model, gemm):
-        r = model.evaluate_named(gemm, "MNK-SST")
+        r = evaluate_named(model, gemm, "MNK-SST")
         assert r.peak_cycles == gemm.macs() / 256
 
     def test_cycles_at_least_peak(self, model, gemm):
         for name in ["MNK-SST", "MNK-MTM", "MNK-TSS"]:
-            r = model.evaluate_named(gemm, name)
+            r = evaluate_named(model, gemm, name)
             assert r.cycles >= r.peak_cycles * 0.999
 
 
@@ -48,26 +53,26 @@ class TestPaperFindings:
     def test_multicast_beats_systolic_gemm(self, model, gemm):
         """'the performance of multicast dataflows (MTM) is better than
         systolic dataflow' — smaller pipeline overhead."""
-        mtm = model.evaluate_named(gemm, "MNK-MTM")
-        sst = model.evaluate_named(gemm, "MNK-SST")
+        mtm = evaluate_named(model, gemm, "MNK-MTM")
+        sst = evaluate_named(model, gemm, "MNK-SST")
         assert mtm.normalized > sst.normalized
 
     def test_systolic_skew_shrinks_with_longer_time_loop(self, model):
-        small = model.evaluate_named(workloads.gemm(64, 64, 64), "MNK-SST")
-        large = model.evaluate_named(workloads.gemm(64, 64, 1024), "MNK-SST")
+        small = evaluate_named(model, workloads.gemm(64, 64, 64), "MNK-SST")
+        large = evaluate_named(model, workloads.gemm(64, 64, 1024), "MNK-SST")
         assert large.normalized > small.normalized
 
     def test_batched_gemv_bandwidth_bound(self, model):
         """Unicast A makes Batched-GEMV bandwidth-bound (~5x stall)."""
         bg = workloads.batched_gemv(64, 256, 256)
-        r = model.evaluate_named(bg, "MNK-UST")
+        r = evaluate_named(model, bg, "MNK-UST")
         assert r.bandwidth_stall > 4.0
         assert r.normalized < 0.25
 
     def test_unicast_worse_than_reuse_dataflows_mttkrp(self, model):
         mt = workloads.mttkrp(64, 64, 64, 64)
-        unicast = model.evaluate_named(mt, "IKL-UBBB")
-        reuse = model.evaluate_named(mt, "IJK-SSBT")
+        unicast = evaluate_named(model, mt, "IKL-UBBB")
+        reuse = evaluate_named(model, mt, "IJK-SSBT")
         assert unicast.normalized < reuse.normalized
 
     def test_small_kernel_loops_waste_pes(self, model):

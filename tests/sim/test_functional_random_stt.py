@@ -9,7 +9,6 @@ Dataflows whose idle cycles cannot be zero-gated (all inputs stage-held) are
 skipped — the generator rejects them explicitly (see repro.hw.pe).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import linalg

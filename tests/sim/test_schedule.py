@@ -1,6 +1,5 @@
 """Tests for STT-derived injection/collection schedules."""
 
-import numpy as np
 import pytest
 
 from repro.core import naming
