@@ -1,0 +1,165 @@
+"""Evaluation-service throughput: local vs remote sessions, cold vs warm.
+
+Measures the batch primitive behind the service — ``evaluate_many`` over a
+mixed-backend request set (perf + cost + fpga + sim, ≥ 64 requests) — through
+both :class:`SessionProtocol` implementations:
+
+- **local**: ``LocalSession.evaluate_many`` in-process;
+- **remote**: the same batch through ``RemoteSession`` against a live
+  in-process :class:`~repro.service.server.ServiceThread` (real HTTP, real
+  JSON, real memo cache on the server side).
+
+Reported per transport: requests/sec for the batch, p50/p95 single-request
+latency, and the cold -> warm speedup.  The asserted bars:
+
+- a warm batch is served entirely from the memo cache (``cached=True`` on
+  every result) and is ≥ 3x faster than the cold run, locally and remotely;
+- local and remote batches return identical metrics (location transparency
+  costs serialization, never correctness).
+
+Run:  pytest benchmarks/bench_service_throughput.py
+"""
+
+import statistics
+import time
+
+from bench_util import print_table
+
+from repro.api import LocalSession
+from repro.perf.model import ArrayConfig
+
+ARRAY = ArrayConfig(rows=8, cols=8)
+SIM_ARRAY = ArrayConfig(rows=2, cols=2)
+
+
+def mixed_requests(session) -> list:
+    """A deterministic mixed-backend batch: 74 requests over 4 backends.
+
+    The perf/cost requests use ``resolve="best"`` — the expensive STT-scoring
+    policy — so the cold run pays realistic model time for the warm run to
+    recoup from the memo cache.
+    """
+    requests = []
+    for size in (8, 12, 16, 20, 24, 28, 32, 40):
+        for name in ("MNK-SST", "MNK-MTM", "MNK-STS"):
+            extents = {"m": size, "n": size, "k": size}
+            requests.append(
+                session.request(
+                    "gemm", name, backend="perf", extents=extents,
+                    options={"resolve": "best"},
+                )
+            )
+            requests.append(
+                session.request(
+                    "gemm", name, backend="cost", extents=extents,
+                    options={"resolve": "best"},
+                )
+            )
+            requests.append(
+                session.request(
+                    "gemm", name, backend="fpga", extents=extents,
+                    options={"workload_label": "MM"},
+                )
+            )
+    for seed in (0, 1):
+        requests.append(
+            session.request(
+                "gemm", "MNK-SST", backend="sim", array=SIM_ARRAY,
+                extents={"m": 4, "n": 4, "k": 4}, options={"seed": seed},
+            )
+        )
+    assert len(requests) >= 64, "the acceptance bar is a 64+ request batch"
+    return requests
+
+
+def _timed_batch(session, requests):
+    t0 = time.perf_counter()
+    results = session.evaluate_many(requests)
+    return results, time.perf_counter() - t0
+
+
+def _latency_percentiles(session, requests, repeat=3):
+    """p50/p95 of warm single-request evaluate() latency, in milliseconds."""
+    samples = []
+    for request in requests[: min(32, len(requests))] * repeat:
+        t0 = time.perf_counter()
+        session.evaluate(request)
+        samples.append((time.perf_counter() - t0) * 1e3)
+    samples.sort()
+    p50 = statistics.median(samples)
+    p95 = samples[int(0.95 * (len(samples) - 1))]
+    return p50, p95
+
+
+def _report(rows):
+    print_table(
+        "evaluate_many: 74 mixed-backend requests (perf/cost/fpga/sim)",
+        ["transport", "run", "req/s", "batch s", "p50 ms", "p95 ms"],
+        rows,
+    )
+
+
+def test_local_warm_batch_memo_speedup(benchmark, tmp_path):
+    session = LocalSession(ARRAY, cache=tmp_path / "memo.json", autoflush=False)
+    requests = mixed_requests(session)
+
+    def run():
+        cold, cold_s = _timed_batch(session, requests)
+        warm, warm_s = _timed_batch(session, requests)
+        return cold, cold_s, warm, warm_s
+
+    cold, cold_s, warm, warm_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    p50, p95 = _latency_percentiles(session, requests)
+    n = len(requests)
+    _report(
+        [
+            ["local", "cold", f"{n / cold_s:.0f}", f"{cold_s:.3f}", "-", "-"],
+            ["local", "warm", f"{n / warm_s:.0f}", f"{warm_s:.3f}",
+             f"{p50:.2f}", f"{p95:.2f}"],
+        ]
+    )
+    speedup = cold_s / warm_s
+    print(f"  local warm speedup: {speedup:.1f}x")
+
+    assert all(r.ok for r in cold)
+    assert not any(r.cached for r in cold)
+    assert all(r.cached for r in warm)  # the whole batch rode the memo cache
+    assert [r.metrics for r in warm] == [r.metrics for r in cold]
+    assert speedup >= 3.0, f"warm batch only {speedup:.1f}x faster than cold"
+
+
+def test_remote_matches_local_and_memoizes(benchmark, tmp_path):
+    from repro.service import RemoteSession, ServiceThread
+
+    local = LocalSession(ARRAY, cache=tmp_path / "local.json", autoflush=False)
+    local_results, _ = _timed_batch(local, mixed_requests(local))
+
+    server_session = LocalSession(
+        ARRAY, cache=tmp_path / "server.json", autoflush=False
+    )
+    with ServiceThread(server_session) as thread:
+        remote = RemoteSession(thread.url, array=ARRAY)
+        requests = mixed_requests(remote)
+
+        def run():
+            cold, cold_s = _timed_batch(remote, requests)
+            warm, warm_s = _timed_batch(remote, requests)
+            return cold, cold_s, warm, warm_s
+
+        cold, cold_s, warm, warm_s = benchmark.pedantic(run, rounds=1, iterations=1)
+        p50, p95 = _latency_percentiles(remote, requests)
+        n = len(requests)
+        _report(
+            [
+                ["remote", "cold", f"{n / cold_s:.0f}", f"{cold_s:.3f}", "-", "-"],
+                ["remote", "warm", f"{n / warm_s:.0f}", f"{warm_s:.3f}",
+                 f"{p50:.2f}", f"{p95:.2f}"],
+            ]
+        )
+        speedup = cold_s / warm_s
+        print(f"  remote warm speedup: {speedup:.1f}x (HTTP round-trips included)")
+
+        # location transparency: byte-identical metrics local vs remote
+        assert [r.metrics for r in cold] == [r.metrics for r in local_results]
+        assert all(r.cached for r in warm)  # server-side memo hits
+        assert speedup >= 3.0, f"remote warm batch only {speedup:.1f}x faster"

@@ -1,0 +1,84 @@
+"""End-to-end smoke test of the evaluation service, as CI runs it.
+
+Starts a real ``repro serve`` subprocess on an ephemeral port, drives one
+``evaluate_many`` batch and one NDJSON-streamed ``explore`` through
+:class:`~repro.service.client.RemoteSession`, then sends SIGINT and asserts
+the server shuts down cleanly (exit code 0, "shutdown complete" printed).
+
+Run:  PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}{env['PYTHONPATH']}" if env.get(
+        "PYTHONPATH"
+    ) else str(SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--rows", "8", "--cols", "8"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        assert proc.stdout is not None
+        banner = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", banner)
+        assert match, f"no service URL in banner: {banner!r}"
+        url = match.group(0)
+        print(f"server up at {url}")
+
+        from repro.service import RemoteSession
+
+        session = RemoteSession(url)
+        requests = [
+            session.request("gemm", "MNK-SST", backend=backend,
+                            extents={"m": 16, "n": 16, "k": 16})
+            for backend in ("perf", "cost", "fpga")
+        ]
+        results = session.evaluate_many(requests)
+        assert [r.backend for r in results] == ["perf", "cost", "fpga"]
+        assert all(r.ok for r in results), results
+        print(f"evaluate_many ok: {len(results)} results")
+
+        result = session.explore(
+            "gemm", extents={"m": 64, "n": 64, "k": 64},
+            selections=[("m", "n", "k")],
+        )
+        assert len(result) > 20, result.stats.summary()
+        print(f"streamed explore ok: {len(result)} points "
+              f"({result.stats.summary()})")
+        session.close()
+    finally:
+        proc.send_signal(signal.SIGINT)
+        deadline = time.monotonic() + 30
+        while proc.poll() is None and time.monotonic() < deadline:
+            time.sleep(0.1)
+        if proc.poll() is None:
+            proc.kill()
+            raise AssertionError("server did not shut down within 30s of SIGINT")
+    tail = proc.stdout.read() if proc.stdout else ""
+    assert proc.returncode == 0, f"server exited {proc.returncode}: {tail}"
+    assert "shutdown complete" in tail, f"no clean-shutdown banner: {tail!r}"
+    print("clean shutdown ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,14 +45,22 @@ __all__ = [
     "TensorDataflow",
     "STT",
     "Session",
+    "LocalSession",
+    "SessionProtocol",
     "DesignRequest",
     "EvalResult",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Top-level API surface re-exported lazily so ``import repro`` stays light.
-_API_EXPORTS = ("Session", "DesignRequest", "EvalResult")
+_API_EXPORTS = (
+    "Session",
+    "LocalSession",
+    "SessionProtocol",
+    "DesignRequest",
+    "EvalResult",
+)
 
 
 def __getattr__(name: str):

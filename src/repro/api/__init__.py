@@ -10,20 +10,28 @@ four incompatible call conventions (``CostModel.evaluate``,
 - :class:`~repro.api.registry.Evaluator` + :func:`register_evaluator` — the
   pluggable backend registry (``"cost"``, ``"perf"``, ``"fpga"``, ``"sim"``
   built in);
-- :class:`~repro.api.session.Session` — the facade owning backend selection,
-  the shared memo cache, and the worker pool, with ``evaluate()`` /
-  ``explore()`` / ``sweep()`` as the whole surface.
+- :class:`~repro.api.protocol.SessionProtocol` — the transport-agnostic
+  session surface (``evaluate``/``evaluate_many``/``explore``/``sweep``/
+  ``evaluate_names``/``cache_stats``/``flush``);
+- :class:`~repro.api.session.LocalSession` — the in-process implementation
+  owning backend selection, the shared memo cache, and the worker pool
+  (``Session`` remains as a compatible alias).  The HTTP implementation,
+  :class:`~repro.service.client.RemoteSession`, lives in :mod:`repro.service`.
 
 Quickstart::
 
-    from repro.api import Session
+    from repro.api import LocalSession
 
-    session = Session(cache="memo.json")
+    session = LocalSession(cache="memo.json")
     print(session.evaluate("gemm", "MNK-SST"))                  # perf
     print(session.evaluate("gemm", "MNK-SST", backend="cost"))  # area/power
+    batch = session.evaluate_many(
+        [session.request("gemm", "MNK-SST", backend=b) for b in ("perf", "cost")]
+    )
     frontier = session.explore("gemm").pareto()
 """
 
+from repro.api.protocol import SessionBase, SessionProtocol
 from repro.api.registry import (
     Evaluator,
     available_backends,
@@ -32,7 +40,7 @@ from repro.api.registry import (
     reset_registry,
     unregister_evaluator,
 )
-from repro.api.session import Session
+from repro.api.session import LocalSession, Session
 from repro.api.types import (
     SCHEMA_VERSION,
     DesignRequest,
@@ -46,7 +54,10 @@ __all__ = [
     "DesignRequest",
     "EvalResult",
     "Evaluator",
+    "LocalSession",
     "Session",
+    "SessionBase",
+    "SessionProtocol",
     "available_backends",
     "get_evaluator",
     "register_evaluator",

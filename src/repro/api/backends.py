@@ -35,6 +35,7 @@ from repro.ir.einsum import Statement
 from repro.perf.model import PerfModel
 
 __all__ = [
+    "BUILTIN_EVALUATORS",
     "CostEvaluator",
     "PerfEvaluator",
     "FpgaEvaluator",
@@ -275,9 +276,18 @@ class SimEvaluator:
         return _evaluating(run, self.backend, request)
 
 
+#: Backend name -> built-in evaluator class.  ``evaluate_many`` consults this
+#: to decide pool safety: only a name that *still* resolves to its built-in
+#: class may travel to a spawned worker (which re-imports a fresh registry).
+BUILTIN_EVALUATORS = {
+    cls.backend: cls
+    for cls in (CostEvaluator, PerfEvaluator, FpgaEvaluator, SimEvaluator)
+}
+
+
 def register_builtins() -> None:
     """Idempotently register the four built-in backends."""
-    for cls in (CostEvaluator, PerfEvaluator, FpgaEvaluator, SimEvaluator):
+    for cls in BUILTIN_EVALUATORS.values():
         _register_builtin(cls.backend, cls)
 
 

@@ -1,4 +1,4 @@
-"""The :class:`Session` facade — the single front door to evaluation.
+"""The in-process session — the reference :class:`SessionProtocol` implementation.
 
 A session owns the three things every consumer used to wire up by hand:
 
@@ -10,15 +10,23 @@ A session owns the three things every consumer used to wire up by hand:
   design-space engine (``points``/``spaces``/``names`` sections);
 - **the worker pool** — ``explore()``/``sweep()`` delegate to one lazily
   built :class:`~repro.explore.engine.EvaluationEngine` configured with the
-  session's process-pool settings.
+  session's process-pool settings, and ``evaluate_many()`` batches *any*
+  backend mix over the same pool settings.
+
+``Session`` remains as a compatible alias of :class:`LocalSession`; code that
+should be location-transparent takes a
+:class:`~repro.api.protocol.SessionProtocol` instead and also accepts the
+HTTP-speaking :class:`~repro.service.client.RemoteSession`.
 
 Usage::
 
-    from repro.api import Session
+    from repro.api import LocalSession
 
-    with Session(array=ArrayConfig(rows=16, cols=16), cache="dse.json") as s:
+    with LocalSession(array=ArrayConfig(rows=16, cols=16), cache="dse.json") as s:
         r = s.evaluate("gemm", "MNK-SST")                  # perf backend
         c = s.evaluate("gemm", "MNK-SST", backend="cost")  # same front door
+        batch = s.evaluate_many([s.request("gemm", "MNK-SST", backend=b)
+                                 for b in ("perf", "cost", "fpga")])
         result = s.explore("gemm")                         # full design space
         results = s.sweep(["gemm", "depthwise_conv"])      # multi-workload
 """
@@ -29,6 +37,7 @@ import copy
 import os
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.api.protocol import SessionBase
 from repro.api.registry import get_evaluator
 from repro.api.types import DesignRequest, EvalResult, SchemaVersionError
 from repro.cost.model import CostModel, CostParams
@@ -37,11 +46,39 @@ from repro.ir import workloads as workload_lib
 from repro.ir.einsum import Statement
 from repro.perf.model import ArrayConfig, PerfModel
 
-__all__ = ["Session"]
+__all__ = ["LocalSession", "Session"]
+
+def _pool_safe(request: DesignRequest) -> bool:
+    """May this request travel to a process-pool worker?
+
+    A spawned worker re-imports a *fresh* registry holding only the
+    built-ins, so a request is pool-safe only when its backend name still
+    resolves to the built-in evaluator class here — a backend registered (or
+    a built-in *overridden*) at runtime must stay on the in-process path or
+    the worker would silently answer with the wrong evaluator.
+    """
+    from repro.api.backends import BUILTIN_EVALUATORS
+
+    builtin = BUILTIN_EVALUATORS.get(request.backend)
+    return builtin is not None and type(get_evaluator(request.backend)) is builtin
 
 
-class Session:
-    """One configured evaluation context: array + cache + worker pool.
+def _evaluate_request_chunk(payloads: list[dict]) -> list[dict]:
+    """Pool worker: evaluate a chunk of serialized requests, in order.
+
+    Wire format in *and* out (``DesignRequest``/``EvalResult`` dicts): the
+    payloads are already canonical JSON-safe structures, so pooled results
+    are byte-identical to in-process ones after ``from_dict``.
+    """
+    results = []
+    for payload in payloads:
+        request = DesignRequest.from_dict(payload)
+        results.append(get_evaluator(request.backend).evaluate(request).to_dict())
+    return results
+
+
+class LocalSession(SessionBase):
+    """One configured in-process evaluation context: array + cache + pool.
 
     Parameters mirror :class:`~repro.explore.engine.EvaluationEngine` —
     ``array``/``width``/``cost_params``/``sram_words`` describe the platform,
@@ -72,10 +109,9 @@ class Session:
     ):
         if perf is not None and array is None:
             array = perf.config
-        self.array = array or ArrayConfig()
-        self.width = width
-        self.cost_params = cost_params
-        self.sram_words = sram_words
+        super().__init__(
+            array, width=width, cost_params=cost_params, sram_words=sram_words
+        )
         self.workers = workers
         self.chunk_size = chunk_size
         if isinstance(cache, (str, os.PathLike)):
@@ -87,12 +123,6 @@ class Session:
         self._engine: EvaluationEngine | None = None
 
     # -- lifecycle -----------------------------------------------------
-    def __enter__(self) -> "Session":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.flush()
-
     def flush(self) -> None:
         """Persist the memo cache (no-op when memoization is off)."""
         if self.cache is not None:
@@ -117,40 +147,17 @@ class Session:
                 workers=self.workers,
                 chunk_size=self.chunk_size,
                 cache=self.cache,
+                autoflush=self.autoflush,
             )
         return self._engine
 
-    # -- single-design evaluation ---------------------------------------
-    def request(
-        self,
-        workload: str,
-        dataflow: str | None = None,
-        *,
-        backend: str = "perf",
-        extents: Mapping[str, int] | None = None,
-        selection: Sequence[str] | None = None,
-        stt: Sequence[Sequence[int]] | None = None,
-        options: Mapping[str, Any] | None = None,
-        array: ArrayConfig | None = None,
-        width: int | None = None,
-        cost: CostParams | None = None,
-        sram_words: int | None = None,
-    ) -> DesignRequest:
-        """Build a :class:`DesignRequest`, filling defaults from the session."""
-        return DesignRequest(
-            workload=workload,
-            dataflow=dataflow,
-            selection=tuple(selection) if selection is not None else None,
-            stt=tuple(tuple(row) for row in stt) if stt is not None else None,
-            backend=backend,
-            extents=dict(extents or {}),
-            array=array or self.array,
-            width=self.width if width is None else width,
-            cost=cost if cost is not None else self.cost_params,
-            sram_words=self.sram_words if sram_words is None else sram_words,
-            options=dict(options or {}),
-        )
+    def engine_for(self, array: ArrayConfig | None) -> EvaluationEngine:
+        """The engine for ``array`` (this session's, or a cache-sharing sibling)."""
+        if array is None or array == self.array:
+            return self.engine
+        return self.engine._sibling(array)
 
+    # -- single-design evaluation ---------------------------------------
     def evaluate(
         self,
         request: DesignRequest | str,
@@ -166,28 +173,113 @@ class Session:
         an identical request was evaluated before — for *any* backend, which
         is what extends memoization to the FPGA model and the simulator.
         """
-        if not isinstance(request, DesignRequest):
-            request = self.request(request, dataflow, **request_kwargs)
-        elif dataflow is not None or request_kwargs:
-            raise TypeError(
-                "pass either a DesignRequest or workload/dataflow arguments, not both"
-            )
+        request = self._coerce_request(request, dataflow, request_kwargs)
         key = request.cache_key()
-        if self.cache is not None:
-            stored = self.cache.get("api", key)
-            if stored is not None:
-                try:
-                    # deep-copy so caller mutations of the returned result
-                    # can never reach back into the cache's own dicts
-                    hit = EvalResult.from_dict(copy.deepcopy(stored))
-                except (SchemaVersionError, ValueError, TypeError, KeyError):
-                    # stale entry from another schema/build: degrade to a
-                    # miss and overwrite, same contract as a corrupt file
-                    pass
-                else:
-                    hit.cached = True
-                    return hit
+        hit = self._memo_get(key)
+        if hit is not None:
+            return hit
         result = get_evaluator(request.backend).evaluate(request)
+        self._memo_put(key, result)
+        if self.cache is not None and self.autoflush:
+            self.cache.flush()
+        return result
+
+    def evaluate_many(
+        self,
+        requests: Sequence[DesignRequest | Mapping[str, Any]],
+        *,
+        workers: int | None = None,
+    ) -> list[EvalResult]:
+        """Evaluate a batch of requests, any backend mix, one result each.
+
+        The batch primitive behind the service's ``/v1/evaluate_many``: every
+        request is first probed against the memo cache (a warm batch costs no
+        model time at all), duplicate requests within the batch evaluate
+        once, and the remaining misses run through the engine's process-pool
+        settings (``workers``/``chunk_size``) — for *all* built-in backends,
+        cost/perf/fpga/sim alike, not just the engine paths.  Results come
+        back in request order; backends registered at runtime stay on the
+        in-process path (a spawned worker would not know them).
+        """
+        reqs = self._coerce_requests(requests)
+        workers = self.workers if workers is None else workers
+        results: list[EvalResult | None] = [None] * len(reqs)
+
+        # memo probe + within-batch dedup: key -> list of result slots
+        pending: dict[str, list[int]] = {}
+        pending_request: dict[str, DesignRequest] = {}
+        for i, request in enumerate(reqs):
+            key = request.cache_key()
+            if key in pending:
+                pending[key].append(i)
+                continue
+            hit = self._memo_get(key)
+            if hit is not None:
+                results[i] = hit
+            else:
+                pending[key] = [i]
+                pending_request[key] = request
+
+        pooled, inline = [], []
+        for key, request in pending_request.items():
+            (pooled if _pool_safe(request) else inline).append(key)
+        computed: dict[str, EvalResult] = {}
+
+        if workers > 1 and len(pooled) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            payloads = [pending_request[key].to_dict() for key in pooled]
+            chunks = [
+                payloads[i : i + self.chunk_size]
+                for i in range(0, len(payloads), self.chunk_size)
+            ]
+            max_workers = min(workers, len(chunks))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                outcomes: list[dict] = []
+                for chunk_results in pool.map(_evaluate_request_chunk, chunks):
+                    outcomes.extend(chunk_results)
+            for key, payload in zip(pooled, outcomes):
+                computed[key] = EvalResult.from_dict(payload)
+        else:
+            inline = pooled + inline
+
+        for key in inline:
+            computed[key] = get_evaluator(pending_request[key].backend).evaluate(
+                pending_request[key]
+            )
+
+        for key, result in computed.items():
+            self._memo_put(key, result)
+            slots = pending[key]
+            results[slots[0]] = result
+            for i in slots[1:]:
+                # duplicates get detached copies: callers may mutate results
+                results[i] = copy.deepcopy(result)
+        if self.cache is not None and self.autoflush and computed:
+            self.cache.flush()
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # -- memoization helpers ---------------------------------------------
+    def _memo_get(self, key: str) -> EvalResult | None:
+        """A detached cache hit (``cached=True``) or ``None`` on a miss."""
+        if self.cache is None:
+            return None
+        stored = self.cache.get("api", key)
+        if stored is None:
+            return None
+        try:
+            # deep-copy so caller mutations of the returned result
+            # can never reach back into the cache's own dicts
+            hit = EvalResult.from_dict(copy.deepcopy(stored))
+        except (SchemaVersionError, ValueError, TypeError, KeyError):
+            # stale entry from another schema/build: degrade to a
+            # miss and overwrite, same contract as a corrupt file
+            return None
+        hit.cached = True
+        return hit
+
+    def _memo_put(self, key: str, result: EvalResult) -> None:
         # Successes and resolve-stage failures are deterministic facts about
         # the design space (and resolve failures cost a full STT walk), so
         # both memoize.  Backend-stage failures do not: a sim mismatch or a
@@ -198,23 +290,32 @@ class Session:
             payload = result.to_dict()  # to_dict deep-copies the payload
             payload["cached"] = False
             self.cache.put("api", key, payload)
-            if self.autoflush:
-                self.cache.flush()
-        return result
 
     # -- design-space exploration ---------------------------------------
-    def explore(self, workload: Statement | str, **evaluate_kwargs) -> EvaluationResult:
+    def explore(
+        self,
+        workload: Statement | str,
+        *,
+        array: ArrayConfig | None = None,
+        extents: Mapping[str, int] | None = None,
+        **evaluate_kwargs,
+    ) -> EvaluationResult:
         """Run the full enumerate -> prune -> evaluate pipeline for one workload.
 
-        ``workload`` may be a Table II name or a ready
-        :class:`~repro.ir.einsum.Statement`; keyword arguments pass through to
+        ``workload`` may be a Table II name (with optional loop ``extents``
+        overrides) or a ready :class:`~repro.ir.einsum.Statement`; ``array``
+        overrides the session's platform for this run (sharing the memo
+        cache); other keyword arguments pass through to
         :meth:`EvaluationEngine.evaluate` (``selections``, ``one_d_only``,
         ``predicates``, ``workers`` ...).
         """
-        statement = (
-            workload_lib.by_name(workload) if isinstance(workload, str) else workload
-        )
-        return self.engine.evaluate(statement, **evaluate_kwargs)
+        if isinstance(workload, str):
+            statement = workload_lib.by_name(workload, **(extents or {}))
+        elif extents:
+            raise TypeError("pass extents only with a workload name, not a Statement")
+        else:
+            statement = workload
+        return self.engine_for(array).evaluate(statement, **evaluate_kwargs)
 
     def sweep(
         self,
@@ -245,7 +346,11 @@ class Session:
     def __repr__(self) -> str:
         cached = "none" if self.cache is None else f"{len(self.cache)} entries"
         return (
-            f"Session({self.array.rows}x{self.array.cols} @ "
+            f"{type(self).__name__}({self.array.rows}x{self.array.cols} @ "
             f"{self.array.freq_mhz:g} MHz, width={self.width}, "
             f"workers={self.workers}, cache={cached})"
         )
+
+
+#: Compatible alias: ``Session`` predates the local/remote split.
+Session = LocalSession

@@ -1,8 +1,11 @@
-"""Command-line interface: generate, verify and evaluate accelerators.
+"""Command-line interface: generate, verify, evaluate and serve accelerators.
 
-All evaluation commands (``verify``, ``evaluate``, ``explore``) route through
-the unified :class:`repro.api.Session` facade, so they share one backend
-registry and one mergeable memo cache (``--cache``).
+All evaluation commands (``verify``, ``evaluate``, ``explore``) are written
+against the transport-agnostic :class:`repro.api.SessionProtocol`: run them
+directly and they build an in-process :class:`~repro.api.LocalSession`; run
+them under ``repro client ... --url`` and the *same command functions* drive
+a remote ``repro serve`` through
+:class:`~repro.service.client.RemoteSession`.
 
 Examples::
 
@@ -12,12 +15,17 @@ Examples::
     python -m repro.cli explore gemm depthwise_conv --workers 4 --cache dse.json
     python -m repro.cli cache merge -o merged.json shard0.json shard1.json
     python -m repro.cli cache stats merged.json
+
+    # the evaluation service
+    python -m repro.cli serve --host 0.0.0.0 --port 8321 --workers 4 --cache memo.json
+    python -m repro.cli client evaluate gemm MNK-MTM --url http://host:8321
+    python -m repro.cli client explore gemm --rows 16 --cols 16 --url http://host:8321
+    python -m repro.cli client stats --url http://host:8321
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import os
 import sys
 
@@ -79,13 +87,18 @@ def _extents(args) -> dict[str, int]:
 
 
 def _session(args, **kwargs):
-    from repro.api import Session
+    """A :class:`SessionProtocol` for this invocation: local, or remote (--url)."""
+    array = ArrayConfig(rows=args.rows, cols=args.cols)
+    url = getattr(args, "url", None)
+    if url:
+        from repro.service import RemoteSession
 
-    return Session(
-        ArrayConfig(rows=args.rows, cols=args.cols),
-        cache=getattr(args, "cache", None),
-        **kwargs,
-    )
+        # pool size and cache are server-side concerns for a remote session
+        kwargs.pop("workers", None)
+        return RemoteSession(url, array=array, **kwargs)
+    from repro.api import LocalSession
+
+    return LocalSession(array, cache=getattr(args, "cache", None), **kwargs)
 
 
 def cmd_verify(args) -> int:
@@ -166,17 +179,15 @@ def cmd_enumerate(args) -> int:
 
 def _workload_statement(name: str, extents: dict[str, int]):
     """Instantiate a Table II workload, applying only the extents it takes."""
-    factory = workloads.TABLE_II[name]
-    accepted = set(inspect.signature(factory).parameters) - {"name"}
-    return factory(**{k: v for k, v in extents.items() if k in accepted})
+    accepted = workloads.accepted_extents(name)
+    return workloads.by_name(name, **{k: v for k, v in extents.items() if k in accepted})
 
 
 def cmd_explore(args) -> int:
     extents = _extents(args)
     accepted = set()
     for workload in args.workloads:
-        accepted |= set(inspect.signature(workloads.TABLE_II[workload]).parameters)
-    accepted -= {"name"}
+        accepted |= workloads.accepted_extents(workload)
     unknown = sorted(set(extents) - accepted)
     if unknown:
         print(
@@ -185,7 +196,7 @@ def cmd_explore(args) -> int:
             file=sys.stderr,
         )
         return 2
-    session = _session(args, width=args.width, workers=args.workers)
+    session = _session(args, width=args.width, workers=getattr(args, "workers", 0))
     statements = [_workload_statement(name, extents) for name in args.workloads]
     results = session.sweep(statements, one_d_only=args.one_d)
     for result in results:
@@ -293,6 +304,81 @@ def cmd_cache(args) -> int:
     raise AssertionError(args.cache_cmd)  # pragma: no cover
 
 
+def _add_explore_args(parser: argparse.ArgumentParser) -> None:
+    """The explore arguments shared by the local and `client` variants."""
+    parser.add_argument(
+        "workloads", nargs="+", choices=sorted(workloads.TABLE_II), metavar="workload"
+    )
+    parser.add_argument("--rows", type=int, default=16)
+    parser.add_argument("--cols", type=int, default=16)
+    parser.add_argument("--width", type=int, default=16)
+    parser.add_argument(
+        "--extent",
+        action="append",
+        default=[],
+        metavar="LOOP=N",
+        help="override a loop extent where the workload has it (repeatable)",
+    )
+    parser.add_argument("--one-d", action="store_true", help="1-D dataflow types only")
+    parser.add_argument(
+        "--top", type=int, default=5, help="how many best-performing designs to print"
+    )
+
+
+def cmd_serve(args) -> int:
+    """Run the async evaluation service until SIGINT/SIGTERM (clean shutdown)."""
+    import asyncio
+    import signal
+
+    from repro.api import SCHEMA_VERSION, LocalSession, available_backends
+    from repro.service import EvaluationService
+
+    session = LocalSession(
+        ArrayConfig(rows=args.rows, cols=args.cols),
+        width=args.width,
+        workers=args.workers,
+        cache=args.cache,
+        # the service flushes on shutdown and on /v1/cache/flush; rewriting
+        # the file after every request would throttle the whole server
+        autoflush=False,
+    )
+    service = EvaluationService(session, max_queued_jobs=args.max_jobs)
+
+    async def run() -> None:
+        server = await service.start(args.host, args.port)
+        port = server.sockets[0].getsockname()[1]
+        print(
+            f"serving on http://{args.host}:{port} "
+            f"(schema v{SCHEMA_VERSION}, backends: {', '.join(available_backends())})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        await service.close()
+
+    asyncio.run(run())
+    print("shutdown complete", flush=True)
+    return 0
+
+
+def cmd_client_stats(args) -> int:
+    """Print the remote server's memo-cache stats (`repro client stats`)."""
+    from repro.service import RemoteSession
+
+    stats = RemoteSession(args.url).cache_stats()
+    if not stats:
+        print(f"{args.url}: no memo cache (server started without --cache)")
+        return 0
+    from repro.explore.engine import MemoCache
+
+    sections = ", ".join(f"{stats[s]} {s}" for s in MemoCache._SECTIONS)
+    print(f"{args.url}: {sections} ({stats['hits']} hits, {stats['misses']} misses)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="TensorLib reproduction CLI"
@@ -327,28 +413,12 @@ def main(argv: list[str] | None = None) -> int:
     p_exp = sub.add_parser(
         "explore", help="sweep + evaluate the design space (multi-workload)"
     )
-    p_exp.add_argument(
-        "workloads", nargs="+", choices=sorted(workloads.TABLE_II), metavar="workload"
-    )
-    p_exp.add_argument("--rows", type=int, default=16)
-    p_exp.add_argument("--cols", type=int, default=16)
-    p_exp.add_argument("--width", type=int, default=16)
-    p_exp.add_argument(
-        "--extent",
-        action="append",
-        default=[],
-        metavar="LOOP=N",
-        help="override a loop extent where the workload has it (repeatable)",
-    )
-    p_exp.add_argument("--one-d", action="store_true", help="1-D dataflow types only")
+    _add_explore_args(p_exp)
     p_exp.add_argument(
         "--workers", type=int, default=0, help="process-pool evaluation (0 = serial)"
     )
     p_exp.add_argument(
         "--cache", metavar="PATH", help="on-disk JSON memo cache for warm re-runs"
-    )
-    p_exp.add_argument(
-        "--top", type=int, default=5, help="how many best-performing designs to print"
     )
     p_exp.set_defaults(func=cmd_explore)
 
@@ -371,6 +441,56 @@ def main(argv: list[str] | None = None) -> int:
     p_compact.add_argument("path", metavar="CACHE")
     p_compact.add_argument("-o", "--output", metavar="OUT", help="write here instead of in place")
     p_compact.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async HTTP/JSON evaluation service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8321, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument("--rows", type=int, default=16)
+    p_serve.add_argument("--cols", type=int, default=16)
+    p_serve.add_argument("--width", type=int, default=16)
+    p_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for batch/design-space evaluation (0 = serial)",
+    )
+    p_serve.add_argument(
+        "--cache", metavar="PATH", help="server-side JSON memo cache (shared by all clients)"
+    )
+    p_serve.add_argument(
+        "--max-jobs", type=int, default=16, help="bound on the queued-sweep job queue"
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    url_parent = argparse.ArgumentParser(add_help=False)
+    url_parent.add_argument(
+        "--url", required=True, metavar="URL", help="base URL of a running `repro serve`"
+    )
+    p_client = sub.add_parser(
+        "client", help="run evaluation commands against a remote `repro serve`"
+    )
+    client_sub = p_client.add_subparsers(dest="client_cmd", required=True)
+    c_ver = client_sub.add_parser(
+        "verify", parents=[url_parent], help="remote netlist-vs-numpy verification"
+    )
+    _add_common(c_ver)
+    c_ver.set_defaults(func=cmd_verify)
+    c_eval = client_sub.add_parser(
+        "evaluate", parents=[url_parent], help="remote performance/area/power models"
+    )
+    _add_common(c_eval)
+    c_eval.set_defaults(func=cmd_evaluate)
+    c_exp = client_sub.add_parser(
+        "explore", parents=[url_parent], help="remote design-space sweep (NDJSON-streamed)"
+    )
+    _add_explore_args(c_exp)
+    c_exp.set_defaults(func=cmd_explore)
+    c_stats = client_sub.add_parser(
+        "stats", parents=[url_parent], help="remote memo-cache stats"
+    )
+    c_stats.set_defaults(func=cmd_client_stats)
 
     args = parser.parse_args(argv)
     return args.func(args)

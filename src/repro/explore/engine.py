@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
@@ -225,6 +226,11 @@ class MemoCache:
     Caches are mergeable (:meth:`merge_from`), the substrate for combining
     shards of a ``sweep()`` distributed across machines — see the
     ``repro cache`` CLI subcommand.
+
+    All accessors are guarded by one re-entrant lock, so a cache shared by
+    the evaluation service's concurrent request handlers (threads) stays
+    consistent; the engine's *process* pools never share a cache object, so
+    the lock is uncontended in classic sweeps.
     """
 
     _SECTIONS = ("points", "spaces", "names", "api")
@@ -235,6 +241,7 @@ class MemoCache:
         self.hits = 0
         self.misses = 0
         self._dirty = False
+        self._lock = threading.RLock()
         if self.path is not None:
             self.load()
 
@@ -247,10 +254,15 @@ class MemoCache:
                 raw = json.load(fh)
         except (OSError, json.JSONDecodeError):
             return
-        for section in self._SECTIONS:
-            stored = raw.get(section)
-            if isinstance(stored, dict):
-                self._data[section].update(stored)
+        if not isinstance(raw, dict):
+            # a torn or foreign write can be valid JSON of the wrong shape;
+            # treat it exactly like a corrupt file (empty, not fatal)
+            return
+        with self._lock:
+            for section in self._SECTIONS:
+                stored = raw.get(section)
+                if isinstance(stored, dict):
+                    self._data[section].update(stored)
 
     def flush(self, force: bool = False) -> None:
         """Persist to disk (no-op for purely in-memory or clean caches).
@@ -259,16 +271,18 @@ class MemoCache:
         path, which re-serializes with minimal separators and drops whatever
         junk an interrupted or foreign writer left in the file.
         """
-        if self.path is None or not (self._dirty or force):
-            return
-        tmp = f"{self.path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as fh:
-            json.dump(self._data, fh, separators=(",", ":"))
-        os.replace(tmp, self.path)
-        self._dirty = False
+        with self._lock:
+            if self.path is None or not (self._dirty or force):
+                return
+            tmp = f"{self.path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as fh:
+                json.dump(self._data, fh, separators=(",", ":"))
+            os.replace(tmp, self.path)
+            self._dirty = False
 
     def __len__(self) -> int:
-        return sum(len(self._data[s]) for s in self._SECTIONS)
+        with self._lock:
+            return sum(len(self._data[s]) for s in self._SECTIONS)
 
     # -- sharding support ----------------------------------------------
     def merge_from(self, other: "MemoCache | str | os.PathLike") -> dict[str, int]:
@@ -278,38 +292,53 @@ class MemoCache:
         hold identical values for identical keys, so first-wins keeps merging
         deterministic regardless of file order.  Returns the count of newly
         added entries per section.
+
+        A shard *file* that cannot be read — appearing mid-write, truncated,
+        or holding valid JSON of the wrong shape — contributes zero entries
+        rather than raising, the same degrade-to-empty contract as
+        :meth:`load` (the ``repro cache`` CLI validates files up front when a
+        loud failure is wanted).
         """
         if not isinstance(other, MemoCache):
             other = MemoCache(other)
+        # snapshot under the source lock first, then fold under ours — never
+        # holding both locks at once (two caches merging into each other from
+        # two threads must not deadlock)
+        with other._lock:
+            theirs = {s: dict(other._data[s]) for s in self._SECTIONS}
         added = {}
-        for section in self._SECTIONS:
-            ours = self._data[section]
-            new = {k: v for k, v in other._data[section].items() if k not in ours}
-            if new:
-                ours.update(new)
-                self._dirty = True
-            added[section] = len(new)
+        with self._lock:
+            for section in self._SECTIONS:
+                ours = self._data[section]
+                new = {k: v for k, v in theirs[section].items() if k not in ours}
+                if new:
+                    ours.update(new)
+                    self._dirty = True
+                added[section] = len(new)
         return added
 
     def stats(self) -> dict[str, int]:
         """Entry count per section (plus hit/miss counters for this run)."""
-        out = {section: len(self._data[section]) for section in self._SECTIONS}
-        out["hits"] = self.hits
-        out["misses"] = self.misses
-        return out
+        with self._lock:
+            out = {section: len(self._data[section]) for section in self._SECTIONS}
+            out["hits"] = self.hits
+            out["misses"] = self.misses
+            return out
 
     # -- typed accessors -----------------------------------------------
     def get(self, section: str, key: str):
-        value = self._data[section].get(key)
-        if value is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return value
+        with self._lock:
+            value = self._data[section].get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
 
     def put(self, section: str, key: str, value) -> None:
-        self._data[section][key] = value
-        self._dirty = True
+        with self._lock:
+            self._data[section][key] = value
+            self._dirty = True
 
 
 # ----------------------------------------------------------------------
@@ -363,6 +392,11 @@ class EvaluationEngine:
     cache:
         A :class:`MemoCache`, a filesystem path for an on-disk JSON cache, or
         ``None`` to disable memoization.
+    autoflush:
+        Persist the cache after each pipeline run (default).  A server
+        session sharing one big cache across many requests passes ``False``
+        and flushes explicitly (shutdown, ``/v1/cache/flush``) instead of
+        rewriting the file per request.
     """
 
     def __init__(
@@ -377,6 +411,7 @@ class EvaluationEngine:
         workers: int = 0,
         chunk_size: int = 32,
         cache: MemoCache | str | os.PathLike | None = None,
+        autoflush: bool = True,
     ):
         if perf is not None and array is None:
             array = perf.config
@@ -395,6 +430,11 @@ class EvaluationEngine:
         if isinstance(cache, (str, os.PathLike)):
             cache = MemoCache(cache)
         self.cache = cache
+        self.autoflush = autoflush
+
+    def _flush(self) -> None:
+        if self.cache is not None and self.autoflush:
+            self.cache.flush()
 
     # -- cache keys ----------------------------------------------------
     @staticmethod
@@ -506,6 +546,85 @@ class EvaluationEngine:
             self.cache.put("spaces", space_key, recorded)
 
     # -- stage 3: evaluation --------------------------------------------
+    @staticmethod
+    def _point_from_outcome(spec: DataflowSpec, outcome: tuple) -> DesignPoint:
+        """Build the :class:`DesignPoint` for one worker-outcome tuple."""
+        if outcome[0] == "ok":
+            _, perf_n, cycles, area, power = outcome
+            return DesignPoint(
+                spec=spec,
+                normalized_perf=perf_n,
+                cycles=cycles,
+                area_mm2=area,
+                power_mw=power,
+            )
+        _, stage, reason = outcome
+        return DesignPoint(
+            spec=spec,
+            failure=DesignFailure(
+                spec_name=spec.name,
+                letters=spec.letters,
+                stage=stage,
+                reason=reason,
+            ),
+        )
+
+    def _lookup(
+        self, statement: Statement, spec: DataflowSpec, stats: EvaluationStats
+    ) -> tuple[tuple | None, str | None]:
+        """Memo-cache probe: ``(cached outcome, None)`` or ``(None, put-key)``."""
+        stats.enumerated += 1
+        if self.cache is None:
+            return None, None
+        key = self._design_key(statement, spec)
+        cached = self.cache.get("points", key)
+        if cached is not None:
+            stats.cache_hits += 1
+            return tuple(cached), None
+        stats.cache_misses += 1
+        return None, key
+
+    def stream(
+        self,
+        statement: Statement,
+        *,
+        specs: Iterable[DataflowSpec] | None = None,
+        stats: EvaluationStats | None = None,
+        **space_kwargs,
+    ) -> Iterator[DesignPoint]:
+        """Yield evaluated :class:`DesignPoint` rows one at a time (serial).
+
+        This is the incremental face of :meth:`evaluate`: each design is
+        resolved from the memo cache or run through the models the moment it
+        comes off the enumeration stream, so a consumer — the evaluation
+        service's NDJSON ``/v1/explore`` endpoint in particular — sees
+        results as they are produced instead of after the whole space
+        finishes.  Failures are yielded inline as points carrying a
+        :class:`DesignFailure`.  Pass a shared ``stats`` to observe the run's
+        counters; the cache is flushed when the generator is exhausted or
+        closed.
+        """
+        stats = stats if stats is not None else EvaluationStats()
+        source: Iterable[DataflowSpec]
+        if specs is not None:
+            source = specs
+        else:
+            source = self.iter_space(statement, stats=stats, **space_kwargs)
+        try:
+            for spec in source:
+                outcome, key = self._lookup(statement, spec, stats)
+                if outcome is None:
+                    outcome = _evaluate_one(spec, self.perf, self.cost)
+                    stats.evaluated += 1
+                if key is not None:
+                    self.cache.put("points", key, list(outcome))
+                point = self._point_from_outcome(spec, outcome)
+                if not point.ok:
+                    stats.skipped += 1
+                yield point
+        finally:
+            self._flush()
+
     def evaluate(
         self,
         statement: Statement,
@@ -527,21 +646,6 @@ class EvaluationEngine:
         """
         workers = self.workers if workers is None else workers
         stats = EvaluationStats()
-        stream: Iterable[DataflowSpec]
-        if specs is not None:
-            stream = specs
-        else:
-            stream = self.iter_space(
-                statement,
-                one_d_only=one_d_only,
-                selections=selections,
-                predicates=predicates,
-                bound=bound,
-                per_selection_limit=per_selection_limit,
-                realizable_only=realizable_only,
-                canonical=canonical,
-                stats=stats,
-            )
 
         # Stream through the memo cache and the models: a design is evaluated
         # (or resolved from cache) as it comes off the enumeration stream —
@@ -552,56 +656,35 @@ class EvaluationEngine:
         def emit(spec: DataflowSpec, outcome: tuple, key: str | None) -> None:
             if key is not None:
                 self.cache.put("points", key, list(outcome))
-            if outcome[0] == "ok":
-                _, perf_n, cycles, area, power = outcome
-                points.append(
-                    DesignPoint(
-                        spec=spec,
-                        normalized_perf=perf_n,
-                        cycles=cycles,
-                        area_mm2=area,
-                        power_mw=power,
-                    )
-                )
-            else:
-                _, stage, reason = outcome
-                failures.append(
-                    DesignPoint(
-                        spec=spec,
-                        failure=DesignFailure(
-                            spec_name=spec.name,
-                            letters=spec.letters,
-                            stage=stage,
-                            reason=reason,
-                        ),
-                    )
-                )
+            point = self._point_from_outcome(spec, outcome)
+            (points if point.ok else failures).append(point)
 
-        def lookup(spec: DataflowSpec) -> tuple[tuple | None, str | None]:
-            stats.enumerated += 1
-            if self.cache is None:
-                return None, None
-            key = self._design_key(statement, spec)
-            cached = self.cache.get("points", key)
-            if cached is not None:
-                stats.cache_hits += 1
-                return tuple(cached), None
-            stats.cache_misses += 1
-            return None, key
-
+        space_kwargs = dict(
+            one_d_only=one_d_only,
+            selections=selections,
+            predicates=predicates,
+            bound=bound,
+            per_selection_limit=per_selection_limit,
+            realizable_only=realizable_only,
+            canonical=canonical,
+        )
         if workers <= 1:
-            for spec in stream:
-                outcome, key = lookup(spec)
-                if outcome is None:
-                    outcome = _evaluate_one(spec, self.perf, self.cost)
-                    stats.evaluated += 1
-                emit(spec, outcome, key)
+            for point in self.stream(statement, specs=specs, stats=stats, **space_kwargs):
+                (points if point.ok else failures).append(point)
         else:
+            stream: Iterable[DataflowSpec]
+            if specs is not None:
+                stream = specs
+            else:
+                stream = self.iter_space(statement, stats=stats, **space_kwargs)
+
+            def lookup(spec: DataflowSpec):
+                return self._lookup(statement, spec, stats)
+
             self._evaluate_parallel(stream, workers, lookup, emit, stats)
 
         stats.skipped = len(failures)
-        if self.cache is not None:
-            self.cache.flush()
+        self._flush()
         return EvaluationResult(
             workload=statement.name,
             array=self.array,
@@ -721,8 +804,7 @@ class EvaluationEngine:
             (name, self.perf.evaluate(self.resolve_name(statement, name, bound=bound, limit=limit)))
             for name in names
         ]
-        if self.cache is not None:
-            self.cache.flush()
+        self._flush()
         return rows
 
     # -- stage 4: multi-workload sweeps ----------------------------------
@@ -769,6 +851,7 @@ class EvaluationEngine:
             workers=self.workers,
             chunk_size=self.chunk_size,
             cache=self.cache,
+            autoflush=self.autoflush,
         )
 
 

@@ -128,3 +128,19 @@ def by_name(name: str, **extents: int) -> Statement:
     except KeyError:
         raise KeyError(f"unknown workload {name!r}; known: {sorted(TABLE_II)}") from None
     return factory(**extents)
+
+
+def accepted_extents(name: str) -> set[str]:
+    """The loop-extent keywords the Table II factory for ``name`` accepts.
+
+    The single source of truth for extent validation/filtering — used by the
+    CLI (to reject unknown ``--extent`` flags up front) and by the service
+    wire format (so a remote session rejects exactly what a local one does).
+    """
+    import inspect
+
+    try:
+        factory = TABLE_II[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(TABLE_II)}") from None
+    return set(inspect.signature(factory).parameters) - {"name"}

@@ -1,0 +1,32 @@
+"""The async evaluation service: location-transparent sessions over HTTP/JSON.
+
+PR 2 made every evaluation a versioned, JSON-round-trippable
+``DesignRequest``/``EvalResult`` pair; this package is the payoff — the same
+:class:`~repro.api.protocol.SessionProtocol` surface served over the wire:
+
+- :class:`~repro.service.server.EvaluationService` — a stdlib-asyncio
+  HTTP/1.1 server exposing ``/v1/evaluate``, ``/v1/evaluate_many``,
+  ``/v1/explore`` (NDJSON streaming), ``/v1/jobs`` (bounded sweep queue) and
+  ``/v1/cache/stats``, run via ``repro serve``;
+- :class:`~repro.service.client.RemoteSession` — the drop-in client: every
+  consumer written against :class:`SessionProtocol` runs unmodified against
+  a local or a remote session;
+- :class:`~repro.service.server.ServiceThread` — in-process embedding for
+  tests, benchmarks and examples.
+
+Quickstart::
+
+    # machine A
+    $ python -m repro.cli serve --host 0.0.0.0 --port 8321 --cache memo.json
+
+    # machine B (or the same one)
+    from repro.service import RemoteSession
+    with RemoteSession("http://machine-a:8321") as session:
+        print(session.evaluate("gemm", "MNK-SST"))
+        print(session.explore("gemm").pareto())
+"""
+
+from repro.service.client import RemoteSession
+from repro.service.server import EvaluationService, ServiceThread
+
+__all__ = ["EvaluationService", "RemoteSession", "ServiceThread"]

@@ -1,0 +1,327 @@
+"""The HTTP :class:`SessionProtocol` implementation.
+
+:class:`RemoteSession` points the whole session surface at a running
+``repro serve`` process: requests are built client-side by the shared
+:class:`~repro.api.protocol.SessionBase` machinery (so they are bit-identical
+to what a :class:`~repro.api.session.LocalSession` would evaluate), travel as
+the versioned ``DesignRequest`` JSON, and come back as ``EvalResult`` —
+including memoization metadata (``cached=True`` hits are the *server's* memo
+hits; location transparency includes the cache).
+
+Error behavior mirrors the local session: unknown backends raise
+``LookupError``, bad arguments ``ValueError``/``TypeError``, and a
+wire-format mismatch :class:`~repro.api.types.SchemaVersionError` — the
+version is negotiated once against ``GET /v1/healthz`` and asserted on every
+request via the ``X-Repro-Schema`` header.
+
+Usage::
+
+    from repro.service import RemoteSession
+
+    with RemoteSession("http://127.0.0.1:8321") as session:
+        session.evaluate("gemm", "MNK-SST")           # same calls as local
+        session.evaluate_many([...])
+        session.explore("gemm").pareto()              # NDJSON-streamed
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping, Sequence
+from urllib.parse import urlsplit
+
+from repro.api.protocol import SessionBase
+from repro.api.types import SCHEMA_VERSION, DesignRequest, EvalResult, SchemaVersionError
+from repro.cost.model import CostParams
+from repro.explore.engine import DesignPoint, EvaluationResult, EvaluationStats
+from repro.ir.einsum import Statement
+from repro.perf.model import ArrayConfig, PerfResult
+from repro.service import wire
+
+__all__ = ["RemoteSession"]
+
+
+class RemoteSession(SessionBase):
+    """Evaluate against a remote ``repro serve`` — same protocol, other machine.
+
+    ``array``/``width``/``cost_params``/``sram_words`` are the *client-side*
+    request-building defaults (every request is self-contained, so the
+    server's own platform defaults never leak in); ``timeout`` bounds each
+    HTTP call.  The connection is persistent and reconnects transparently
+    once per call if the server recycled it.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        array: ArrayConfig | None = None,
+        width: int = 16,
+        cost_params: CostParams | None = None,
+        sram_words: int = 32768,
+        timeout: float = 300.0,
+    ):
+        super().__init__(
+            array, width=width, cost_params=cost_params, sram_words=sram_words
+        )
+        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+        if parts.scheme != "http":
+            raise ValueError(f"RemoteSession speaks plain http, got {url!r}")
+        if not parts.hostname:
+            raise ValueError(f"no host in service url {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.url = f"http://{self.host}:{self.port}"
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+        self._negotiated = False
+
+    # -- transport -------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _reset_connection(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _roundtrip(
+        self, method: str, path: str, payload: Any | None
+    ) -> http.client.HTTPResponse:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {
+            "Content-Type": "application/json",
+            wire.SCHEMA_HEADER: str(SCHEMA_VERSION),
+        }
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                return conn.getresponse()
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # a recycled keep-alive socket fails exactly once; rebuild
+                # and retry, then let the second failure propagate
+                self._reset_connection()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call(self, method: str, path: str, payload: Any | None = None) -> Any:
+        """One JSON round-trip; server errors re-raise as local exceptions."""
+        self._handshake()
+        response = self._roundtrip(method, path, payload)
+        data = response.read()
+        parsed = json.loads(data) if data else {}
+        if response.status >= 400:
+            wire.raise_remote_error(parsed, response.status)
+        return parsed
+
+    def _stream(self, path: str, payload: Any) -> http.client.HTTPResponse:
+        """Open an NDJSON stream; the caller must read it to the end."""
+        self._handshake()
+        response = self._roundtrip("POST", path, payload)
+        if response.status >= 400:
+            parsed = json.loads(response.read() or b"{}")
+            wire.raise_remote_error(parsed, response.status)
+        return response
+
+    def _handshake(self) -> None:
+        """Negotiate the wire format once (GET /v1/healthz)."""
+        if self._negotiated:
+            return
+        self._negotiated = True  # even a failed handshake should not loop
+        try:
+            response = self._roundtrip("GET", "/v1/healthz", None)
+            info = json.loads(response.read() or b"{}")
+        except (ConnectionError, OSError) as exc:
+            self._negotiated = False
+            raise ConnectionError(
+                f"no evaluation service reachable at {self.url}: {exc}"
+            ) from exc
+        server_version = info.get("schema_version")
+        if server_version != SCHEMA_VERSION:
+            raise SchemaVersionError(
+                f"server at {self.url} speaks schema_version {server_version!r}, "
+                f"this client speaks {SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        self._reset_connection()
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.flush()
+        except (ConnectionError, OSError):  # the server may already be gone
+            pass
+        self.close()
+
+    # -- SessionProtocol -------------------------------------------------
+    def evaluate(
+        self,
+        request: DesignRequest | str,
+        dataflow: str | None = None,
+        **request_kwargs,
+    ) -> EvalResult:
+        """Evaluate one design on the server (its memo cache included)."""
+        request = self._coerce_request(request, dataflow, request_kwargs)
+        payload = self._call("POST", "/v1/evaluate", request.to_dict())
+        return EvalResult.from_dict(payload)
+
+    def evaluate_many(
+        self, requests: Sequence[DesignRequest | Mapping[str, Any]]
+    ) -> list[EvalResult]:
+        """Batch-evaluate on the server; one round-trip for the whole batch."""
+        reqs = self._coerce_requests(requests)
+        payload = self._call(
+            "POST", "/v1/evaluate_many", {"requests": [r.to_dict() for r in reqs]}
+        )
+        return [EvalResult.from_dict(item) for item in payload["results"]]
+
+    def explore(
+        self,
+        workload: Statement | str,
+        *,
+        array: ArrayConfig | None = None,
+        extents: Mapping[str, int] | None = None,
+        **engine_options,
+    ) -> EvaluationResult:
+        """Run the design-space pipeline remotely, streamed as NDJSON.
+
+        Points arrive (and are reconstructed into real
+        :class:`~repro.explore.engine.DesignPoint` objects) as the server
+        produces them; the returned :class:`EvaluationResult` is
+        behaviorally identical to the local one — ``best()``, ``pareto()``,
+        ``failure_report()`` and the stats all work.
+        """
+        payload = wire.statement_payload(workload, extents)
+        statement = (
+            workload if isinstance(workload, Statement)
+            else wire.instantiate_statement(payload)
+        )
+        if engine_options:
+            payload["options"] = dict(engine_options)
+        # always ship the platform: like a LocalSession, *this* session's
+        # array governs when the call carries none — never the server's
+        payload["array"] = wire.array_to_dict(array or self.array)
+        response = self._stream("/v1/explore", payload)
+        points: list[DesignPoint] = []
+        failures: list[DesignPoint] = []
+        stats = EvaluationStats()
+        result_array = array or self.array
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            row = json.loads(line)
+            kind = row.get("row")
+            if kind == "start":
+                if row.get("schema_version") != SCHEMA_VERSION:
+                    raise SchemaVersionError(
+                        f"stream schema_version {row.get('schema_version')!r} "
+                        f"!= {SCHEMA_VERSION}"
+                    )
+                result_array = wire.array_from_dict(row["array"])
+            elif kind in ("point", "failure"):
+                point = wire.row_to_point(row, statement)
+                (points if point.ok else failures).append(point)
+            elif kind == "stats":
+                stats = wire.row_to_stats(row)
+            elif kind == "error":
+                raise RuntimeError(
+                    f"remote explore of {statement.name!r} failed: {row['reason']}"
+                )
+        return EvaluationResult(
+            workload=statement.name,
+            array=result_array,
+            points=points,
+            failures=failures,
+            stats=stats,
+        )
+
+    def sweep(
+        self,
+        workloads: Sequence[Statement | str],
+        configs: Sequence[ArrayConfig] | None = None,
+        **engine_options,
+    ) -> list[EvaluationResult]:
+        """Pipeline over ``workloads`` x ``configs``, configs-major (like local)."""
+        config_list: Sequence[ArrayConfig | None] = (
+            list(configs) if configs is not None else [None]
+        )
+        results = []
+        for config in config_list:
+            for workload in workloads:
+                results.append(self.explore(workload, array=config, **engine_options))
+        return results
+
+    def evaluate_names(
+        self,
+        statement: Statement | str,
+        names: Sequence[str],
+        *,
+        bound: int = 1,
+        limit: int = 24,
+    ) -> list[tuple[str, PerfResult]]:
+        """Paper dataflow names, best STT per name, scored server-side."""
+        payload = wire.statement_payload(statement)
+        payload.update(
+            names=list(names),
+            bound=bound,
+            limit=limit,
+            # this session's platform, like the local engine would use
+            array=wire.array_to_dict(self.array),
+        )
+        response = self._call("POST", "/v1/evaluate_names", payload)
+        return [
+            (name, PerfResult(**fields)) for name, fields in response["results"]
+        ]
+
+    def cache_stats(self) -> dict[str, int]:
+        """The *server's* memo-cache counters."""
+        return self._call("GET", "/v1/cache/stats")
+
+    def flush(self) -> None:
+        """Ask the server to persist its memo cache now."""
+        self._call("POST", "/v1/cache/flush")
+
+    # -- the job API ------------------------------------------------------
+    def submit_job(
+        self,
+        workloads: Sequence[str],
+        *,
+        configs: Sequence[ArrayConfig] | None = None,
+        extents: Mapping[str, int] | None = None,
+        **engine_options,
+    ) -> dict[str, Any]:
+        """Queue a long sweep server-side; returns the job snapshot (id+status)."""
+        payload: dict[str, Any] = {"workloads": list(workloads)}
+        if configs:
+            payload["configs"] = [wire.array_to_dict(c) for c in configs]
+        if extents:
+            payload["extents"] = dict(extents)
+        if engine_options:
+            payload["options"] = dict(engine_options)
+        return self._call("POST", "/v1/jobs", payload)["job"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """Poll one job (status, and results once done)."""
+        return self._call("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """All jobs the server still remembers."""
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def cancel_job(self, job_id: str) -> dict[str, Any]:
+        """Cancel a job (queued: immediate; running: between workloads)."""
+        return self._call("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteSession({self.url}, defaults "
+            f"{self.array.rows}x{self.array.cols}, width={self.width})"
+        )

@@ -1,0 +1,594 @@
+"""The async evaluation service: a stdlib-only HTTP/JSON front-end.
+
+:class:`EvaluationService` wraps any in-process
+:class:`~repro.api.session.LocalSession` in a small asyncio HTTP/1.1 server
+(hand-rolled on ``asyncio.start_server`` — no third-party web framework, per
+the repo's no-new-deps rule).  The wire format is exactly the versioned
+:class:`~repro.api.types.DesignRequest` / :class:`~repro.api.types.EvalResult`
+JSON the API layer already speaks, so a request built anywhere evaluates to
+the same memo-cache key everywhere.
+
+Endpoints (all under ``/v1``):
+
+========================  =====================================================
+``GET  /v1/healthz``      liveness + ``schema_version`` negotiation + backends
+``POST /v1/evaluate``     one ``DesignRequest`` -> one ``EvalResult``
+``POST /v1/evaluate_many``  ``{"requests": [...]}`` -> ``{"results": [...]}``
+``POST /v1/explore``      NDJSON stream: ``start``, then one ``point`` /
+                          ``failure`` row per design *as it is produced*,
+                          then ``stats``
+``POST /v1/evaluate_names``  paper dataflow names -> per-name perf results
+``POST /v1/jobs``         submit a sweep job to the bounded queue (503 full)
+``GET  /v1/jobs[/<id>]``  list / poll jobs
+``DELETE /v1/jobs/<id>``  cancel (queued jobs immediately; running jobs
+                          cooperatively between workloads)
+``GET  /v1/cache/stats``  the session's memo-cache counters
+``POST /v1/cache/flush``  persist the memo cache now
+========================  =====================================================
+
+Evaluations run on a thread executor so the event loop stays responsive;
+the session's :class:`~repro.explore.engine.MemoCache` is lock-guarded, so
+concurrent handlers share it safely.  Model evaluation itself may still fan
+out over the session's *process* pool — the service adds location
+transparency, not a second parallelism scheme.
+
+:class:`ServiceThread` runs the whole thing on a background thread with its
+own event loop — the embedding used by the tests, the benchmarks and the
+``examples/remote_evaluation.py`` walkthrough.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.session import LocalSession
+from repro.api.types import SCHEMA_VERSION, DesignRequest, SchemaVersionError
+from repro.explore.engine import EvaluationStats
+from repro.service import wire
+
+__all__ = ["EvaluationService", "ServiceThread"]
+
+#: ``options`` keys /v1/explore and job payloads may pass to the engine.
+_EXPLORE_OPTIONS = (
+    "one_d_only",
+    "selections",
+    "bound",
+    "per_selection_limit",
+    "realizable_only",
+    "canonical",
+)
+
+#: Client errors that become 400s; anything else is a 500.
+_CLIENT_ERRORS = (LookupError, KeyError, ValueError, TypeError)
+
+
+def _engine_options(payload: Mapping[str, Any]) -> dict[str, Any]:
+    options = payload.get("options") or {}
+    unknown = sorted(set(options) - set(_EXPLORE_OPTIONS))
+    if unknown:
+        raise ValueError(
+            f"unknown explore option(s) {unknown}; known: {sorted(_EXPLORE_OPTIONS)}"
+        )
+    out = dict(options)
+    if out.get("selections") is not None:
+        out["selections"] = [tuple(sel) for sel in out["selections"]]
+    return out
+
+
+@dataclass
+class Job:
+    """One queued/running sweep; JSON-safe snapshots via :meth:`snapshot`."""
+
+    id: str
+    payload: dict[str, Any]
+    status: str = "queued"  # queued|running|done|failed|cancelled
+    error: str | None = None
+    results: list[dict[str, Any]] = field(default_factory=list)
+    cancel_requested: bool = False
+
+    def snapshot(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "id": self.id,
+            "status": self.status,
+            "workloads": list(self.payload.get("workloads", ())),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.status in ("done", "cancelled") and self.results:
+            out["results"] = self.results
+        return out
+
+
+class EvaluationService:
+    """Serve a :class:`LocalSession` over HTTP/JSON (see module docstring)."""
+
+    def __init__(
+        self,
+        session: LocalSession,
+        *,
+        max_queued_jobs: int = 16,
+        max_kept_jobs: int = 256,
+    ):
+        self.session = session
+        self.max_queued_jobs = max_queued_jobs
+        self.max_kept_jobs = max_kept_jobs
+        self.jobs: dict[str, Job] = {}
+        self._job_ids = itertools.count(1)
+        self._job_queue: asyncio.Queue[Job] | None = None
+        self._runner: asyncio.Task | None = None
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        """Bind and start serving; returns the ``asyncio.Server`` (port 0 = ephemeral)."""
+        self._job_queue = asyncio.Queue(maxsize=self.max_queued_jobs)
+        self._runner = asyncio.create_task(self._run_jobs())
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        return self._server
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, cancel the job runner, and flush the session cache."""
+        if self._runner is not None:
+            self._runner.cancel()
+            try:
+                await self._runner
+            except asyncio.CancelledError:
+                pass
+            self._runner = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.session.flush()
+
+    # -- HTTP plumbing --------------------------------------------------
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, path, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            body = await reader.readexactly(length)
+        return method, path, headers, body
+
+    @staticmethod
+    def _json_response(
+        writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = json.dumps(payload).encode()
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+                  409: "Conflict", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode() + body)
+
+    @staticmethod
+    def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+        writer.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                await self._dispatch(method, path, headers, body, writer)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # the loop is shutting down with this keep-alive connection
+            # parked on readline(); closing quietly is the clean exit
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # -- routing ---------------------------------------------------------
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        headers: Mapping[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        advertised = headers.get(wire.SCHEMA_HEADER.lower())
+        if advertised is not None and advertised != str(SCHEMA_VERSION):
+            exc = SchemaVersionError(
+                f"client schema_version {advertised!r} is not supported "
+                f"(this server speaks version {SCHEMA_VERSION})"
+            )
+            payload = wire.error_payload(exc)
+            payload["schema_version"] = SCHEMA_VERSION
+            self._json_response(writer, 409, payload)
+            return
+        try:
+            payload = json.loads(body) if body else {}
+        except json.JSONDecodeError as exc:
+            self._json_response(
+                writer, 400, wire.error_payload(ValueError(f"invalid JSON body: {exc}"))
+            )
+            return
+        try:
+            await self._route(method, path, payload, writer)
+        except SchemaVersionError as exc:
+            self._json_response(writer, 409, wire.error_payload(exc))
+        except _CLIENT_ERRORS as exc:
+            self._json_response(writer, 400, wire.error_payload(exc))
+        except Exception as exc:  # noqa: BLE001 - crash becomes a visible 500
+            self._json_response(writer, 500, wire.error_payload(exc))
+
+    async def _route(
+        self, method: str, path: str, payload: Any, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        route = (method, path)
+        if route == ("GET", "/v1/healthz"):
+            from repro.api.registry import available_backends
+            from repro.ir.workloads import TABLE_II
+
+            self._json_response(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "schema_version": SCHEMA_VERSION,
+                    "backends": list(available_backends()),
+                    "workloads": sorted(TABLE_II),
+                    "array": wire.array_to_dict(self.session.array),
+                },
+            )
+        elif route == ("GET", "/v1/cache/stats"):
+            self._json_response(writer, 200, self.session.cache_stats())
+        elif route == ("POST", "/v1/cache/flush"):
+            await loop.run_in_executor(None, self.session.flush)
+            self._json_response(writer, 200, {"flushed": True})
+        elif route == ("POST", "/v1/evaluate"):
+            request = DesignRequest.from_dict(payload)
+            result = await loop.run_in_executor(None, self.session.evaluate, request)
+            self._json_response(writer, 200, result.to_dict())
+        elif route == ("POST", "/v1/evaluate_many"):
+            requests = payload.get("requests")
+            if not isinstance(requests, list):
+                raise ValueError('evaluate_many body needs a "requests" list')
+            results = await loop.run_in_executor(
+                None, self.session.evaluate_many, requests
+            )
+            self._json_response(
+                writer, 200, {"results": [r.to_dict() for r in results]}
+            )
+        elif route == ("POST", "/v1/evaluate_names"):
+            statement = wire.instantiate_statement(payload)
+            names = payload.get("names") or []
+            bound = int(payload.get("bound", 1))
+            limit = int(payload.get("limit", 24))
+            array = (
+                wire.array_from_dict(payload["array"]) if payload.get("array") else None
+            )
+            engine = self.session.engine_for(array)
+            rows = await loop.run_in_executor(
+                None,
+                lambda: engine.evaluate_names(
+                    statement, names, bound=bound, limit=limit
+                ),
+            )
+            import dataclasses
+
+            self._json_response(
+                writer,
+                200,
+                {"results": [[name, dataclasses.asdict(r)] for name, r in rows]},
+            )
+        elif route == ("POST", "/v1/explore"):
+            await self._explore_stream(payload, writer)
+        elif route == ("POST", "/v1/jobs"):
+            self._submit_job(payload, writer)
+        elif route == ("GET", "/v1/jobs"):
+            self._json_response(
+                writer, 200, {"jobs": [job.snapshot() for job in self.jobs.values()]}
+            )
+        elif method in ("GET", "DELETE") and path.startswith("/v1/jobs/"):
+            self._job_detail(method, path.rsplit("/", 1)[1], writer)
+        else:
+            self._json_response(
+                writer,
+                404,
+                {"error": f"no route {method} {path}", "error_type": "LookupError"},
+            )
+
+    # -- streaming explore ----------------------------------------------
+    async def _explore_stream(
+        self, payload: Mapping[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        # validate everything *before* the headers go out: errors here are
+        # clean JSON responses, errors mid-stream become an "error" row
+        statement = wire.instantiate_statement(payload)
+        array = (
+            wire.array_from_dict(payload["array"]) if payload.get("array") else None
+        )
+        options = _engine_options(payload)
+        engine = self.session.engine_for(array)
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=256)
+        stats = EvaluationStats()
+
+        def produce() -> None:
+            """Runs on an executor thread; backpressured by the queue."""
+            try:
+                for point in engine.stream(statement, stats=stats, **options):
+                    asyncio.run_coroutine_threadsafe(
+                        queue.put(("row", wire.point_to_row(point))), loop
+                    ).result()
+                asyncio.run_coroutine_threadsafe(queue.put(("end", None)), loop).result()
+            except BaseException as exc:  # noqa: BLE001 - travels as an error row
+                asyncio.run_coroutine_threadsafe(
+                    queue.put(("error", f"{type(exc).__name__}: {exc}")), loop
+                ).result()
+
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+        )
+        start_row = {
+            "row": "start",
+            "schema_version": SCHEMA_VERSION,
+            "workload": statement.name,
+            "array": wire.array_to_dict(array or self.session.array),
+        }
+        self._write_chunk(writer, json.dumps(start_row).encode() + b"\n")
+        producer = loop.run_in_executor(None, produce)
+        try:
+            while True:
+                kind, value = await queue.get()
+                if kind == "row":
+                    self._write_chunk(writer, json.dumps(value).encode() + b"\n")
+                    await writer.drain()
+                elif kind == "error":
+                    error_row = {"row": "error", "reason": value}
+                    self._write_chunk(writer, json.dumps(error_row).encode() + b"\n")
+                    break
+                else:
+                    break
+        finally:
+            # keep draining while the producer finishes: if this handler is
+            # bailing early (client hung up), a backpressured producer would
+            # otherwise block on a full queue forever
+            while not producer.done():
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    await asyncio.sleep(0.005)
+            await producer
+        self._write_chunk(writer, json.dumps(wire.stats_to_row(stats)).encode() + b"\n")
+        writer.write(b"0\r\n\r\n")
+
+    # -- jobs -------------------------------------------------------------
+    def _submit_job(self, payload: Mapping[str, Any], writer) -> None:
+        workloads = payload.get("workloads")
+        if not isinstance(workloads, list) or not workloads:
+            raise ValueError('job body needs a non-empty "workloads" list')
+        _engine_options(payload)  # validate option names up front
+        for name in workloads:
+            wire.instantiate_statement(
+                {"workload": name, "extents": payload.get("extents") or {}}
+            )
+        for config in payload.get("configs") or []:
+            wire.array_from_dict(config)
+        assert self._job_queue is not None, "service not started"
+        job = Job(id=f"job-{next(self._job_ids)}", payload=dict(payload))
+        try:
+            self._job_queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self._json_response(
+                writer,
+                503,
+                {
+                    "error": (
+                        f"job queue full ({self.max_queued_jobs} queued); "
+                        "retry after a poll shows capacity"
+                    ),
+                    "error_type": "RuntimeError",
+                },
+            )
+            return
+        self.jobs[job.id] = job
+        self._prune_jobs()
+        self._json_response(writer, 202, {"job": job.snapshot()})
+
+    def _job_detail(self, method: str, job_id: str, writer) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._json_response(
+                writer,
+                404,
+                {"error": f"no such job {job_id!r}", "error_type": "LookupError"},
+            )
+            return
+        if method == "DELETE":
+            job.cancel_requested = True
+            if job.status == "queued":
+                job.status = "cancelled"
+        self._json_response(writer, 200, {"job": job.snapshot()})
+
+    def _prune_jobs(self) -> None:
+        """Drop the oldest finished jobs beyond ``max_kept_jobs``."""
+        finished = [
+            job_id
+            for job_id, job in self.jobs.items()
+            if job.status in ("done", "failed", "cancelled")
+        ]
+        for job_id in finished[: max(0, len(self.jobs) - self.max_kept_jobs)]:
+            del self.jobs[job_id]
+
+    async def _run_jobs(self) -> None:
+        assert self._job_queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._job_queue.get()
+            if job.status == "cancelled" or job.cancel_requested:
+                job.status = "cancelled"
+                continue
+            job.status = "running"
+            try:
+                completed = await loop.run_in_executor(None, self._run_sweep_job, job)
+            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            else:
+                job.status = "done" if completed else "cancelled"
+
+    def _run_sweep_job(self, job: Job) -> bool:
+        """Execute one sweep job; returns False when cancelled mid-run.
+
+        Cancellation is cooperative at workload granularity: the flag is
+        checked between (config, workload) evaluations, so a running job
+        stops after the current workload and keeps its partial results.
+        """
+        payload = job.payload
+        configs = [wire.array_from_dict(c) for c in payload.get("configs") or []] or [
+            None
+        ]
+        options = _engine_options(payload)
+        extents = payload.get("extents") or {}
+        for config in configs:
+            for name in payload["workloads"]:
+                if job.cancel_requested:
+                    return False
+                statement = wire.instantiate_statement(
+                    {"workload": name, "extents": extents}
+                )
+                result = self.session.explore(statement, array=config, **options)
+                job.results.append(
+                    {
+                        "workload": result.workload,
+                        "array": wire.array_to_dict(result.array),
+                        "points": len(result.points),
+                        "failures": len(result.failures),
+                        "stats": {
+                            k: v
+                            for k, v in wire.stats_to_row(result.stats).items()
+                            if k != "row"
+                        },
+                        "best": [wire.point_to_row(p) for p in result.best(5)],
+                        "pareto": [p.name for p in result.pareto()],
+                    }
+                )
+        return True
+
+
+class ServiceThread:
+    """Run an :class:`EvaluationService` on a daemon thread (tests/benchmarks).
+
+    Usage::
+
+        with ServiceThread(LocalSession(ArrayConfig(rows=8, cols=8))) as srv:
+            remote = RemoteSession(srv.url)
+            ...
+
+    ``url`` carries the actual bound port (``port=0`` picks an ephemeral one).
+    """
+
+    def __init__(
+        self,
+        session: LocalSession | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs,
+    ):
+        self.session = session if session is not None else LocalSession()
+        self.host = host
+        self.port = port
+        self.url: str | None = None
+        self.service: EvaluationService | None = None
+        self._service_kwargs = service_kwargs
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("service thread did not start within 60s")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures only
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.service = EvaluationService(self.session, **self._service_kwargs)
+        server = await self.service.start(self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self.url = f"http://{self.host}:{self.port}"
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,215 @@
+"""Wire-format helpers shared by the service server and the remote client.
+
+The service speaks exactly the versioned JSON the API layer already defines
+(:class:`~repro.api.types.DesignRequest` / :class:`~repro.api.types.EvalResult`
+with ``schema_version``); this module adds the few shapes that are service
+specific and must be identical on both ends:
+
+- **statement payloads** — a Table II workload name plus its loop extents, the
+  serializable identity of a :class:`~repro.ir.einsum.Statement` (arbitrary
+  statements cannot travel; the design-space endpoints accept exactly what
+  the CLI accepts);
+- **NDJSON rows** — the streamed ``/v1/explore`` records: one ``start`` row,
+  then a ``point``/``failure`` row per design *as it is produced*, then one
+  ``stats`` row.  Points round-trip losslessly: the ``(selection, STT)`` pair
+  reconstructs the exact :class:`DataflowSpec` client-side;
+- **error payloads** — exceptions cross the wire as
+  ``{"error", "error_type"}`` and are re-raised client-side as the matching
+  built-in type, so ``RemoteSession`` surfaces the same ``LookupError`` /
+  ``ValueError`` / :class:`SchemaVersionError` a ``LocalSession`` would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, NoReturn
+
+from repro.api.types import SchemaVersionError
+from repro.core.dataflow import DataflowSpec
+from repro.core.enumerate import EnumerationStats
+from repro.core.stt import STT
+from repro.explore.engine import (
+    DesignFailure,
+    DesignPoint,
+    EvaluationStats,
+)
+from repro.ir import workloads as workload_lib
+from repro.ir.einsum import Statement
+from repro.perf.model import ArrayConfig
+
+__all__ = [
+    "SCHEMA_HEADER",
+    "statement_payload",
+    "instantiate_statement",
+    "array_to_dict",
+    "array_from_dict",
+    "point_to_row",
+    "row_to_point",
+    "stats_to_row",
+    "row_to_stats",
+    "error_payload",
+    "raise_remote_error",
+]
+
+#: Request header carrying the client's wire-format version; the server
+#: refuses mismatches up front (409) instead of failing mid-payload.
+SCHEMA_HEADER = "X-Repro-Schema"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+def statement_payload(
+    workload: Statement | str, extents: Mapping[str, int] | None = None
+) -> dict[str, Any]:
+    """Serialize a workload reference for the design-space endpoints.
+
+    Accepts a Table II name (with optional ``extents`` overrides) or a ready
+    :class:`Statement` instantiated from a Table II factory — the same two
+    forms ``LocalSession.explore`` takes.  A statement whose name is not a
+    Table II entry has no wire identity and is rejected loudly.
+    """
+    if isinstance(workload, str):
+        if workload not in workload_lib.TABLE_II:
+            raise KeyError(
+                f"unknown workload {workload!r}; known: {sorted(workload_lib.TABLE_II)}"
+            )
+        return {"workload": workload, "extents": dict(extents or {})}
+    statement = workload
+    if statement.name not in workload_lib.TABLE_II:
+        raise ValueError(
+            f"statement {statement.name!r} is not a Table II workload; remote "
+            "design-space calls can only ship workloads both ends can "
+            f"instantiate by name (known: {sorted(workload_lib.TABLE_II)})"
+        )
+    if extents:
+        raise TypeError("pass extents only with a workload name, not a Statement")
+    # a statement's iteration space may name derived loops the factory does
+    # not parameterize; only factory-accepted extents are its wire identity
+    accepted = workload_lib.accepted_extents(statement.name)
+    extent_map = dict(zip(statement.space.names, statement.space.extents))
+    return {
+        "workload": statement.name,
+        "extents": {k: int(v) for k, v in extent_map.items() if k in accepted},
+    }
+
+
+def instantiate_statement(payload: Mapping[str, Any]) -> Statement:
+    """Rebuild the :class:`Statement` a :func:`statement_payload` describes.
+
+    Unknown extent keys are rejected (``TypeError``) exactly like
+    ``LocalSession.explore`` rejects them — a remote caller must never get
+    silently served a different problem size than the one they asked for.
+    """
+    name = payload["workload"]
+    extents = payload.get("extents") or {}
+    accepted = workload_lib.accepted_extents(name)  # KeyError names the workload
+    unknown = sorted(set(extents) - accepted)
+    if unknown:
+        raise TypeError(
+            f"workload {name!r} does not accept extent(s) {unknown}; "
+            f"accepted: {sorted(accepted)}"
+        )
+    return workload_lib.by_name(name, **{k: int(v) for k, v in extents.items()})
+
+
+# ----------------------------------------------------------------------
+# Array configs
+# ----------------------------------------------------------------------
+def array_to_dict(array: ArrayConfig) -> dict[str, Any]:
+    return dataclasses.asdict(array)
+
+
+def array_from_dict(payload: Mapping[str, Any]) -> ArrayConfig:
+    return ArrayConfig(**payload)
+
+
+# ----------------------------------------------------------------------
+# NDJSON rows (the /v1/explore stream)
+# ----------------------------------------------------------------------
+def point_to_row(point: DesignPoint) -> dict[str, Any]:
+    """One streamed design: metrics for successes, stage+reason for failures."""
+    row: dict[str, Any] = {
+        "row": "point" if point.ok else "failure",
+        "selection": list(point.spec.selected),
+        "stt": [list(r) for r in point.spec.stt.matrix],
+    }
+    if point.ok:
+        row.update(
+            normalized_perf=point.normalized_perf,
+            cycles=point.cycles,
+            area_mm2=point.area_mm2,
+            power_mw=point.power_mw,
+        )
+    else:
+        assert point.failure is not None
+        row.update(stage=point.failure.stage, reason=point.failure.reason)
+    return row
+
+
+def row_to_point(row: Mapping[str, Any], statement: Statement) -> DesignPoint:
+    """Reconstruct the exact :class:`DesignPoint` a ``point``/``failure`` row encodes."""
+    spec = DataflowSpec(
+        statement,
+        tuple(row["selection"]),
+        STT(tuple(tuple(int(v) for v in r) for r in row["stt"])),
+    )
+    if row["row"] == "point":
+        return DesignPoint(
+            spec=spec,
+            normalized_perf=row["normalized_perf"],
+            cycles=row["cycles"],
+            area_mm2=row["area_mm2"],
+            power_mw=row["power_mw"],
+        )
+    return DesignPoint(
+        spec=spec,
+        failure=DesignFailure(
+            spec_name=spec.name,
+            letters=spec.letters,
+            stage=row["stage"],
+            reason=row["reason"],
+        ),
+    )
+
+
+def stats_to_row(stats: EvaluationStats) -> dict[str, Any]:
+    row = dataclasses.asdict(stats)
+    row["row"] = "stats"
+    return row
+
+
+def row_to_stats(row: Mapping[str, Any]) -> EvaluationStats:
+    data = {k: v for k, v in row.items() if k != "row"}
+    data["enum"] = EnumerationStats(**data.get("enum", {}))
+    return EvaluationStats(**data)
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+#: Exception types a server error payload may name; anything else re-raises
+#: as RuntimeError so an unexpected server-side crash is visibly remote.
+_ERROR_TYPES: dict[str, type[BaseException]] = {
+    "SchemaVersionError": SchemaVersionError,
+    "LookupError": LookupError,
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "NotImplementedError": NotImplementedError,
+}
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    message = str(exc)
+    if isinstance(exc, KeyError) and exc.args:
+        # KeyError stringifies as the repr of its key; keep the message
+        message = str(exc.args[0])
+    return {"error": message, "error_type": type(exc).__name__}
+
+
+def raise_remote_error(payload: Mapping[str, Any], status: int) -> NoReturn:
+    """Re-raise a server error payload as the matching local exception."""
+    message = payload.get("error", f"HTTP {status}")
+    exc_type = _ERROR_TYPES.get(payload.get("error_type", ""), RuntimeError)
+    raise exc_type(message)

@@ -1,4 +1,10 @@
-"""Session facade: routing, memoization per backend, delegation, shims."""
+"""Session behavior: routing, memoization per backend, delegation, shims.
+
+The behavioral classes (routing, delegation) are parametrized over **both**
+``SessionProtocol`` implementations — the in-process ``LocalSession`` and
+the HTTP ``RemoteSession`` against a live in-process server — so location
+transparency is enforced by the same assertions, not by a parallel suite.
+"""
 
 import warnings
 
@@ -7,6 +13,7 @@ import pytest
 from repro.api import (
     DesignRequest,
     EvalResult,
+    LocalSession,
     Session,
     register_evaluator,
     reset_registry,
@@ -20,9 +27,24 @@ SMALL_ARRAY = ArrayConfig(rows=2, cols=2)
 GEMM_SEL = [("m", "n", "k")]
 
 
-@pytest.fixture()
-def session():
-    return Session(ArrayConfig(rows=8, cols=8))
+@pytest.fixture(scope="module")
+def service_thread():
+    """One live evaluation service for the whole module's remote sessions."""
+    from repro.service import ServiceThread
+
+    with ServiceThread(LocalSession(ArrayConfig(rows=8, cols=8))) as thread:
+        yield thread
+
+
+@pytest.fixture(params=["local", "remote"])
+def session(request):
+    """The same behavioral surface served in-process and over HTTP."""
+    if request.param == "local":
+        return Session(ArrayConfig(rows=8, cols=8))
+    from repro.service import RemoteSession
+
+    thread = request.getfixturevalue("service_thread")
+    return RemoteSession(thread.url, array=ArrayConfig(rows=8, cols=8))
 
 
 class TestRouting:
@@ -377,22 +399,24 @@ class TestMergeAndCompact:
 
 
 class TestDelegation:
-    def test_explore_matches_engine(self):
+    def test_explore_matches_engine(self, session):
+        """Local and remote explores are bit-identical to the bare engine."""
         gemm = workloads.gemm(64, 64, 64)
-        session = Session(ArrayConfig(rows=8, cols=8))
         engine = EvaluationEngine(ArrayConfig(rows=8, cols=8))
         via_session = session.explore(gemm, selections=GEMM_SEL)
         via_engine = engine.evaluate(gemm, selections=GEMM_SEL)
         assert [p.metrics() for p in via_session] == [p.metrics() for p in via_engine]
+        assert [p.name for p in via_session] == [p.name for p in via_engine]
 
-    def test_explore_accepts_workload_names(self):
-        session = Session(ArrayConfig(rows=4, cols=4))
-        result = session.explore("batched_gemv", one_d_only=True)
+    def test_explore_accepts_workload_names(self, session):
+        result = session.explore(
+            "batched_gemv", one_d_only=True, array=ArrayConfig(rows=4, cols=4)
+        )
         assert result.workload == "batched_gemv"
+        assert result.array == ArrayConfig(rows=4, cols=4)
         assert len(result) > 0
 
-    def test_sweep_delegates(self):
-        session = Session(ArrayConfig(rows=8, cols=8))
+    def test_sweep_delegates(self, session):
         results = session.sweep(
             [workloads.gemm(64, 64, 64), "batched_gemv"],
             selections=None,
@@ -400,11 +424,23 @@ class TestDelegation:
         )
         assert [r.workload for r in results] == ["gemm", "batched_gemv"]
 
-    def test_evaluate_names_delegates(self):
-        session = Session(ArrayConfig(rows=8, cols=8))
+    def test_evaluate_names_delegates(self, session):
         rows = session.evaluate_names("gemm", ["MNK-SST", "MNK-MTM"])
         assert [name for name, _ in rows] == ["MNK-SST", "MNK-MTM"]
         assert all(r.cycles > 0 for _, r in rows)
+
+    def test_evaluate_many_delegates(self, session):
+        requests = [
+            session.request("gemm", name, backend=backend, extents=SMALL)
+            for name in ("MNK-SST", "MNK-MTM")
+            for backend in ("perf", "cost")
+        ]
+        results = session.evaluate_many(requests)
+        assert [r.backend for r in results] == ["perf", "cost", "perf", "cost"]
+        assert [r.dataflow for r in results] == ["MNK-SST", "MNK-SST", "MNK-MTM", "MNK-MTM"]
+        assert all(r.ok for r in results)
+        singles = [session.evaluate(request) for request in requests]
+        assert [r.metrics for r in results] == [s.metrics for s in singles]
 
     def test_context_manager_flushes(self, tmp_path):
         path = tmp_path / "memo.json"
@@ -422,12 +458,41 @@ class TestDeprecationShims:
             pts = explore(gemm, rows=8, cols=8, selections=GEMM_SEL)
         assert len(pts) > 20
 
+    def test_dse_explore_matches_session_results(self):
+        """The shim is a pass-through: identical points, identical order."""
+        from repro.explore.dse import explore
+
+        gemm = workloads.gemm(64, 64, 64)
+        with pytest.warns(DeprecationWarning):
+            shim_points = explore(gemm, rows=8, cols=8, selections=GEMM_SEL)
+        session_points = (
+            Session(ArrayConfig(rows=8, cols=8)).explore(gemm, selections=GEMM_SEL).points
+        )
+        assert [p.name for p in shim_points] == [p.name for p in session_points]
+        assert [p.metrics() for p in shim_points] == [
+            p.metrics() for p in session_points
+        ]
+
     def test_perf_evaluate_named_warns(self):
         model = PerfModel(ArrayConfig(rows=8, cols=8))
         gemm = workloads.gemm(64, 64, 64)
         with pytest.warns(DeprecationWarning, match="Session.evaluate"):
             r = model.evaluate_named(gemm, "MNK-SST")
         assert 0 < r.normalized <= 1
+
+    def test_perf_evaluate_named_matches_session_results(self):
+        """The shim resolves and scores exactly like the perf backend."""
+        model = PerfModel(ArrayConfig(rows=8, cols=8))
+        gemm = workloads.gemm(64, 64, 64)
+        with pytest.warns(DeprecationWarning):
+            shim = model.evaluate_named(gemm, "MNK-SST")
+        via_session = Session(ArrayConfig(rows=8, cols=8)).evaluate(
+            "gemm", "MNK-SST", extents={"m": 64, "n": 64, "k": 64}
+        )
+        assert via_session.ok
+        assert via_session["cycles"] == shim.cycles
+        assert via_session["normalized_perf"] == shim.normalized
+        assert via_session["utilization"] == shim.utilization
 
     def test_new_paths_do_not_warn(self):
         session = Session(ArrayConfig(rows=8, cols=8))
@@ -440,8 +505,12 @@ class TestDeprecationShims:
 class TestPackageSurface:
     def test_lazy_top_level_exports(self):
         import repro
+        from repro.api import SessionProtocol
 
         assert repro.Session is Session
+        assert repro.LocalSession is LocalSession
+        assert repro.Session is LocalSession  # the compatible alias
+        assert repro.SessionProtocol is SessionProtocol
         assert repro.DesignRequest is DesignRequest
         assert repro.EvalResult is EvalResult
         with pytest.raises(AttributeError):

@@ -1,0 +1,44 @@
+"""Suite-wide configuration: a hard per-test timeout.
+
+The service tests start real servers and block on sockets; a hung server
+must fail *one test* loudly, never wedge the whole suite (CI would otherwise
+sit until the job-level kill).  Implemented with SIGALRM — no third-party
+timeout plugin in the image — so it is enforced only on platforms with the
+signal and in the main thread, which is where pytest runs tests.
+
+Override the budget with ``REPRO_TEST_TIMEOUT`` (seconds, 0 disables).
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        _TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {_TIMEOUT}s per-test timeout "
+            "(REPRO_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,321 @@
+"""The evaluation service: wire protocol, streaming, jobs, shutdown."""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, LocalSession
+from repro.api.types import SchemaVersionError
+from repro.perf.model import ArrayConfig
+from repro.service import RemoteSession, ServiceThread
+
+SMALL = {"m": 4, "n": 4, "k": 4}
+SMALL_ARRAY = ArrayConfig(rows=2, cols=2)
+
+
+@pytest.fixture(scope="module")
+def cached_service(tmp_path_factory):
+    """A server whose session owns an on-disk memo cache."""
+    cache = tmp_path_factory.mktemp("service") / "memo.json"
+    session = LocalSession(ArrayConfig(rows=8, cols=8), cache=cache, autoflush=False)
+    with ServiceThread(session) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def remote(cached_service):
+    return RemoteSession(cached_service.url, array=ArrayConfig(rows=8, cols=8))
+
+
+def _raw(service: ServiceThread) -> http.client.HTTPConnection:
+    return http.client.HTTPConnection("127.0.0.1", service.port, timeout=60)
+
+
+class TestWireProtocol:
+    def test_healthz_advertises_schema(self, cached_service):
+        conn = _raw(cached_service)
+        conn.request("GET", "/v1/healthz")
+        info = json.loads(conn.getresponse().read())
+        assert info["status"] == "ok"
+        assert info["schema_version"] == SCHEMA_VERSION
+        assert set(info["backends"]) >= {"cost", "perf", "fpga", "sim"}
+        conn.close()
+
+    def test_schema_header_mismatch_is_409(self, cached_service):
+        conn = _raw(cached_service)
+        conn.request("GET", "/v1/cache/stats", headers={"X-Repro-Schema": "99"})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 409
+        assert payload["error_type"] == "SchemaVersionError"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        conn.close()
+
+    def test_stale_payload_schema_is_409(self, remote):
+        request = remote.request("gemm", "MNK-SST", extents=SMALL).to_dict()
+        request["schema_version"] = 99
+        with pytest.raises(SchemaVersionError, match="99"):
+            remote.evaluate(request)
+
+    def test_unknown_route_is_404(self, remote):
+        with pytest.raises(LookupError, match="no route"):
+            remote._call("GET", "/v1/nope")
+
+    def test_invalid_json_body_is_400(self, cached_service):
+        conn = _raw(cached_service)
+        conn.request(
+            "POST", "/v1/evaluate", body=b"{truncated",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 400
+        assert "invalid JSON" in json.loads(response.read())["error"]
+        conn.close()
+
+    def test_unknown_backend_maps_to_lookup_error(self, remote):
+        with pytest.raises(LookupError, match="registered"):
+            remote.evaluate("gemm", "MNK-SST", backend="nope", extents=SMALL)
+
+    def test_unreachable_server_is_connection_error(self):
+        session = RemoteSession("http://127.0.0.1:9", timeout=2)
+        with pytest.raises(ConnectionError, match="no evaluation service"):
+            session.evaluate("gemm", "MNK-SST", extents=SMALL)
+
+
+class TestEvaluation:
+    def test_server_memoizes_across_clients(self, cached_service):
+        """The memo cache is the server's: a second client gets warm hits."""
+        request_kwargs = dict(extents={"m": 6, "n": 6, "k": 6}, array=SMALL_ARRAY)
+        first = RemoteSession(cached_service.url).evaluate(
+            "gemm", "MNK-SST", **request_kwargs
+        )
+        second = RemoteSession(cached_service.url).evaluate(
+            "gemm", "MNK-SST", **request_kwargs
+        )
+        assert not first.cached and second.cached
+        first.cached = second.cached = False
+        assert first == second
+
+    def test_evaluate_many_round_trip(self, remote):
+        requests = [
+            remote.request("gemm", name, backend=backend, extents=SMALL, array=SMALL_ARRAY)
+            for name in ("MNK-SST", "MNK-MTM")
+            for backend in ("perf", "cost")
+        ]
+        results = remote.evaluate_many(requests)
+        assert [r.backend for r in results] == ["perf", "cost", "perf", "cost"]
+        assert all(r.ok for r in results)
+
+    def test_client_array_governs_not_servers(self, cached_service):
+        """A remote session's own platform wins over the server's default.
+
+        The server runs 8x8; a client configured 4x4 must get 4x4 answers
+        from explore and evaluate_names — exactly like a LocalSession(4x4).
+        """
+        four = ArrayConfig(rows=4, cols=4)
+        extents = {"m": 64, "n": 64, "k": 64}
+        remote = RemoteSession(cached_service.url, array=four)
+        local = LocalSession(four)
+        remote_result = remote.explore(
+            "gemm", extents=extents, selections=[("m", "n", "k")]
+        )
+        local_result = local.explore(
+            "gemm", extents=extents, selections=[("m", "n", "k")]
+        )
+        assert remote_result.array == four
+        assert [p.metrics() for p in remote_result] == [
+            p.metrics() for p in local_result
+        ]
+        remote_names = remote.evaluate_names("gemm", ["MNK-SST"])
+        local_names = local.evaluate_names("gemm", ["MNK-SST"])
+        assert remote_names[0][1].cycles == local_names[0][1].cycles
+
+    def test_cache_stats_and_flush(self, remote, cached_service):
+        remote.evaluate("gemm", "MNK-SST", extents={"m": 5, "n": 5, "k": 5})
+        stats = remote.cache_stats()
+        assert stats["api"] >= 1
+        remote.flush()
+        assert Path(cached_service.session.cache.path).exists()
+
+
+class TestStreaming:
+    def test_explore_streams_ndjson_rows(self, cached_service):
+        """Raw wire check: chunked NDJSON with start/point/stats framing."""
+        conn = _raw(cached_service)
+        payload = {
+            "workload": "gemm",
+            "extents": {"m": 64, "n": 64, "k": 64},
+            "options": {"selections": [["m", "n", "k"]]},
+        }
+        conn.request(
+            "POST", "/v1/explore", body=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        rows = [json.loads(line) for line in response.read().splitlines()]
+        conn.close()
+        assert rows[0]["row"] == "start"
+        assert rows[0]["workload"] == "gemm"
+        assert rows[-1]["row"] == "stats"
+        kinds = {row["row"] for row in rows[1:-1]}
+        assert kinds <= {"point", "failure"} and "point" in kinds
+        assert rows[-1]["enumerated"] == len(rows) - 2
+
+    def test_streamed_rows_arrive_incrementally(self, cached_service):
+        """The first design rows land before the sweep finishes — streaming,
+        not buffer-then-dump."""
+        conn = _raw(cached_service)
+        payload = {"workload": "gemm", "extents": {"m": 64, "n": 64, "k": 64}}
+        conn.request(
+            "POST", "/v1/explore", body=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        first_rows = [json.loads(response.readline()) for _ in range(3)]
+        remaining = response.read().splitlines()
+        conn.close()
+        assert first_rows[0]["row"] == "start"
+        assert all(r["row"] in ("point", "failure") for r in first_rows[1:])
+        assert json.loads(remaining[-1])["row"] == "stats"
+
+    def test_remote_explore_counts_are_complete(self, remote):
+        """Every enumerated design reaches the client as a point or failure."""
+        result = remote.explore("gemm", extents={"m": 64, "n": 64, "k": 64})
+        assert len(result) > 0
+        assert result.stats.enumerated == len(result.points) + len(result.failures)
+        assert result.array == ArrayConfig(rows=8, cols=8)  # the session default
+
+    def test_unknown_explore_option_rejected_before_stream(self, remote):
+        """Bad options fail as a clean 400, not a broken stream."""
+        with pytest.raises(ValueError, match="unknown explore option"):
+            remote.explore("gemm", options_that_do_not_exist=True)
+
+    def test_unknown_extent_rejected_like_local(self, remote):
+        """A mistyped extent raises, never silently serves the default size
+        (same TypeError contract as LocalSession.explore)."""
+        with pytest.raises(TypeError, match="does not accept extent"):
+            remote.explore("gemm", extents={"M": 64})
+        with pytest.raises(TypeError):
+            LocalSession(ArrayConfig(rows=4, cols=4)).explore("gemm", extents={"M": 64})
+
+
+class TestJobs:
+    def test_job_lifecycle(self, remote):
+        job = remote.submit_job(
+            ["batched_gemv"], one_d_only=True, extents={"m": 8, "n": 8, "k": 8}
+        )
+        assert job["status"] in ("queued", "running")
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            job = remote.job(job["id"])
+            if job["status"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert job["status"] == "done", job
+        (row,) = job["results"]
+        assert row["workload"] == "batched_gemv"
+        assert row["points"] > 0
+        assert row["best"] and row["pareto"]
+        assert any(j["id"] == job["id"] for j in remote.jobs())
+
+    def test_unknown_job_404(self, remote):
+        with pytest.raises(LookupError, match="no such job"):
+            remote.job("job-999999")
+
+    def test_bad_job_payload_rejected(self, remote):
+        with pytest.raises(ValueError, match="workloads"):
+            remote._call("POST", "/v1/jobs", {"workloads": []})
+        with pytest.raises(KeyError, match="unknown workload"):
+            remote.submit_job(["nope"])
+
+    def test_queue_bound_cancel_and_drain(self, tmp_path):
+        """A dedicated small-queue server: fill it, overflow 503, cancel one."""
+        session = LocalSession(ArrayConfig(rows=8, cols=8), cache=tmp_path / "m.json")
+        with ServiceThread(session, max_queued_jobs=2) as thread:
+            remote = RemoteSession(thread.url)
+            # a job that runs long enough to hold the runner busy
+            long_job = remote.submit_job(
+                ["gemm"], extents={"m": 64, "n": 64, "k": 64}
+            )
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if remote.job(long_job["id"])["status"] == "running":
+                    break
+                time.sleep(0.01)
+            assert remote.job(long_job["id"])["status"] == "running"
+            queued_a = remote.submit_job(["batched_gemv"], one_d_only=True)
+            queued_b = remote.submit_job(["batched_gemv"], one_d_only=True)
+            with pytest.raises(RuntimeError, match="queue full"):
+                remote.submit_job(["batched_gemv"], one_d_only=True)
+            cancelled = remote.cancel_job(queued_b["id"])
+            assert cancelled["status"] == "cancelled"
+            # everything not cancelled still completes
+            deadline = time.monotonic() + 240
+            while time.monotonic() < deadline:
+                states = {
+                    job_id: remote.job(job_id)["status"]
+                    for job_id in (long_job["id"], queued_a["id"])
+                }
+                if set(states.values()) <= {"done", "failed"}:
+                    break
+                time.sleep(0.1)
+            assert states == {long_job["id"]: "done", queued_a["id"]: "done"}
+            assert remote.job(queued_b["id"])["status"] == "cancelled"
+
+
+class TestCleanShutdown:
+    def test_service_thread_shutdown_closes_socket(self, tmp_path):
+        session = LocalSession(SMALL_ARRAY, cache=tmp_path / "memo.json")
+        thread = ServiceThread(session).start()
+        remote = RemoteSession(thread.url)
+        remote.evaluate("gemm", "MNK-SST", extents=SMALL)
+        port = thread.port
+        thread.stop()
+        # the session cache was flushed on close ...
+        assert (tmp_path / "memo.json").exists()
+        # ... and nothing is listening anymore
+        with pytest.raises(OSError):
+            probe = http.client.HTTPConnection("127.0.0.1", port, timeout=2)
+            probe.request("GET", "/v1/healthz")
+            probe.getresponse()
+
+    def test_cli_serve_subprocess_sigint(self, tmp_path):
+        """`repro serve` on an ephemeral port: serve traffic, exit 0 on SIGINT."""
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            f"{src}{os.pathsep}{env['PYTHONPATH']}" if env.get("PYTHONPATH") else str(src)
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--rows", "2", "--cols", "2", "--cache", str(tmp_path / "memo.json")],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, banner
+            remote = RemoteSession(match.group(0))
+            result = remote.evaluate("gemm", "MNK-SST", extents=SMALL)
+            assert result.ok
+            remote.close()
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                out, _ = proc.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+        assert proc.returncode == 0, out
+        assert "shutdown complete" in out
+        assert (tmp_path / "memo.json").exists()  # flushed during close

@@ -83,3 +83,104 @@ def test_explore_unknown_extent_rejected(capsys):
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["generate", "nope", "MNK-SST"])
+
+
+def _shard(path, *, backend):
+    """Populate one memo-cache shard via the verify/evaluate front door."""
+    from repro.api import LocalSession
+    from repro.perf.model import ArrayConfig
+
+    LocalSession(ArrayConfig(rows=2, cols=2), cache=path).evaluate(
+        "gemm", "MNK-SST", backend=backend, extents={"m": 4, "n": 4, "k": 4}
+    )
+
+
+class TestCacheCommands:
+    """`repro cache merge|compact|stats` end-to-end through main(argv)."""
+
+    def test_stats(self, tmp_path, capsys):
+        shard = tmp_path / "a.json"
+        _shard(shard, backend="perf")
+        assert main(["cache", "stats", str(shard)]) == 0
+        out = capsys.readouterr().out
+        assert "1 api" in out and str(shard) in out
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        assert main(["cache", "stats", str(tmp_path / "nope.json")]) == 1
+        assert "no such cache file" in capsys.readouterr().err
+
+    def test_merge_combines_shards(self, tmp_path, capsys):
+        a, b, merged = tmp_path / "a.json", tmp_path / "b.json", tmp_path / "m.json"
+        _shard(a, backend="perf")
+        _shard(b, backend="cost")
+        assert main(["cache", "merge", "-o", str(merged), str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "merged" in out and merged.exists()
+        assert main(["cache", "stats", str(merged)]) == 0
+        assert "2 api" in capsys.readouterr().out
+
+    def test_merge_rejects_corrupt_shard(self, tmp_path, capsys):
+        good, bad = tmp_path / "good.json", tmp_path / "bad.json"
+        _shard(good, backend="perf")
+        bad.write_text('{"api": {tru')
+        merged = tmp_path / "m.json"
+        assert main(["cache", "merge", "-o", str(merged), str(good), str(bad)]) == 1
+        assert "corrupt" in capsys.readouterr().err
+        assert not merged.exists()
+
+    def test_compact_in_place_and_to_output(self, tmp_path, capsys):
+        shard = tmp_path / "a.json"
+        _shard(shard, backend="perf")
+        assert main(["cache", "compact", str(shard)]) == 0
+        assert "compacted" in capsys.readouterr().out
+        out = tmp_path / "b.json"
+        assert main(["cache", "compact", str(shard), "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert out.exists()
+        # the compacted copy is a working cache: stats still parse it
+        assert main(["cache", "stats", str(out)]) == 0
+        assert "1 api" in capsys.readouterr().out
+
+
+class TestClientCommands:
+    """`repro client ... --url` drives the same cmd_* functions remotely."""
+
+    @pytest.fixture(scope="class")
+    def service_url(self):
+        from repro.api import LocalSession
+        from repro.perf.model import ArrayConfig
+        from repro.service import ServiceThread
+
+        with ServiceThread(LocalSession(ArrayConfig(rows=8, cols=8))) as thread:
+            yield thread.url
+
+    def test_client_evaluate(self, service_url, capsys):
+        rc = main(["client", "evaluate", "gemm", "MNK-MTM", "--rows", "8",
+                   "--cols", "8", "--url", service_url])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "performance" in out and "mW" in out
+
+    def test_client_verify(self, service_url, capsys):
+        rc = main(["client", "verify", "gemm", "MNK-SST", "--rows", "2", "--cols", "2",
+                   "--extent", "m=4", "--extent", "n=4", "--extent", "k=4",
+                   "--url", service_url])
+        assert rc == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_client_explore(self, service_url, capsys):
+        rc = main(["client", "explore", "gemm", "--rows", "8", "--cols", "8",
+                   "--top", "2", "--extent", "m=64", "--extent", "n=64",
+                   "--extent", "k=64", "--url", service_url])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gemm on 8x8" in out and "pareto frontier" in out
+
+    def test_client_stats(self, service_url, capsys):
+        rc = main(["client", "stats", "--url", service_url])
+        assert rc == 0
+        assert service_url in capsys.readouterr().out
+
+    def test_client_requires_url(self):
+        with pytest.raises(SystemExit):
+            main(["client", "evaluate", "gemm", "MNK-SST"])
