@@ -1,0 +1,97 @@
+"""Coordinated-sweep scaling: one session, one server, a two-server fleet.
+
+Runs the same workload x config sweep three ways —
+
+- **local**: ``LocalSession.sweep()`` in-process (the reference fold);
+- **1 server**: a :class:`CoordinatedSession` over one live service;
+- **2 servers**: the same coordinator over two services, shards split
+  between them via the job API —
+
+and reports wall-clock per transport plus the coordinator's shard report.
+The asserted bars are correctness, not speed (two servers on one CI box
+share the same cores):
+
+- every fold is bit-identical to the local sweep, shard placement included;
+- the two-server run actually distributed (both servers completed shards);
+- the coordinator's folded memo cache warms a *local* session to zero
+  evaluations — the distributed sweep's cache is as good as a local one.
+
+Run:  pytest benchmarks/bench_coordinator_sweep.py
+"""
+
+import time
+
+from bench_util import print_table
+
+from repro.api import LocalSession
+from repro.explore.engine import MemoCache
+from repro.perf.model import ArrayConfig
+from repro.service import CoordinatedSession, ServiceThread
+
+ARRAY = ArrayConfig(rows=8, cols=8)
+WORKLOADS = ["gemm", "batched_gemv"]
+CONFIGS = [ARRAY, ArrayConfig(rows=4, cols=4)]
+SWEEP_KW = dict(one_d_only=True, selections=[("m", "n", "k")])
+
+
+def _digest(results):
+    return [(r.workload, r.array.rows, [p.metrics() for p in r]) for r in results]
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_coordinated_sweep_matches_local(benchmark, tmp_path):
+    local, local_s = _timed(
+        lambda: LocalSession(ARRAY).sweep(WORKLOADS, CONFIGS, **SWEEP_KW)
+    )
+    points = sum(len(r) + len(r.failures) for r in local)
+
+    with ServiceThread(LocalSession(ARRAY, cache=MemoCache())) as node_a:
+        with ServiceThread(LocalSession(ARRAY, cache=MemoCache())) as node_b:
+            single = CoordinatedSession([node_a.url], array=ARRAY)
+            fold_cache = tmp_path / "fold.json"
+            fleet = CoordinatedSession(
+                [node_a.url, node_b.url], array=ARRAY, cache=fold_cache
+            )
+
+            def run():
+                one, one_s = _timed(
+                    lambda: single.sweep(WORKLOADS, CONFIGS, **SWEEP_KW)
+                )
+                two, two_s = _timed(
+                    lambda: fleet.sweep(WORKLOADS, CONFIGS, **SWEEP_KW)
+                )
+                return one, one_s, two, two_s
+
+            one, one_s, two, two_s = benchmark.pedantic(run, rounds=1, iterations=1)
+            report = fleet.coordinator.last_report
+            completed = [s.completed for s in fleet.coordinator.servers]
+            single.close()
+            fleet.close()
+
+    print_table(
+        f"sweep: {len(WORKLOADS)} workloads x {len(CONFIGS)} configs "
+        f"({points} designs)",
+        ["transport", "sweep s", "designs/s"],
+        [
+            ["local", f"{local_s:.2f}", f"{points / local_s:.0f}"],
+            ["coordinated x1", f"{one_s:.2f}", f"{points / one_s:.0f}"],
+            ["coordinated x2", f"{two_s:.2f}", f"{points / two_s:.0f}"],
+        ],
+    )
+    print(f"  two-server report: {report}, shards per server: {completed}")
+
+    # correctness bars: distribution must be invisible in the results
+    assert _digest(one) == _digest(local)
+    assert _digest(two) == _digest(local)
+    assert report["shards"] == len(WORKLOADS) * len(CONFIGS)
+    assert all(done > 0 for done in completed), "a server sat idle"
+
+    # the folded cache is as warm as a local one: zero re-evaluations
+    warm = LocalSession(ARRAY, cache=fold_cache).sweep(WORKLOADS, CONFIGS, **SWEEP_KW)
+    assert all(r.stats.evaluated == 0 for r in warm)
+    assert _digest(warm) == _digest(local)

@@ -1,0 +1,127 @@
+"""End-to-end smoke test of the sweep coordinator, as CI runs it.
+
+Starts **two** real ``repro serve`` subprocesses on ephemeral ports, runs a
+coordinated workload x config sweep through
+:class:`~repro.service.coordinator.SweepCoordinator`, and SIGKILLs one
+server the moment its first shard job is polled — the coordinator must
+notice the dead server, reassign its in-flight work to the survivor, and
+still fold results **bit-identical** to a plain in-process
+``LocalSession.sweep()`` over the same grid.  Finally the survivor gets a
+SIGINT and must exit 0 with the clean-shutdown banner.
+
+Run:  PYTHONPATH=src python scripts/coordinator_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+SWEEP_KW = dict(one_d_only=True, selections=[("m", "n", "k")])
+WORKLOADS = ["gemm", "batched_gemv"]
+
+
+def start_server(env) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--rows", "8", "--cols", "8"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    banner = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", banner)
+    assert match, f"no service URL in banner: {banner!r}"
+    return proc, match.group(0)
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}{env['PYTHONPATH']}" if env.get(
+        "PYTHONPATH"
+    ) else str(SRC)
+
+    from repro.api import LocalSession
+    from repro.perf.model import ArrayConfig
+    from repro.service import RemoteSession, SweepCoordinator
+
+    array = ArrayConfig(rows=8, cols=8)
+    configs = [array, ArrayConfig(rows=4, cols=4)]
+
+    victim, victim_url = start_server(env)
+    survivor, survivor_url = start_server(env)
+    print(f"servers up at {victim_url} (victim) and {survivor_url} (survivor)")
+
+    class KillVictimOnFirstPoll(RemoteSession):
+        """SIGKILL the victim server the first time one of its jobs is
+        polled — a real mid-sweep crash, with its shard in flight."""
+
+        armed = True
+
+        def job(self, job_id):
+            if KillVictimOnFirstPoll.armed and self.url == victim_url:
+                KillVictimOnFirstPoll.armed = False
+                victim.kill()
+                victim.wait(timeout=30)
+                print(f"killed {victim_url} mid-sweep (job {job_id} in flight)")
+            return super().job(job_id)
+
+    try:
+        coordinator = SweepCoordinator(
+            [victim_url, survivor_url],
+            array=array,
+            max_inflight=1,
+            retries=1,
+            backoff=0.05,
+            session_factory=lambda url: KillVictimOnFirstPoll(
+                url, array=array, retries=1, backoff=0.05
+            ),
+        )
+        results = coordinator.sweep(WORKLOADS, configs=configs, **SWEEP_KW)
+        report = coordinator.last_report
+        print(f"coordinated sweep done: {report}")
+        assert report["servers_lost"] == 1, report
+        assert report["reassigned"] >= 1, report
+        assert not KillVictimOnFirstPoll.armed, "the victim was never polled"
+
+        local = LocalSession(array).sweep(WORKLOADS, configs=configs, **SWEEP_KW)
+        assert [(r.workload, r.array) for r in results] == [
+            (r.workload, r.array) for r in local
+        ]
+        assert [[(p.name, p.metrics()) for p in r] for r in results] == [
+            [(p.name, p.metrics()) for p in r] for r in local
+        ], "coordinated metrics differ from LocalSession.sweep()"
+        assert [len(r.failures) for r in results] == [len(r.failures) for r in local]
+        print(f"fold identical to local across {len(results)} results "
+              f"({sum(len(r) for r in results)} points)")
+        coordinator.close()
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+        survivor.send_signal(signal.SIGINT)
+        deadline = time.monotonic() + 30
+        while survivor.poll() is None and time.monotonic() < deadline:
+            time.sleep(0.1)
+        if survivor.poll() is None:
+            survivor.kill()
+            raise AssertionError("survivor did not shut down within 30s of SIGINT")
+    tail = survivor.stdout.read() if survivor.stdout else ""
+    assert survivor.returncode == 0, f"survivor exited {survivor.returncode}: {tail}"
+    assert "shutdown complete" in tail, f"no clean-shutdown banner: {tail!r}"
+    print("survivor clean shutdown ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,10 @@ Examples::
     python -m repro.cli client evaluate gemm MNK-MTM --url http://host:8321
     python -m repro.cli client explore gemm --rows 16 --cols 16 --url http://host:8321
     python -m repro.cli client stats --url http://host:8321
+
+    # a coordinated sweep over several servers (sharded + folded)
+    python -m repro.cli sweep gemm mttkrp --rows 16 --cols 16 \\
+        --url http://node-a:8321 --url http://node-b:8321 --cache warm.json
 """
 
 from __future__ import annotations
@@ -183,22 +187,26 @@ def _workload_statement(name: str, extents: dict[str, int]):
     return workloads.by_name(name, **{k: v for k, v in extents.items() if k in accepted})
 
 
-def cmd_explore(args) -> int:
+def _sweep_statements(args):
+    """Validate ``--extent`` against the workloads and instantiate statements.
+
+    Returns ``(statements, error)``; exactly one is ``None``.
+    """
     extents = _extents(args)
     accepted = set()
     for workload in args.workloads:
         accepted |= workloads.accepted_extents(workload)
     unknown = sorted(set(extents) - accepted)
     if unknown:
-        print(
-            f"error: extent(s) {', '.join(unknown)} not accepted by any of "
-            f"{', '.join(args.workloads)} (valid: {', '.join(sorted(accepted))})",
-            file=sys.stderr,
+        return None, (
+            f"extent(s) {', '.join(unknown)} not accepted by any of "
+            f"{', '.join(args.workloads)} (valid: {', '.join(sorted(accepted))})"
         )
-        return 2
-    session = _session(args, width=args.width, workers=getattr(args, "workers", 0))
-    statements = [_workload_statement(name, extents) for name in args.workloads]
-    results = session.sweep(statements, one_d_only=args.one_d)
+    return [_workload_statement(name, extents) for name in args.workloads], None
+
+
+def _print_sweep_results(results, top: int) -> None:
+    """The shared report behind ``repro explore`` and ``repro sweep``."""
     for result in results:
         print(
             f"== {result.workload} on {result.array.rows}x{result.array.cols} "
@@ -206,7 +214,7 @@ def cmd_explore(args) -> int:
         )
         if result.failures:
             print(result.failure_report())
-        ranked = result.best(args.top)
+        ranked = result.best(top)
         print(f"{'dataflow':<14} {'perf':>6} {'cycles':>12} {'area mm2':>9} {'power mW':>9}")
         for pt in ranked:
             print(
@@ -218,6 +226,52 @@ def cmd_explore(args) -> int:
         names = ", ".join(pt.name for pt in front)
         print(f"pareto frontier (max perf, min power): {len(front)} designs: {names}")
         print()
+
+
+def cmd_explore(args) -> int:
+    statements, error = _sweep_statements(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = _session(args, width=args.width, workers=getattr(args, "workers", 0))
+    results = session.sweep(statements, one_d_only=args.one_d)
+    _print_sweep_results(results, args.top)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Coordinate one sweep across several ``repro serve`` instances."""
+    from repro.service import CoordinatedSession
+
+    statements, error = _sweep_statements(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = CoordinatedSession(
+        args.urls,
+        array=ArrayConfig(rows=args.rows, cols=args.cols),
+        width=args.width,
+        cache=args.cache,
+        max_inflight=args.max_inflight,
+    )
+    try:
+        results = session.sweep(statements, one_d_only=args.one_d)
+    except (ConnectionError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        session.close()
+    _print_sweep_results(results, args.top)
+    report = session.coordinator.last_report
+    print(
+        f"coordinated {report['shards']} shard(s) over {report['servers']} "
+        f"server(s): {report['jobs']} job(s), {report['fallbacks']} "
+        f"evaluate_many fallback(s), {report['reassigned']} reassigned, "
+        f"{report['servers_lost']} server(s) lost"
+    )
+    if args.cache:
+        folded = report.get("cache_entries_folded", 0)
+        print(f"folded {folded} remote memo-cache entries into {args.cache}")
     return 0
 
 
@@ -421,6 +475,32 @@ def main(argv: list[str] | None = None) -> int:
         "--cache", metavar="PATH", help="on-disk JSON memo cache for warm re-runs"
     )
     p_exp.set_defaults(func=cmd_explore)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="coordinate one sweep across several `repro serve` instances",
+    )
+    _add_explore_args(p_sweep)
+    p_sweep.add_argument(
+        "--url",
+        action="append",
+        required=True,
+        dest="urls",
+        metavar="URL",
+        help="a running `repro serve` (repeat for every server in the fleet)",
+    )
+    p_sweep.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="fold the servers' memo caches into this local JSON cache",
+    )
+    p_sweep.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        help="shard jobs in flight per server (default 2)",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_cache = sub.add_parser(
         "cache", help="inspect, merge and compact JSON memo caches"

@@ -31,8 +31,10 @@ import json
 import os
 import threading
 import warnings
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.dataflow import DataflowSpec, DataflowType
 from repro.core.enumerate import (
@@ -285,6 +287,32 @@ class MemoCache:
             return sum(len(self._data[s]) for s in self._SECTIONS)
 
     # -- sharding support ----------------------------------------------
+    def dump(self) -> dict[str, dict]:
+        """A detached snapshot of every section (the ``/v1/cache`` payload).
+
+        The returned dict is JSON-serializable and round-trips through
+        :meth:`from_payload`, which is how a sweep coordinator pulls a remote
+        server's warm entries over the wire instead of shipping cache files.
+        """
+        with self._lock:
+            return {s: dict(self._data[s]) for s in self._SECTIONS}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "MemoCache":
+        """An in-memory cache rebuilt from a :meth:`dump` payload.
+
+        Wrong-shape sections degrade to empty — the same tolerance as
+        :meth:`load`, since the payload may come from an untrusted or
+        mid-upgrade server.
+        """
+        cache = cls()
+        if isinstance(payload, Mapping):
+            for section in cls._SECTIONS:
+                stored = payload.get(section)
+                if isinstance(stored, dict):
+                    cache._data[section].update(stored)
+        return cache
+
     def merge_from(self, other: "MemoCache | str | os.PathLike") -> dict[str, int]:
         """Fold another cache (object or JSON file) into this one.
 
@@ -638,11 +666,15 @@ class EvaluationEngine:
         realizable_only: bool = True,
         canonical: bool = True,
         workers: int | None = None,
+        pool: ProcessPoolExecutor | None = None,
     ) -> EvaluationResult:
         """Run the full pipeline for one workload.
 
         ``specs`` bypasses enumeration (evaluate an explicit design list).
         Points come back in enumeration order regardless of ``workers``.
+        ``pool`` lends an existing executor for the parallel path — the
+        caller keeps ownership (``sweep()`` shares one pool across all of its
+        runs instead of forking a fresh pool per workload).
         """
         workers = self.workers if workers is None else workers
         stats = EvaluationStats()
@@ -681,7 +713,7 @@ class EvaluationEngine:
             def lookup(spec: DataflowSpec):
                 return self._lookup(statement, spec, stats)
 
-            self._evaluate_parallel(stream, workers, lookup, emit, stats)
+            self._evaluate_parallel(stream, workers, lookup, emit, stats, pool=pool)
 
         stats.skipped = len(failures)
         self._flush()
@@ -693,17 +725,18 @@ class EvaluationEngine:
             stats=stats,
         )
 
-    def _evaluate_parallel(self, stream, workers, lookup, emit, stats) -> None:
+    def _evaluate_parallel(
+        self, stream, workers, lookup, emit, stats, pool: ProcessPoolExecutor | None = None
+    ) -> None:
         """Pool evaluation with bounded in-flight chunks, enumeration order.
 
         Cache misses batch into ``chunk_size`` pool tasks as the stream is
         consumed; at most ``2 * workers`` chunks are in flight, and chunks
         drain FIFO, so memory stays bounded and emission order (hence the
-        result lists) is bit-identical to the serial path.
+        result lists) is bit-identical to the serial path.  A borrowed
+        ``pool`` is used as-is and left running; otherwise a fresh pool is
+        created and torn down here.
         """
-        from collections import deque
-        from concurrent.futures import ProcessPoolExecutor
-
         max_inflight = 2 * workers
         queue: deque = deque()  # (records, future-or-None)
         buffer: list = []  # (spec, cached-outcome-or-None, cache-key)
@@ -719,7 +752,10 @@ class EvaluationEngine:
                     stats.evaluated += 1
                     emit(spec, next(outcomes), key)
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        owns_pool = pool is None
+        if owns_pool:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        try:
 
             def flush_chunk() -> None:
                 nonlocal buffer, misses
@@ -744,6 +780,9 @@ class EvaluationEngine:
                 flush_chunk()
             while queue:
                 drain_one()
+        finally:
+            if owns_pool:
+                pool.shutdown()
 
     # -- named-dataflow evaluation (paper Fig. 5 benchmarks) -------------
     def resolve_name(
@@ -820,16 +859,34 @@ class EvaluationEngine:
         (resolved via :func:`repro.ir.workloads.by_name`).  All runs share
         this engine's memo cache, so overlapping sweeps get warmer as they
         go.  Results arrive in ``configs``-major order.
+
+        When ``workers > 1`` the whole sweep shares **one** process pool:
+        every per-workload run dispatches its miss chunks to the same
+        executor instead of forking (and tearing down) a fresh pool per
+        workload x config item — the same chunked-dispatch economics as
+        ``evaluate_many``, with results bit-identical to per-item
+        ``evaluate()`` calls.
         """
         configs = list(configs) if configs is not None else [self.array]
         statements = [
             workload_lib.by_name(w) if isinstance(w, str) else w for w in workloads
         ]
-        results: list[EvaluationResult] = []
-        for config in configs:
-            engine = self if config == self.array else self._sibling(config)
-            for statement in statements:
-                results.append(engine.evaluate(statement, **evaluate_kwargs))
+        workers = evaluate_kwargs.get("workers")
+        workers = self.workers if workers is None else workers
+        pool: ProcessPoolExecutor | None = None
+        if workers > 1 and len(configs) * len(statements) > 1:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            results: list[EvaluationResult] = []
+            for config in configs:
+                engine = self if config == self.array else self._sibling(config)
+                for statement in statements:
+                    results.append(
+                        engine.evaluate(statement, pool=pool, **evaluate_kwargs)
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown()
         return results
 
     def _sibling(self, config: ArrayConfig) -> "EvaluationEngine":

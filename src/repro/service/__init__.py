@@ -12,7 +12,12 @@ PR 2 made every evaluation a versioned, JSON-round-trippable
   consumer written against :class:`SessionProtocol` runs unmodified against
   a local or a remote session;
 - :class:`~repro.service.server.ServiceThread` — in-process embedding for
-  tests, benchmarks and examples.
+  tests, benchmarks and examples;
+- :class:`~repro.service.coordinator.SweepCoordinator` /
+  :class:`~repro.service.coordinator.CoordinatedSession` — shard a
+  ``sweep()`` across several servers via the job API (with failure
+  reassignment and an ``evaluate_many`` fallback) and fold the results and
+  memo caches back together, via ``repro sweep --url A --url B``.
 
 Quickstart::
 
@@ -27,6 +32,15 @@ Quickstart::
 """
 
 from repro.service.client import RemoteSession
+from repro.service.coordinator import CoordinatedSession, SweepCoordinator
 from repro.service.server import EvaluationService, ServiceThread
+from repro.service.wire import ServiceBusyError
 
-__all__ = ["EvaluationService", "RemoteSession", "ServiceThread"]
+__all__ = [
+    "CoordinatedSession",
+    "EvaluationService",
+    "RemoteSession",
+    "ServiceBusyError",
+    "ServiceThread",
+    "SweepCoordinator",
+]

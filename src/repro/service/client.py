@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 from typing import Any, Mapping, Sequence
 from urllib.parse import urlsplit
 
@@ -48,9 +50,26 @@ class RemoteSession(SessionBase):
     ``array``/``width``/``cost_params``/``sram_words`` are the *client-side*
     request-building defaults (every request is self-contained, so the
     server's own platform defaults never leak in); ``timeout`` bounds each
-    HTTP call.  The connection is persistent and reconnects transparently
-    once per call if the server recycled it.
+    HTTP call.  The connection is persistent and reconnects transparently if
+    the server recycled it.
+
+    Transport failures — connection refused/reset, a socket that died
+    mid-handshake — are retried up to ``retries`` times: the first retry is
+    immediate (the common recycled-keep-alive case costs nothing), later
+    ones sleep a jittered exponential backoff starting at ``backoff``
+    seconds, so a briefly restarting server is ridden out instead of
+    surfacing as a hard error.  HTTP *status* errors (4xx/5xx) are never
+    retried — the server answered; retrying would just repeat the answer.
+    Evaluation requests are idempotent (re-evaluating returns the same
+    memoized answer), which is what makes retrying those POSTs safe; job
+    submission is the exception, and :meth:`submit_job` takes a
+    ``submit_key`` so a retried submit cannot enqueue a duplicate sweep.
     """
+
+    #: Transport-level failures worth a reconnect + retry.  HTTPException
+    #: covers a keep-alive socket the server closed mid-response
+    #: (BadStatusLine & friends); OSError covers refused/reset/timeout.
+    _RETRYABLE = (ConnectionError, http.client.HTTPException, OSError)
 
     def __init__(
         self,
@@ -61,10 +80,16 @@ class RemoteSession(SessionBase):
         cost_params: CostParams | None = None,
         sram_words: int = 32768,
         timeout: float = 300.0,
+        retries: int = 2,
+        backoff: float = 0.1,
     ):
         super().__init__(
             array, width=width, cost_params=cost_params, sram_words=sram_words
         )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
         parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
         if parts.scheme != "http":
             raise ValueError(f"RemoteSession speaks plain http, got {url!r}")
@@ -74,6 +99,8 @@ class RemoteSession(SessionBase):
         self.port = parts.port or 80
         self.url = f"http://{self.host}:{self.port}"
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
         self._conn: http.client.HTTPConnection | None = None
         self._negotiated = False
 
@@ -98,17 +125,23 @@ class RemoteSession(SessionBase):
             "Content-Type": "application/json",
             wire.SCHEMA_HEADER: str(SCHEMA_VERSION),
         }
-        for attempt in (0, 1):
+        for attempt in range(self.retries + 1):
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 return conn.getresponse()
-            except (ConnectionError, http.client.HTTPException, OSError):
-                # a recycled keep-alive socket fails exactly once; rebuild
-                # and retry, then let the second failure propagate
+            except self._RETRYABLE:
                 self._reset_connection()
-                if attempt:
+                if attempt >= self.retries:
                     raise
+                if attempt > 0:
+                    # attempt 0 was probably a recycled keep-alive socket:
+                    # rebuild and go again immediately.  From attempt 1 on,
+                    # the server is genuinely struggling — back off
+                    # exponentially with jitter so a fleet of clients does
+                    # not hammer a restarting server in lockstep.
+                    delay = self.backoff * (2 ** (attempt - 1))
+                    time.sleep(delay * random.uniform(0.5, 1.5))
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _call(self, method: str, path: str, payload: Any | None = None) -> Any:
@@ -285,6 +318,16 @@ class RemoteSession(SessionBase):
         """The *server's* memo-cache counters."""
         return self._call("GET", "/v1/cache/stats")
 
+    def cache_pull(self) -> dict[str, dict]:
+        """Download the server's full memo-cache contents (``GET /v1/cache``).
+
+        The payload round-trips through
+        :meth:`repro.explore.engine.MemoCache.from_payload` /
+        :meth:`~repro.explore.engine.MemoCache.merge_from` — the live
+        alternative to shipping cache files for ``repro cache merge``.
+        """
+        return self._call("GET", "/v1/cache")["sections"]
+
     def flush(self) -> None:
         """Ask the server to persist its memo cache now."""
         self._call("POST", "/v1/cache/flush")
@@ -296,14 +339,30 @@ class RemoteSession(SessionBase):
         *,
         configs: Sequence[ArrayConfig] | None = None,
         extents: Mapping[str, int] | None = None,
+        include_rows: bool = False,
+        submit_key: str | None = None,
         **engine_options,
     ) -> dict[str, Any]:
-        """Queue a long sweep server-side; returns the job snapshot (id+status)."""
+        """Queue a long sweep server-side; returns the job snapshot (id+status).
+
+        ``include_rows=True`` asks the server to keep every evaluated design
+        as a full ``/v1/explore``-format row in the job results (not just the
+        best-5 summary) — the coordinator's fold-in source.  ``submit_key``
+        makes the submit idempotent: a retry that lost the response (the one
+        POST on this surface that is *not* naturally idempotent) gets the
+        original job back instead of enqueueing a duplicate.  A full or
+        disabled job queue raises
+        :class:`~repro.service.wire.ServiceBusyError` (HTTP 503).
+        """
         payload: dict[str, Any] = {"workloads": list(workloads)}
         if configs:
             payload["configs"] = [wire.array_to_dict(c) for c in configs]
         if extents:
             payload["extents"] = dict(extents)
+        if include_rows:
+            payload["include_rows"] = True
+        if submit_key is not None:
+            payload["submit_key"] = submit_key
         if engine_options:
             payload["options"] = dict(engine_options)
         return self._call("POST", "/v1/jobs", payload)["job"]

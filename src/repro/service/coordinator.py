@@ -1,0 +1,759 @@
+"""Distributed sweep coordination over the evaluation-service job API.
+
+One ``repro serve`` gives location transparency; this module gives *scale*:
+:class:`SweepCoordinator` partitions a workload x array-config sweep across
+any number of live servers and folds the answers back into the exact
+``list[EvaluationResult]`` a single :meth:`LocalSession.sweep
+<repro.api.session.LocalSession.sweep>` would return — same order, same
+metrics, same failure rows — so benchmarks and examples run unmodified
+against one machine or five.
+
+How a sweep runs
+----------------
+
+1. **Partition** — every (config, workload) pair becomes one *shard*,
+   enumerated configs-major (the local result order).  Shards are the unit
+   of dispatch, retry and reassignment.
+2. **Dispatch** — each shard is submitted to a server as a one-item
+   ``POST /v1/jobs`` job with ``include_rows=True`` (the server keeps every
+   evaluated design as a wire row, not just the best-5 summary).  At most
+   ``max_inflight`` jobs ride each server at a time; the rest wait in the
+   coordinator's queue.
+3. **Fallback** — a server that answers 503 (job queue full, or started
+   with ``--max-jobs 0``) is not dead, it just has no job capacity: the
+   shard's design space is enumerated coordinator-side and shipped as
+   chunked ``evaluate_many`` batches of explicit ``selection``+``stt``
+   perf/cost request pairs instead.
+4. **Reassign** — a server that stops answering (killed mid-sweep,
+   connection refused/reset) forfeits its in-flight shards: they go back in
+   the queue, excluded from the dead server, and run elsewhere.  A shard
+   that keeps failing raises after ``max_retries`` reassignments — work is
+   never silently dropped.
+5. **Fold** — job rows reconstruct real :class:`DesignPoint` objects
+   (points first, then failures, both in enumeration order), results land
+   at their shard's index, and — when the coordinator owns a
+   :class:`MemoCache` — each surviving server's memo cache is pulled over
+   ``GET /v1/cache`` and merged in, so the *next* sweep starts warm without
+   shipping cache files around.
+
+:class:`CoordinatedSession` wraps the coordinator in the full
+:class:`~repro.api.protocol.SessionProtocol` surface: ``sweep()`` fans out,
+everything else (``evaluate``, ``evaluate_many``, ``explore``,
+``evaluate_names``) rides a healthy server with automatic failover.  The CLI
+front door is ``repro sweep --url A --url B ...``.
+
+Usage::
+
+    from repro.service import CoordinatedSession
+
+    with CoordinatedSession(
+        ["http://node-a:8321", "http://node-b:8321"], cache="warm.json"
+    ) as session:
+        results = session.sweep(["gemm", "depthwise_conv"])   # sharded
+        print(session.coordinator.last_report)
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.api.protocol import SessionBase
+from repro.api.types import DesignRequest, EvalResult
+from repro.cost.model import CostParams
+from repro.explore.engine import (
+    DesignPoint,
+    EvaluationEngine,
+    EvaluationResult,
+    EvaluationStats,
+    MemoCache,
+)
+from repro.ir.einsum import Statement
+from repro.perf.model import ArrayConfig
+from repro.service import wire
+from repro.service.client import RemoteSession
+from repro.service.wire import ServiceBusyError
+
+__all__ = ["SweepCoordinator", "CoordinatedSession"]
+
+#: Transport failures that mean "this server is gone", triggering shard
+#: reassignment.  HTTPException covers a server dying *mid-response*
+#: (IncompleteRead/BadStatusLine escape the client's retry loop once its
+#: budget is spent).  ServiceBusyError is deliberately *not* here — a 503
+#: server answered, it just has no job capacity.
+_SERVER_LOST = (ConnectionError, OSError, http.client.HTTPException)
+
+
+@dataclass
+class _Shard:
+    """One (config, workload) unit of dispatch."""
+
+    index: int  # position in the folded result list (configs-major)
+    config: ArrayConfig  # always explicit: server defaults never leak in
+    statement: Statement
+    payload: dict[str, Any]  # wire statement payload: workload name + extents
+    attempts: int = 0
+    excluded: set[int] = field(default_factory=set)  # server indices
+
+
+@dataclass
+class _Server:
+    """A coordinator's view of one ``repro serve`` instance."""
+
+    index: int
+    url: str
+    session: RemoteSession
+    healthy: bool = True
+    jobs_ok: bool = True  # False after a 503 (or a healthz max_jobs == 0)
+    probed: bool = False
+    inflight: dict[str, _Shard] = field(default_factory=dict)  # job id -> shard
+    completed: int = 0
+
+
+class SweepCoordinator:
+    """Partition ``sweep()`` across several evaluation servers (see module docs).
+
+    Parameters
+    ----------
+    urls:
+        Base URLs of live ``repro serve`` instances (at least one).
+    array / width / cost_params / sram_words:
+        The platform every shard is evaluated on — shipped explicitly with
+        each job, so the servers' own defaults never leak into results.
+    cache:
+        A :class:`MemoCache` (or JSON path) that remote caches fold into
+        after each sweep; ``None`` skips cache pulling.
+    max_inflight:
+        Jobs in flight per server (the rest queue coordinator-side).
+    max_retries:
+        Reassignments per shard before the sweep raises.
+    poll_interval:
+        Seconds between poll rounds when nothing progressed.
+    fallback_chunk:
+        Requests per ``evaluate_many`` call on the 503 fallback path.
+    session_factory:
+        ``url -> RemoteSession``-like, for tests that inject failures;
+        defaults to building :class:`RemoteSession` with this coordinator's
+        platform and ``timeout``/``retries``/``backoff``.
+    """
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        *,
+        array: ArrayConfig | None = None,
+        width: int = 16,
+        cost_params: CostParams | None = None,
+        sram_words: int = 32768,
+        cache: MemoCache | str | os.PathLike | None = None,
+        max_inflight: int = 2,
+        max_retries: int = 2,
+        poll_interval: float = 0.05,
+        fallback_chunk: int = 64,
+        timeout: float = 300.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        session_factory: Callable[[str], RemoteSession] | None = None,
+    ):
+        urls = list(urls)
+        if not urls:
+            raise ValueError("SweepCoordinator needs at least one server URL")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.array = array or ArrayConfig()
+        self.width = width
+        self.cost_params = cost_params
+        self.sram_words = sram_words
+        if isinstance(cache, (str, os.PathLike)):
+            cache = MemoCache(cache)
+        self.cache = cache
+        self.max_inflight = max_inflight
+        self.max_retries = max_retries
+        self.poll_interval = poll_interval
+        self.fallback_chunk = fallback_chunk
+        if session_factory is None:
+
+            def session_factory(url: str) -> RemoteSession:
+                return RemoteSession(
+                    url,
+                    array=self.array,
+                    width=width,
+                    cost_params=cost_params,
+                    sram_words=sram_words,
+                    timeout=timeout,
+                    retries=retries,
+                    backoff=backoff,
+                )
+
+        self.servers = [
+            _Server(index=i, url=url, session=session_factory(url))
+            for i, url in enumerate(urls)
+        ]
+        #: Counters from the most recent :meth:`sweep` call.
+        self.last_report: dict[str, int] = {}
+
+    # -- the public entry point -----------------------------------------
+    def sweep(
+        self,
+        workloads: Sequence[Statement | str],
+        configs: Sequence[ArrayConfig] | None = None,
+        **engine_options,
+    ) -> list[EvaluationResult]:
+        """Run ``workloads`` x ``configs`` across the servers, configs-major.
+
+        The returned list is deterministic and identical to
+        ``LocalSession(array, ...).sweep(workloads, configs, ...)`` on one
+        machine — regardless of how shards landed on servers, which servers
+        died, or which shards rode the 503 fallback.
+        """
+        options = wire.engine_options({"options": engine_options})
+        config_list: list[ArrayConfig] = (
+            list(configs) if configs is not None else [self.array]
+        )
+        shards = self._partition(workloads, config_list)
+        self.last_report = {
+            "shards": len(shards),
+            "servers": len(self.servers),
+            "jobs": 0,
+            "fallbacks": 0,
+            "reassigned": 0,
+            "servers_lost": 0,
+        }
+        if not shards:
+            return []
+        self._sweep_token = uuid.uuid4().hex  # scopes job submit_keys
+        for server in self.servers:
+            # a sweep starts with a clean slate: a server that was full
+            # (503) or unreachable during the *last* sweep may have
+            # recovered — the probe re-checks cheaply, and real deaths are
+            # re-discovered in one connect attempt
+            server.inflight.clear()
+            server.healthy = True
+            server.jobs_ok = True
+            server.probed = False
+        results: list[EvaluationResult | None] = [None] * len(shards)
+        pending: deque[_Shard] = deque(shards)
+
+        while any(r is None for r in results):
+            progressed = self._dispatch_round(pending, results, options)
+            progressed |= self._poll_round(pending, results)
+            if pending and not self._healthy_servers():
+                raise RuntimeError(
+                    f"sweep failed: all {len(self.servers)} servers are gone "
+                    f"with {len(pending)} shard(s) unfinished"
+                )
+            if not progressed:
+                if pending and not any(s.inflight for s in self.servers):
+                    # nothing in flight and nothing assignable: every
+                    # survivor is on some shard's exclusion list.  Relax the
+                    # exclusions (the attempts budget still bounds retries)
+                    # rather than spinning forever.
+                    healthy = {s.index for s in self._healthy_servers()}
+                    for shard in pending:
+                        if not (healthy - shard.excluded):
+                            shard.excluded -= healthy
+                    continue
+                time.sleep(self.poll_interval)
+
+        self._fold_caches()
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # -- partitioning ----------------------------------------------------
+    def _partition(
+        self, workloads: Sequence[Statement | str], configs: Sequence[ArrayConfig]
+    ) -> list[_Shard]:
+        prepared: list[tuple[Statement, dict[str, Any]]] = []
+        for workload in workloads:
+            payload = wire.statement_payload(workload)
+            statement = (
+                workload
+                if isinstance(workload, Statement)
+                else wire.instantiate_statement(payload)
+            )
+            prepared.append((statement, payload))
+        shards = []
+        for config in configs:
+            for statement, payload in prepared:
+                shards.append(
+                    _Shard(
+                        index=len(shards),
+                        config=config,
+                        statement=statement,
+                        payload=payload,
+                    )
+                )
+        return shards
+
+    # -- dispatch ---------------------------------------------------------
+    def _healthy_servers(self) -> list[_Server]:
+        return [s for s in self.servers if s.healthy]
+
+    def _probe(self, server: _Server) -> None:
+        """One-time capability check: a ``--max-jobs 0`` server skips the
+        job path up front instead of eating a probe 503 per shard."""
+        if server.probed:
+            return
+        server.probed = True
+        try:
+            info = server.session._call("GET", "/v1/healthz")
+        except _SERVER_LOST:
+            self._lose_server(server, None, None)
+            return
+        if info.get("max_jobs") == 0:
+            server.jobs_ok = False
+
+    def _dispatch_round(
+        self,
+        pending: deque[_Shard],
+        results: list[EvaluationResult | None],
+        options: Mapping[str, Any],
+    ) -> bool:
+        progressed = False
+        for server in self._healthy_servers():
+            self._probe(server)
+            while (
+                server.healthy
+                and pending
+                and len(server.inflight) < self.max_inflight
+            ):
+                shard = self._take_assignable(pending, server)
+                if shard is None:
+                    break
+                progressed |= self._dispatch(server, shard, pending, results, options)
+                if not server.jobs_ok:
+                    # the fallback runs synchronously: cap it at one shard
+                    # per round so job-capable servers get theirs in parallel
+                    break
+        return progressed
+
+    def _take_assignable(
+        self, pending: deque[_Shard], server: _Server
+    ) -> _Shard | None:
+        """Pop the first pending shard this server may run (FIFO otherwise)."""
+        for _ in range(len(pending)):
+            shard = pending.popleft()
+            if server.index not in shard.excluded:
+                return shard
+            pending.append(shard)
+        return None
+
+    def _dispatch(
+        self,
+        server: _Server,
+        shard: _Shard,
+        pending: deque[_Shard],
+        results: list[EvaluationResult | None],
+        options: Mapping[str, Any],
+    ) -> bool:
+        try:
+            if server.jobs_ok:
+                try:
+                    job = server.session.submit_job(
+                        [shard.payload["workload"]],
+                        configs=[shard.config],
+                        extents=shard.payload["extents"] or None,
+                        include_rows=True,
+                        # unique per (sweep, shard, attempt): a transport
+                        # retry of this submit can never double-enqueue,
+                        # while a real reassignment gets a fresh job
+                        submit_key=f"{self._sweep_token}:{shard.index}:{shard.attempts}",
+                        **options,
+                    )
+                except ServiceBusyError:
+                    # alive but out of job capacity: remember, fall through
+                    server.jobs_ok = False
+                else:
+                    server.inflight[job["id"]] = shard
+                    self.last_report["jobs"] += 1
+                    return True
+            results[shard.index] = self._fallback(server, shard, options)
+            server.completed += 1
+            self.last_report["fallbacks"] += 1
+            return True
+        except _SERVER_LOST:
+            self._lose_server(server, shard, pending)
+            return True  # state changed: the shard moved, the server is out
+
+    # -- polling ----------------------------------------------------------
+    def _poll_round(
+        self, pending: deque[_Shard], results: list[EvaluationResult | None]
+    ) -> bool:
+        progressed = False
+        for server in self.servers:
+            if not server.healthy or not server.inflight:
+                continue
+            for job_id, shard in list(server.inflight.items()):
+                try:
+                    snapshot = server.session.job(job_id)
+                except _SERVER_LOST:
+                    self._lose_server(server, None, pending)
+                    progressed = True
+                    break
+                status = snapshot["status"]
+                if status == "done":
+                    del server.inflight[job_id]
+                    (record,) = snapshot["results"]
+                    results[shard.index] = self._fold_job(shard, record)
+                    server.completed += 1
+                    progressed = True
+                elif status in ("failed", "cancelled"):
+                    del server.inflight[job_id]
+                    # prefer a different server for the retry (the failure
+                    # may be server-local: OOM, bad env) — but only when an
+                    # eligible one exists, else the retry budget would be
+                    # spent with the shard stuck unassignable
+                    if any(
+                        s.index != server.index and s.index not in shard.excluded
+                        for s in self._healthy_servers()
+                    ):
+                        shard.excluded.add(server.index)
+                    self._requeue(
+                        shard,
+                        pending,
+                        reason=snapshot.get("error", f"job {status} on {server.url}"),
+                    )
+                    progressed = True
+                # queued / running: keep waiting
+        return progressed
+
+    # -- failure handling -------------------------------------------------
+    def _lose_server(
+        self, server: _Server, shard: _Shard | None, pending: deque[_Shard] | None
+    ) -> None:
+        """Mark a server dead and send its work back to the queue."""
+        server.healthy = False
+        self.last_report["servers_lost"] += 1
+        orphans = list(server.inflight.values())
+        server.inflight.clear()
+        if shard is not None:
+            orphans.append(shard)
+        for orphan in orphans:
+            orphan.excluded.add(server.index)
+            if pending is not None:
+                self._requeue(
+                    orphan, pending, reason=f"server {server.url} unreachable"
+                )
+
+    def _requeue(self, shard: _Shard, pending: deque[_Shard], *, reason: str) -> None:
+        shard.attempts += 1
+        if shard.attempts > self.max_retries:
+            raise RuntimeError(
+                f"shard {shard.payload['workload']!r} failed after "
+                f"{shard.attempts} attempt(s): {reason}"
+            )
+        self.last_report["reassigned"] += 1
+        pending.append(shard)
+
+    # -- folding ----------------------------------------------------------
+    def _fold_job(self, shard: _Shard, record: Mapping[str, Any]) -> EvaluationResult:
+        """Rebuild the exact local :class:`EvaluationResult` from a job record."""
+        points: list[DesignPoint] = []
+        failures: list[DesignPoint] = []
+        for row in record.get("rows", ()):
+            point = wire.row_to_point(row, shard.statement)
+            (points if point.ok else failures).append(point)
+        return EvaluationResult(
+            workload=record["workload"],
+            array=wire.array_from_dict(record["array"]),
+            points=points,
+            failures=failures,
+            stats=wire.row_to_stats(record["stats"]),
+        )
+
+    # -- the 503 fallback -------------------------------------------------
+    def _fallback(
+        self, server: _Server, shard: _Shard, options: Mapping[str, Any]
+    ) -> EvaluationResult:
+        """Run one shard through chunked ``evaluate_many`` instead of a job.
+
+        The design space is enumerated coordinator-side (models never run
+        here), memo-probed against the coordinator's own fold cache, and the
+        misses ship as explicit ``selection``+``stt`` perf/cost request
+        pairs.  Pairing reproduces the engine's short-circuit semantics — a
+        perf rejection is a ``"perf"``-stage failure whatever the cost model
+        said — so the folded result is point-for-point identical to the job
+        path and to a local ``sweep()``.  Outcomes land in the fold cache's
+        engine sections (``spaces``/``points``), exactly like a local run's
+        would, so fallback shards warm future sweeps too.
+        """
+        config = shard.config
+        engine = EvaluationEngine(
+            config,
+            width=self.width,
+            cost_params=self.cost_params,
+            sram_words=self.sram_words,
+            cache=self.cache,
+            autoflush=False,  # _fold_caches flushes once at the end
+        )
+        stats = EvaluationStats()
+        statement = shard.statement
+        # (spec, memo-hit outcome or None, cache put-key or None), in order
+        probed: list[tuple] = []
+        for spec in engine.iter_space(statement, stats=stats, **options):
+            outcome, key = engine._lookup(statement, spec, stats)
+            probed.append((spec, outcome, key))
+
+        requests: list[DesignRequest] = []
+        for spec, outcome, _key in probed:
+            if outcome is not None:
+                continue
+            base = dict(
+                workload=shard.payload["workload"],
+                extents=shard.payload["extents"],
+                selection=list(spec.selected),
+                stt=[list(row) for row in spec.stt.matrix],
+                array=config,
+                width=self.width,
+                cost=self.cost_params,
+                sram_words=self.sram_words,
+            )
+            requests.append(DesignRequest(backend="perf", **base))
+            requests.append(DesignRequest(backend="cost", **base))
+
+        answers: list[EvalResult] = []
+        for start in range(0, len(requests), self.fallback_chunk):
+            answers.extend(
+                server.session.evaluate_many(
+                    requests[start : start + self.fallback_chunk]
+                )
+            )
+
+        points: list[DesignPoint] = []
+        failures: list[DesignPoint] = []
+        pairs = zip(answers[0::2], answers[1::2])
+        for spec, outcome, key in probed:
+            if outcome is None:
+                perf, cost = next(pairs)
+                rejected = perf if not perf.ok else (cost if not cost.ok else None)
+                if rejected is not None:
+                    outcome = (
+                        "fail",
+                        rejected.failure_stage or "perf",
+                        rejected.failure_reason or "rejected",
+                    )
+                else:
+                    outcome = (
+                        "ok",
+                        perf["normalized_perf"],
+                        perf["cycles"],
+                        cost["area_mm2"],
+                        cost["power_mw"],
+                    )
+                stats.evaluated += 1
+                if key is not None:
+                    engine.cache.put("points", key, list(outcome))
+            point = engine._point_from_outcome(spec, outcome)
+            (points if point.ok else failures).append(point)
+        stats.skipped = len(failures)
+        return EvaluationResult(
+            workload=statement.name,
+            array=config,
+            points=points,
+            failures=failures,
+            stats=stats,
+        )
+
+    # -- cache folding ----------------------------------------------------
+    def _fold_caches(self) -> None:
+        """Pull each surviving server's memo cache into the local one."""
+        if self.cache is None:
+            return
+        folded = 0
+        for server in self._healthy_servers():
+            try:
+                payload = server.session.cache_pull()
+            except _SERVER_LOST:
+                continue  # a server may die between its last shard and here
+            added = self.cache.merge_from(MemoCache.from_payload(payload))
+            folded += sum(added.values())
+        self.last_report["cache_entries_folded"] = folded
+        # force=True: even a fold with nothing new (cache-less servers)
+        # leaves a valid cache file where the caller asked for one
+        self.cache.flush(force=True)
+
+    def close(self) -> None:
+        for server in self.servers:
+            server.session.close()
+
+    def __repr__(self) -> str:
+        urls = ", ".join(s.url for s in self.servers)
+        return f"SweepCoordinator([{urls}], {self.array.rows}x{self.array.cols})"
+
+
+class CoordinatedSession(SessionBase):
+    """A fleet of evaluation servers behind the one-session surface.
+
+    Conforms to :class:`~repro.api.protocol.SessionProtocol`, so every
+    consumer written against the protocol — the CLI, the benchmarks, the
+    examples — runs unmodified against one machine or five:
+
+    - :meth:`sweep` fans out through the :class:`SweepCoordinator` (job
+      sharding, reassignment, 503 fallback, cache fold-in);
+    - :meth:`evaluate` / :meth:`evaluate_names` / :meth:`explore` ride one
+      healthy server, failing over to the next when it dies;
+    - :meth:`evaluate_many` round-robins request chunks across the healthy
+      servers (with per-chunk failover) and reassembles in request order.
+
+    ``cache`` is the *local fold target*: after each ``sweep()`` the
+    surviving servers' memo caches are pulled and merged into it, so it
+    warms up exactly like a LocalSession cache would.
+    """
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        *,
+        array: ArrayConfig | None = None,
+        width: int = 16,
+        cost_params: CostParams | None = None,
+        sram_words: int = 32768,
+        cache: MemoCache | str | os.PathLike | None = None,
+        **coordinator_kwargs,
+    ):
+        super().__init__(
+            array, width=width, cost_params=cost_params, sram_words=sram_words
+        )
+        self.coordinator = SweepCoordinator(
+            urls,
+            array=self.array,
+            width=width,
+            cost_params=cost_params,
+            sram_words=sram_words,
+            cache=cache,
+            **coordinator_kwargs,
+        )
+        self.cache = self.coordinator.cache
+
+    # -- failover plumbing ------------------------------------------------
+    def _failover(self, fn: Callable[[RemoteSession], Any]) -> Any:
+        """Run ``fn`` against the first healthy server, failing over in order."""
+        return self._failover_over(self.coordinator.servers, fn)
+
+    # -- SessionProtocol --------------------------------------------------
+    def evaluate(
+        self,
+        request: DesignRequest | str,
+        dataflow: str | None = None,
+        **request_kwargs,
+    ) -> EvalResult:
+        """One design on any healthy server (requests are self-contained)."""
+        request = self._coerce_request(request, dataflow, request_kwargs)
+        return self._failover(lambda session: session.evaluate(request))
+
+    def evaluate_many(
+        self, requests: Sequence[DesignRequest | Mapping[str, Any]]
+    ) -> list[EvalResult]:
+        """Batch evaluation, chunks round-robined across healthy servers."""
+        reqs = self._coerce_requests(requests)
+        if not reqs:
+            return []
+        chunk = max(1, self.coordinator.fallback_chunk)
+        results: list[EvalResult | None] = [None] * len(reqs)
+        for i, start in enumerate(range(0, len(reqs), chunk)):
+            batch = reqs[start : start + chunk]
+            # rotate the preferred server per chunk so a big batch spreads
+            # across the fleet; _failover still covers the death of any one
+            servers = self.coordinator.servers
+            rotation = servers[i % len(servers) :] + servers[: i % len(servers)]
+            outcome = self._failover_over(
+                rotation, lambda session: session.evaluate_many(batch)
+            )
+            results[start : start + len(batch)] = outcome
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _failover_over(
+        self, servers: Sequence[_Server], fn: Callable[[RemoteSession], Any]
+    ) -> Any:
+        """Run ``fn`` against the first healthy server of ``servers``, in order."""
+        errors: list[str] = []
+        for server in servers:
+            if not server.healthy:
+                continue
+            try:
+                return fn(server.session)
+            except _SERVER_LOST as exc:
+                server.healthy = False
+                errors.append(f"{server.url}: {exc}")
+        raise ConnectionError(
+            "no coordinated evaluation server reachable"
+            + (f" ({'; '.join(errors)})" if errors else "")
+        )
+
+    def explore(self, workload, **evaluate_kwargs) -> EvaluationResult:
+        """One workload's design space, on any healthy server (streamed)."""
+        return self._failover(
+            lambda session: session.explore(workload, **evaluate_kwargs)
+        )
+
+    def sweep(
+        self,
+        workloads: Sequence[Statement | str],
+        configs: Sequence[ArrayConfig] | None = None,
+        **evaluate_kwargs,
+    ) -> list[EvaluationResult]:
+        """The coordinated path: shard across the fleet, fold deterministically."""
+        return self.coordinator.sweep(workloads, configs=configs, **evaluate_kwargs)
+
+    def evaluate_names(
+        self,
+        statement: Statement | str,
+        names: Sequence[str],
+        *,
+        bound: int = 1,
+        limit: int = 24,
+    ) -> list:
+        """Paper dataflow names, scored on any healthy server."""
+        return self._failover(
+            lambda session: session.evaluate_names(
+                statement, names, bound=bound, limit=limit
+            )
+        )
+
+    def cache_stats(self) -> dict[str, int]:
+        """Summed memo-cache counters across the healthy servers."""
+        totals: dict[str, int] = {}
+        for server in self.coordinator._healthy_servers():
+            try:
+                stats = server.session.cache_stats()
+            except _SERVER_LOST:
+                server.healthy = False
+                continue
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def flush(self) -> None:
+        """Flush the local fold cache and ask every healthy server to persist."""
+        if self.cache is not None:
+            self.cache.flush()
+        for server in self.coordinator._healthy_servers():
+            try:
+                server.session.flush()
+            except _SERVER_LOST:
+                server.healthy = False
+
+    def close(self) -> None:
+        self.coordinator.close()
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.flush()
+        except (ConnectionError, OSError):  # the fleet may already be gone
+            pass
+        self.close()
+
+    def __repr__(self) -> str:
+        n = len(self.coordinator.servers)
+        return (
+            f"CoordinatedSession({n} server(s), "
+            f"{self.array.rows}x{self.array.cols}, width={self.width})"
+        )

@@ -21,8 +21,11 @@ Endpoints (all under ``/v1``):
 ``POST /v1/jobs``         submit a sweep job to the bounded queue (503 full)
 ``GET  /v1/jobs[/<id>]``  list / poll jobs
 ``DELETE /v1/jobs/<id>``  cancel (queued jobs immediately; running jobs
-                          cooperatively between workloads)
+                          cooperatively between workloads); the snapshot
+                          reports ``cancelled_while`` queued vs running
 ``GET  /v1/cache/stats``  the session's memo-cache counters
+``GET  /v1/cache``        pull the full memo-cache contents (coordinator
+                          fold-in; see ``MemoCache.dump``)
 ``POST /v1/cache/flush``  persist the memo cache now
 ========================  =====================================================
 
@@ -53,31 +56,11 @@ from repro.service import wire
 
 __all__ = ["EvaluationService", "ServiceThread"]
 
-#: ``options`` keys /v1/explore and job payloads may pass to the engine.
-_EXPLORE_OPTIONS = (
-    "one_d_only",
-    "selections",
-    "bound",
-    "per_selection_limit",
-    "realizable_only",
-    "canonical",
-)
-
 #: Client errors that become 400s; anything else is a 500.
 _CLIENT_ERRORS = (LookupError, KeyError, ValueError, TypeError)
 
-
-def _engine_options(payload: Mapping[str, Any]) -> dict[str, Any]:
-    options = payload.get("options") or {}
-    unknown = sorted(set(options) - set(_EXPLORE_OPTIONS))
-    if unknown:
-        raise ValueError(
-            f"unknown explore option(s) {unknown}; known: {sorted(_EXPLORE_OPTIONS)}"
-        )
-    out = dict(options)
-    if out.get("selections") is not None:
-        out["selections"] = [tuple(sel) for sel in out["selections"]]
-    return out
+#: Shared with the sweep coordinator via :mod:`repro.service.wire`.
+_engine_options = wire.engine_options
 
 
 @dataclass
@@ -90,15 +73,24 @@ class Job:
     error: str | None = None
     results: list[dict[str, Any]] = field(default_factory=list)
     cancel_requested: bool = False
+    #: "queued" or "running": where the job was when DELETE reached it.
+    cancelled_while: str | None = None
+    #: Total (config, workload) items this job will run; progress denominator.
+    total_items: int = 0
 
     def snapshot(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "id": self.id,
             "status": self.status,
             "workloads": list(self.payload.get("workloads", ())),
+            "progress": {"completed": len(self.results), "total": self.total_items},
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.cancel_requested:
+            out["cancel_requested"] = True
+        if self.cancelled_while is not None:
+            out["cancelled_while"] = self.cancelled_while
         if self.status in ("done", "cancelled") and self.results:
             out["results"] = self.results
         return out
@@ -277,10 +269,32 @@ class EvaluationService:
                     "backends": list(available_backends()),
                     "workloads": sorted(TABLE_II),
                     "array": wire.array_to_dict(self.session.array),
+                    # 0 = the job queue is disabled; coordinators use this to
+                    # pick the evaluate_many fallback without a probe 503
+                    "max_jobs": max(0, self.max_queued_jobs),
                 },
             )
         elif route == ("GET", "/v1/cache/stats"):
             self._json_response(writer, 200, self.session.cache_stats())
+        elif route == ("GET", "/v1/cache"):
+            cache = self.session.cache
+            # dump + serialize on the executor: a big memo cache must not
+            # stall the event loop (and every other in-flight request)
+            body = await loop.run_in_executor(
+                None,
+                lambda: json.dumps(
+                    {"sections": cache.dump() if cache is not None else {}}
+                ).encode(),
+            )
+            writer.write(
+                (
+                    "HTTP/1.1 200 OK\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "\r\n"
+                ).encode()
+                + body
+            )
         elif route == ("POST", "/v1/cache/flush"):
             await loop.run_in_executor(None, self.session.flush)
             self._json_response(writer, 200, {"flushed": True})
@@ -412,14 +426,44 @@ class EvaluationService:
         if not isinstance(workloads, list) or not workloads:
             raise ValueError('job body needs a non-empty "workloads" list')
         _engine_options(payload)  # validate option names up front
+        if not isinstance(payload.get("include_rows", False), bool):
+            raise ValueError('"include_rows" must be a boolean')
+        submit_key = payload.get("submit_key")
+        if submit_key is not None and not isinstance(submit_key, str):
+            raise ValueError('"submit_key" must be a string')
+        if submit_key is not None:
+            # idempotent resubmission: a client that lost the response to a
+            # submit retries with the same key and gets the original job
+            # back instead of enqueueing a duplicate sweep
+            for existing in self.jobs.values():
+                if existing.payload.get("submit_key") == submit_key:
+                    self._json_response(writer, 202, {"job": existing.snapshot()})
+                    return
         for name in workloads:
             wire.instantiate_statement(
                 {"workload": name, "extents": payload.get("extents") or {}}
             )
-        for config in payload.get("configs") or []:
+        configs = payload.get("configs") or []
+        for config in configs:
             wire.array_from_dict(config)
+        if self.max_queued_jobs <= 0:
+            # a server run with --max-jobs 0 has no job capacity at all;
+            # the same 503 contract as a full queue, reported up front
+            self._json_response(
+                writer,
+                503,
+                {
+                    "error": "job queue disabled on this server (--max-jobs 0)",
+                    "error_type": "RuntimeError",
+                },
+            )
+            return
         assert self._job_queue is not None, "service not started"
-        job = Job(id=f"job-{next(self._job_ids)}", payload=dict(payload))
+        job = Job(
+            id=f"job-{next(self._job_ids)}",
+            payload=dict(payload),
+            total_items=len(workloads) * max(1, len(configs)),
+        )
         try:
             self._job_queue.put_nowait(job)
         except asyncio.QueueFull:
@@ -449,9 +493,15 @@ class EvaluationService:
             )
             return
         if method == "DELETE":
-            job.cancel_requested = True
+            # report *where* the cancel landed: a queued job dies immediately,
+            # a running one stops cooperatively after its current workload
             if job.status == "queued":
+                job.cancel_requested = True
+                job.cancelled_while = "queued"
                 job.status = "cancelled"
+            elif job.status == "running":
+                job.cancel_requested = True
+                job.cancelled_while = "running"
         self._json_response(writer, 200, {"job": job.snapshot()})
 
     def _prune_jobs(self) -> None:
@@ -479,14 +529,25 @@ class EvaluationService:
                 job.status = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
             else:
-                job.status = "done" if completed else "cancelled"
+                if completed:
+                    job.status = "done"
+                else:
+                    job.status = "cancelled"
+                    if job.cancelled_while is None:
+                        job.cancelled_while = "running"
 
     def _run_sweep_job(self, job: Job) -> bool:
         """Execute one sweep job; returns False when cancelled mid-run.
 
         Cancellation is cooperative at workload granularity: the flag is
-        checked between (config, workload) evaluations, so a running job
-        stops after the current workload and keeps its partial results.
+        checked between (config, workload) evaluations — including once more
+        after the last item, so a DELETE that lands during the final workload
+        still reports ``cancelled`` — and a cancelled job keeps the partial
+        results it finished.  With ``include_rows`` the per-item record also
+        carries every evaluated design as a ``/v1/explore``-format row
+        (points first, then failures, both in enumeration order), which is
+        what lets a sweep coordinator rebuild the exact
+        :class:`~repro.explore.engine.EvaluationResult` client-side.
         """
         payload = job.payload
         configs = [wire.array_from_dict(c) for c in payload.get("configs") or []] or [
@@ -494,6 +555,7 @@ class EvaluationService:
         ]
         options = _engine_options(payload)
         extents = payload.get("extents") or {}
+        include_rows = bool(payload.get("include_rows", False))
         for config in configs:
             for name in payload["workloads"]:
                 if job.cancel_requested:
@@ -502,22 +564,25 @@ class EvaluationService:
                     {"workload": name, "extents": extents}
                 )
                 result = self.session.explore(statement, array=config, **options)
-                job.results.append(
-                    {
-                        "workload": result.workload,
-                        "array": wire.array_to_dict(result.array),
-                        "points": len(result.points),
-                        "failures": len(result.failures),
-                        "stats": {
-                            k: v
-                            for k, v in wire.stats_to_row(result.stats).items()
-                            if k != "row"
-                        },
-                        "best": [wire.point_to_row(p) for p in result.best(5)],
-                        "pareto": [p.name for p in result.pareto()],
-                    }
-                )
-        return True
+                record = {
+                    "workload": result.workload,
+                    "array": wire.array_to_dict(result.array),
+                    "points": len(result.points),
+                    "failures": len(result.failures),
+                    "stats": {
+                        k: v
+                        for k, v in wire.stats_to_row(result.stats).items()
+                        if k != "row"
+                    },
+                    "best": [wire.point_to_row(p) for p in result.best(5)],
+                    "pareto": [p.name for p in result.pareto()],
+                }
+                if include_rows:
+                    record["rows"] = [
+                        wire.point_to_row(p) for p in result.points
+                    ] + [wire.point_to_row(p) for p in result.failures]
+                job.results.append(record)
+        return not job.cancel_requested
 
 
 class ServiceThread:
@@ -582,8 +647,13 @@ class ServiceThread:
         await self.service.close()
 
     def stop(self) -> None:
+        """Shut the service down; idempotent (tests kill servers mid-sweep
+        and the context manager stops them again on exit)."""
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # the loop already exited
+                pass
         if self._thread is not None:
             self._thread.join(timeout=60)
 

@@ -39,6 +39,9 @@ from repro.perf.model import ArrayConfig
 
 __all__ = [
     "SCHEMA_HEADER",
+    "ENGINE_OPTIONS",
+    "ServiceBusyError",
+    "engine_options",
     "statement_payload",
     "instantiate_statement",
     "array_to_dict",
@@ -54,6 +57,48 @@ __all__ = [
 #: Request header carrying the client's wire-format version; the server
 #: refuses mismatches up front (409) instead of failing mid-payload.
 SCHEMA_HEADER = "X-Repro-Schema"
+
+
+class ServiceBusyError(RuntimeError):
+    """HTTP 503 from the service: a full (or disabled) job queue.
+
+    Distinct from a transport failure — the server is alive and answered —
+    so callers (the sweep coordinator in particular) can react by falling
+    back to ``evaluate_many`` instead of writing the server off as dead.
+    """
+
+
+#: ``options`` keys the design-space endpoints (``/v1/explore``, job
+#: payloads) may pass through to the engine.  Everything here is
+#: JSON-serializable; ``predicates`` (arbitrary callables) deliberately has
+#: no wire identity.
+ENGINE_OPTIONS = (
+    "one_d_only",
+    "selections",
+    "bound",
+    "per_selection_limit",
+    "realizable_only",
+    "canonical",
+)
+
+
+def engine_options(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate and normalize a payload's engine ``options`` block.
+
+    Shared by the server (validating incoming payloads) and the sweep
+    coordinator (validating before anything is submitted), so both ends
+    reject the same unknown names with the same message.
+    """
+    options = payload.get("options") or {}
+    unknown = sorted(set(options) - set(ENGINE_OPTIONS))
+    if unknown:
+        raise ValueError(
+            f"unknown explore option(s) {unknown}; known: {sorted(ENGINE_OPTIONS)}"
+        )
+    out = dict(options)
+    if out.get("selections") is not None:
+        out["selections"] = [tuple(sel) for sel in out["selections"]]
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -211,5 +256,7 @@ def error_payload(exc: BaseException) -> dict[str, Any]:
 def raise_remote_error(payload: Mapping[str, Any], status: int) -> NoReturn:
     """Re-raise a server error payload as the matching local exception."""
     message = payload.get("error", f"HTTP {status}")
+    if status == 503:
+        raise ServiceBusyError(message)
     exc_type = _ERROR_TYPES.get(payload.get("error_type", ""), RuntimeError)
     raise exc_type(message)

@@ -45,6 +45,13 @@ class TestProtocol:
         # construction is offline: no server needed to check the surface
         assert isinstance(RemoteSession("http://127.0.0.1:1"), SessionProtocol)
 
+    def test_coordinated_session_conforms(self):
+        from repro.service import CoordinatedSession
+
+        # a whole fleet answers to the same protocol as one local session
+        session = CoordinatedSession(["http://127.0.0.1:1", "http://127.0.0.1:2"])
+        assert isinstance(session, SessionProtocol)
+
     def test_session_alias(self):
         assert Session is LocalSession
 

@@ -297,6 +297,38 @@ class TestSweep:
                 selections=GEMM_SEL,
             )
 
+    def test_sweep_shares_one_pool_across_items(self, monkeypatch):
+        """Regression: a parallel sweep must reuse one process pool for every
+        workload x config item (it used to fork a fresh pool per item) while
+        returning results identical to per-item evaluate() calls."""
+        import repro.explore.engine as engine_mod
+
+        real_pool = engine_mod.ProcessPoolExecutor
+        constructed = []
+
+        class CountingPool(real_pool):
+            def __init__(self, *args, **kwargs):
+                constructed.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "ProcessPoolExecutor", CountingPool)
+        gemm = workloads.gemm(64, 64, 64)
+        configs = [ArrayConfig(rows=8, cols=8), ArrayConfig(rows=4, cols=4)]
+        engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), workers=2, chunk_size=8)
+        swept = engine.sweep(
+            [gemm, "batched_gemv"], configs=configs, selections=GEMM_SEL
+        )
+        assert len(swept) == 4
+        assert sum(constructed) == 1  # one pool for the whole sweep
+
+        serial = EvaluationEngine(ArrayConfig(rows=8, cols=8)).sweep(
+            [gemm, "batched_gemv"], configs=configs, selections=GEMM_SEL
+        )
+        assert [r.workload for r in swept] == [r.workload for r in serial]
+        assert [[p.metrics() for p in r] for r in swept] == [
+            [p.metrics() for p in r] for r in serial
+        ]
+
     def test_multi_config_sweep_shares_cache(self):
         cache = MemoCache()
         engine = EvaluationEngine(ArrayConfig(rows=8, cols=8), cache=cache)

@@ -1,0 +1,290 @@
+"""The sweep coordinator: sharding, failure reassignment, 503 fallback, folds.
+
+Every equality assertion here is against a plain ``LocalSession.sweep()`` on
+the same grid — the coordinator's contract is that distribution is invisible
+in the results: same order, same metrics, same structured failures, however
+the shards landed and whichever servers died along the way.
+"""
+
+import pytest
+
+from repro.api import LocalSession
+from repro.explore.engine import MemoCache
+from repro.perf.model import ArrayConfig
+from repro.service import (
+    CoordinatedSession,
+    RemoteSession,
+    ServiceThread,
+    SweepCoordinator,
+)
+
+ARRAY = ArrayConfig(rows=8, cols=8)
+SMALL_ARRAY = ArrayConfig(rows=4, cols=4)
+WORKLOADS = ["gemm", "batched_gemv"]
+#: Wire-serializable engine options that keep each shard fast.
+SWEEP_KW = dict(one_d_only=True, selections=[("m", "n", "k")])
+
+
+def names_and_metrics(results):
+    return [[(p.name, p.metrics()) for p in r] for r in results]
+
+
+def failure_rows(results):
+    return [
+        [(p.name, p.failure.stage, p.failure.reason) for p in r.failures]
+        for r in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def local_results():
+    return LocalSession(ARRAY).sweep(WORKLOADS, **SWEEP_KW)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Two live servers, each with its own in-memory memo cache."""
+    with ServiceThread(LocalSession(ARRAY, cache=MemoCache())) as a:
+        with ServiceThread(LocalSession(ARRAY, cache=MemoCache())) as b:
+            yield a, b
+
+
+class TestDeterministicFold:
+    def test_matches_local_sweep(self, fleet, local_results):
+        a, b = fleet
+        session = CoordinatedSession([a.url, b.url], array=ARRAY)
+        results = session.sweep(WORKLOADS, **SWEEP_KW)
+        assert [r.workload for r in results] == [r.workload for r in local_results]
+        assert names_and_metrics(results) == names_and_metrics(local_results)
+        assert failure_rows(results) == failure_rows(local_results)
+        report = session.coordinator.last_report
+        assert report["shards"] == 2 and report["jobs"] == 2
+        assert report["servers_lost"] == 0
+        session.close()
+
+    def test_multi_config_order_is_configs_major(self, fleet):
+        a, b = fleet
+        configs = [ARRAY, SMALL_ARRAY]
+        session = CoordinatedSession([a.url, b.url], array=ARRAY)
+        results = session.sweep(WORKLOADS, configs=configs, **SWEEP_KW)
+        local = LocalSession(ARRAY).sweep(WORKLOADS, configs=configs, **SWEEP_KW)
+        assert [(r.workload, r.array) for r in results] == [
+            (r.workload, r.array) for r in local
+        ]
+        assert names_and_metrics(results) == names_and_metrics(local)
+        session.close()
+
+    def test_stats_travel_with_job_results(self, fleet, local_results):
+        a, b = fleet
+        session = CoordinatedSession([a.url], array=ARRAY)
+        (result, _) = session.sweep(WORKLOADS, **SWEEP_KW)
+        assert result.stats.enumerated == len(result.points) + len(result.failures)
+        assert result.stats.enumerated == local_results[0].stats.enumerated
+        session.close()
+
+    def test_empty_sweep(self, fleet):
+        a, _ = fleet
+        session = CoordinatedSession([a.url], array=ARRAY)
+        assert session.sweep([]) == []
+        session.close()
+
+    def test_unknown_option_rejected_before_dispatch(self, fleet):
+        a, _ = fleet
+        session = CoordinatedSession([a.url], array=ARRAY)
+        with pytest.raises(ValueError, match="unknown explore option"):
+            session.sweep(WORKLOADS, bogus_option=True)
+        session.close()
+
+
+class TestFailureModes:
+    def test_dead_server_work_is_reassigned(self, fleet, local_results):
+        """A server that is gone before the sweep starts forfeits its shards."""
+        a, _ = fleet
+        session = CoordinatedSession(
+            ["http://127.0.0.1:9", a.url], array=ARRAY, backoff=0.01
+        )
+        results = session.sweep(WORKLOADS, **SWEEP_KW)
+        assert names_and_metrics(results) == names_and_metrics(local_results)
+        assert session.coordinator.last_report["servers_lost"] == 1
+        session.close()
+
+    def test_server_killed_mid_sweep_is_reassigned(self, local_results):
+        """The acceptance scenario: kill a shard's server after its job was
+        submitted; the coordinator must notice at poll time and re-run the
+        shard on the survivor, with a fold identical to local."""
+        victim = ServiceThread(LocalSession(ARRAY)).start()
+        survivor = ServiceThread(LocalSession(ARRAY)).start()
+
+        class KillOnFirstPoll(RemoteSession):
+            armed = True
+
+            def job(self, job_id):
+                if KillOnFirstPoll.armed and self.url == victim.url:
+                    KillOnFirstPoll.armed = False
+                    victim.stop()  # the server dies with the job in flight
+                return super().job(job_id)
+
+        def factory(url):
+            return KillOnFirstPoll(url, array=ARRAY, retries=1, backoff=0.01)
+
+        try:
+            coordinator = SweepCoordinator(
+                [victim.url, survivor.url],
+                array=ARRAY,
+                max_inflight=1,
+                session_factory=factory,
+            )
+            results = coordinator.sweep(WORKLOADS, **SWEEP_KW)
+            assert names_and_metrics(results) == names_and_metrics(local_results)
+            report = coordinator.last_report
+            assert report["servers_lost"] == 1
+            assert report["reassigned"] >= 1
+            coordinator.close()
+        finally:
+            victim.stop()
+            survivor.stop()
+
+    def test_all_servers_dead_raises(self):
+        session = CoordinatedSession(
+            ["http://127.0.0.1:9", "http://127.0.0.1:10"],
+            array=ARRAY,
+            backoff=0.01,
+        )
+        with pytest.raises(RuntimeError, match="servers are gone"):
+            session.sweep(WORKLOADS, **SWEEP_KW)
+        session.close()
+
+    def test_shard_failure_budget_raises(self, fleet):
+        """A shard that keeps failing must raise, never silently drop work."""
+        a, _ = fleet
+
+        class AlwaysFailJobs(RemoteSession):
+            def submit_job(self, *args, **kwargs):
+                job = super().submit_job(*args, **kwargs)
+                super().cancel_job(job["id"])  # forces failed/cancelled polls
+                return job
+
+        coordinator = SweepCoordinator(
+            [a.url],
+            array=ARRAY,
+            max_retries=1,
+            session_factory=lambda url: AlwaysFailJobs(url, array=ARRAY),
+        )
+        with pytest.raises(RuntimeError, match="failed after"):
+            coordinator.sweep(WORKLOADS, **SWEEP_KW)
+        coordinator.close()
+
+
+class TestFallback:
+    def test_full_queue_falls_back_to_evaluate_many(self, local_results):
+        """max_queued_jobs=0 means every submit would 503: the shard ships as
+        chunked evaluate_many batches and still folds identically."""
+        with ServiceThread(LocalSession(ARRAY), max_queued_jobs=0) as thread:
+            session = CoordinatedSession([thread.url], array=ARRAY)
+            results = session.sweep(WORKLOADS, **SWEEP_KW)
+            assert names_and_metrics(results) == names_and_metrics(local_results)
+            assert failure_rows(results) == failure_rows(local_results)
+            report = session.coordinator.last_report
+            assert report["fallbacks"] == 2 and report["jobs"] == 0
+            session.close()
+
+    def test_mixed_fleet_job_plus_fallback(self, local_results):
+        """One server with jobs, one without: both carry shards, one fold."""
+        with ServiceThread(LocalSession(ARRAY)) as jobs_ok:
+            with ServiceThread(LocalSession(ARRAY), max_queued_jobs=0) as no_jobs:
+                session = CoordinatedSession(
+                    [no_jobs.url, jobs_ok.url], array=ARRAY, max_inflight=1
+                )
+                results = session.sweep(WORKLOADS, **SWEEP_KW)
+                assert names_and_metrics(results) == names_and_metrics(local_results)
+                report = session.coordinator.last_report
+                assert report["fallbacks"] >= 1
+                session.close()
+
+
+class TestCacheFold:
+    def test_remote_caches_fold_into_local(self, tmp_path, local_results):
+        cache_path = tmp_path / "fold.json"
+        with ServiceThread(LocalSession(ARRAY, cache=MemoCache())) as thread:
+            session = CoordinatedSession([thread.url], array=ARRAY, cache=cache_path)
+            session.sweep(WORKLOADS, **SWEEP_KW)
+            session.close()
+        assert cache_path.exists()
+        folded = MemoCache(cache_path)
+        stats = folded.stats()
+        # the servers' engine sections made it into the local fold cache
+        assert stats["points"] > 0 and stats["spaces"] > 0
+        # and the folded cache warms a plain LocalSession to zero evaluations
+        warm = LocalSession(ARRAY, cache=folded).sweep(WORKLOADS, **SWEEP_KW)
+        assert all(r.stats.evaluated == 0 for r in warm)
+        assert names_and_metrics(warm) == names_and_metrics(local_results)
+
+
+class TestFallbackCache:
+    def test_fallback_shards_warm_the_fold_cache(self, tmp_path, local_results):
+        """The evaluate_many fallback writes the engine cache sections
+        (spaces/points) into the fold cache, so even a job-less fleet leaves
+        a cache that warms a LocalSession to zero evaluations — and a warm
+        rerun ships no requests at all."""
+        cache_path = tmp_path / "fold.json"
+        with ServiceThread(LocalSession(ARRAY), max_queued_jobs=0) as thread:
+            cold = CoordinatedSession([thread.url], array=ARRAY, cache=cache_path)
+            cold_results = cold.sweep(WORKLOADS, **SWEEP_KW)
+            assert cold.coordinator.last_report["fallbacks"] == 2
+            cold.close()
+
+            warm = CoordinatedSession([thread.url], array=ARRAY, cache=cache_path)
+            warm_results = warm.sweep(WORKLOADS, **SWEEP_KW)
+            warm.close()
+        assert names_and_metrics(cold_results) == names_and_metrics(local_results)
+        assert names_and_metrics(warm_results) == names_and_metrics(local_results)
+        assert all(r.stats.evaluated == 0 for r in warm_results)
+        assert all(r.stats.space_cache_hit for r in warm_results)
+        # and the same file warms a plain in-process session
+        local_warm = LocalSession(ARRAY, cache=cache_path).sweep(WORKLOADS, **SWEEP_KW)
+        assert all(r.stats.evaluated == 0 for r in local_warm)
+
+
+class TestSessionSurface:
+    def test_evaluate_and_names_fail_over(self, fleet):
+        a, _ = fleet
+        session = CoordinatedSession(
+            ["http://127.0.0.1:9", a.url], array=ARRAY, backoff=0.01
+        )
+        result = session.evaluate("gemm", "MNK-SST", extents={"m": 4, "n": 4, "k": 4})
+        assert result.ok
+        rows = session.evaluate_names("gemm", ["MNK-SST"])
+        assert rows[0][0] == "MNK-SST"
+        assert session.coordinator.servers[0].healthy is False
+        session.close()
+
+    def test_evaluate_many_spreads_and_reassembles(self, fleet):
+        a, b = fleet
+        session = CoordinatedSession([a.url, b.url], array=ARRAY)
+        requests = [
+            session.request(
+                "gemm", name, backend=backend, extents={"m": 4, "n": 4, "k": 4}
+            )
+            for name in ("MNK-SST", "MNK-MTM")
+            for backend in ("perf", "cost")
+        ]
+        results = session.evaluate_many(requests)
+        local = LocalSession(ARRAY).evaluate_many(requests)
+        assert [r.metrics for r in results] == [r.metrics for r in local]
+        session.close()
+
+    def test_explore_rides_one_server(self, fleet):
+        a, b = fleet
+        session = CoordinatedSession([a.url, b.url], array=ARRAY)
+        result = session.explore("gemm", **SWEEP_KW)
+        local = LocalSession(ARRAY).explore("gemm", **SWEEP_KW)
+        assert [p.metrics() for p in result] == [p.metrics() for p in local]
+        session.close()
+
+    def test_cache_stats_aggregates(self, fleet):
+        a, b = fleet
+        session = CoordinatedSession([a.url, b.url], array=ARRAY)
+        session.evaluate("gemm", "MNK-SST", extents={"m": 4, "n": 4, "k": 4})
+        stats = session.cache_stats()
+        assert stats.get("api", 0) >= 1
+        session.close()

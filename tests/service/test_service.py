@@ -209,24 +209,56 @@ class TestStreaming:
             LocalSession(ArrayConfig(rows=4, cols=4)).explore("gemm", extents={"M": 64})
 
 
+def _wait_terminal(remote, job_id, budget=120):
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        job = remote.job(job_id)
+        if job["status"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish within {budget}s")
+
+
 class TestJobs:
     def test_job_lifecycle(self, remote):
         job = remote.submit_job(
             ["batched_gemv"], one_d_only=True, extents={"m": 8, "n": 8, "k": 8}
         )
         assert job["status"] in ("queued", "running")
-        deadline = time.monotonic() + 120
-        while time.monotonic() < deadline:
-            job = remote.job(job["id"])
-            if job["status"] in ("done", "failed", "cancelled"):
-                break
-            time.sleep(0.05)
+        assert job["progress"] == {"completed": 0, "total": 1}
+        job = _wait_terminal(remote, job["id"])
         assert job["status"] == "done", job
+        assert job["progress"] == {"completed": 1, "total": 1}
         (row,) = job["results"]
         assert row["workload"] == "batched_gemv"
         assert row["points"] > 0
         assert row["best"] and row["pareto"]
+        assert "rows" not in row  # full rows only on request (include_rows)
         assert any(j["id"] == job["id"] for j in remote.jobs())
+
+    def test_include_rows_round_trip(self, remote):
+        """include_rows keeps every design as a wire row the client can
+        rebuild into the exact local EvaluationResult (the coordinator's
+        fold-in source)."""
+        from repro.ir import workloads as workload_lib
+        from repro.service import wire
+
+        extents = {"m": 8, "n": 8, "k": 8}
+        job = remote.submit_job(
+            ["batched_gemv"], one_d_only=True, extents=extents, include_rows=True
+        )
+        job = _wait_terminal(remote, job["id"])
+        assert job["status"] == "done", job
+        (record,) = job["results"]
+        assert len(record["rows"]) == record["points"] + record["failures"]
+        statement = workload_lib.by_name("batched_gemv", **extents)
+        points = [wire.row_to_point(row, statement) for row in record["rows"]]
+        local = LocalSession(ArrayConfig(rows=8, cols=8)).explore(
+            "batched_gemv", extents=extents, one_d_only=True
+        )
+        assert [p.metrics() for p in points if p.ok] == [
+            p.metrics() for p in local.points
+        ]
 
     def test_unknown_job_404(self, remote):
         with pytest.raises(LookupError, match="no such job"):
@@ -259,6 +291,7 @@ class TestJobs:
                 remote.submit_job(["batched_gemv"], one_d_only=True)
             cancelled = remote.cancel_job(queued_b["id"])
             assert cancelled["status"] == "cancelled"
+            assert cancelled["cancelled_while"] == "queued"  # never started
             # everything not cancelled still completes
             deadline = time.monotonic() + 240
             while time.monotonic() < deadline:
@@ -271,6 +304,147 @@ class TestJobs:
                 time.sleep(0.1)
             assert states == {long_job["id"]: "done", queued_a["id"]: "done"}
             assert remote.job(queued_b["id"])["status"] == "cancelled"
+
+    def test_cancel_running_job_keeps_partial_results(self, tmp_path):
+        """DELETE on a *running* job: the runner stops between workloads, the
+        job lands `cancelled` with the partial results it finished, and the
+        DELETE response says the cancel hit a running job (regression: the
+        flag used to be set with nothing reported back)."""
+        session = LocalSession(ArrayConfig(rows=8, cols=8))
+        with ServiceThread(session) as thread:
+            remote = RemoteSession(thread.url)
+            job = remote.submit_job(
+                # two slow workloads: the cancel lands while the first runs
+                ["gemm", "batched_gemv"],
+                extents={"m": 64, "n": 64, "k": 64},
+            )
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if remote.job(job["id"])["status"] == "running":
+                    break
+                time.sleep(0.01)
+            snapshot = remote.cancel_job(job["id"])
+            assert snapshot["cancelled_while"] == "running"
+            assert snapshot["cancel_requested"] is True
+            assert snapshot["status"] == "running"  # cooperative, not instant
+            job = _wait_terminal(remote, job["id"])
+            assert job["status"] == "cancelled"
+            assert job["cancelled_while"] == "running"
+            # partial: the second workload never ran
+            assert job["progress"]["total"] == 2
+            assert job["progress"]["completed"] < 2
+            for record in job.get("results", []):
+                assert record["workload"] == "gemm"
+
+    def test_submit_key_is_idempotent(self, remote):
+        """A retried submit (lost response) with the same submit_key gets
+        the original job back instead of double-enqueueing the sweep."""
+        kwargs = dict(
+            one_d_only=True,
+            extents={"m": 8, "n": 8, "k": 8},
+            submit_key="sweep-token:shard-0:attempt-0",
+        )
+        first = remote.submit_job(["batched_gemv"], **kwargs)
+        second = remote.submit_job(["batched_gemv"], **kwargs)
+        assert second["id"] == first["id"]
+        fresh = remote.submit_job(
+            ["batched_gemv"], one_d_only=True, extents={"m": 8, "n": 8, "k": 8},
+            submit_key="sweep-token:shard-0:attempt-1",
+        )
+        assert fresh["id"] != first["id"]
+        for job in (first, fresh):
+            assert _wait_terminal(remote, job["id"])["status"] == "done"
+
+    def test_jobs_disabled_is_503(self, tmp_path):
+        """--max-jobs 0 disables the queue: submit answers 503 up front and
+        healthz advertises max_jobs=0 so coordinators skip the probe."""
+        from repro.service.wire import ServiceBusyError
+
+        session = LocalSession(ArrayConfig(rows=8, cols=8))
+        with ServiceThread(session, max_queued_jobs=0) as thread:
+            remote = RemoteSession(thread.url)
+            info = remote._call("GET", "/v1/healthz")
+            assert info["max_jobs"] == 0
+            with pytest.raises(ServiceBusyError, match="disabled"):
+                remote.submit_job(["batched_gemv"], one_d_only=True)
+
+
+class TestRetryBackoff:
+    def test_connect_errors_retry_with_jittered_backoff(self, monkeypatch):
+        """Transport failures retry up to `retries` times: the first retry is
+        immediate (recycled keep-alive), later ones sleep an exponentially
+        growing jittered backoff (regression: exactly one blind retry)."""
+        from repro.service import client as client_mod
+
+        sleeps = []
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+        session = RemoteSession(
+            "http://127.0.0.1:9", timeout=2, retries=3, backoff=0.25
+        )
+        with pytest.raises(ConnectionError, match="no evaluation service"):
+            session.evaluate("gemm", "MNK-SST", extents=SMALL)
+        # attempts 0+1 are back to back; attempts 2 and 3 back off first
+        assert len(sleeps) == 2
+        assert 0.5 * 0.25 <= sleeps[0] <= 1.5 * 0.25
+        assert 0.5 * 0.50 <= sleeps[1] <= 1.5 * 0.50
+        assert sleeps[1] > sleeps[0] * 0.5  # exponential floor, jitter aside
+
+    def test_retries_zero_fails_fast(self, monkeypatch):
+        from repro.service import client as client_mod
+
+        sleeps = []
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+        session = RemoteSession("http://127.0.0.1:9", timeout=2, retries=0)
+        with pytest.raises(ConnectionError):
+            session.evaluate("gemm", "MNK-SST", extents=SMALL)
+        assert sleeps == []
+
+    def test_http_errors_never_retry(self, cached_service, monkeypatch):
+        """A 4xx is an answer, not an outage: exactly one round-trip past the
+        handshake, no reconnect, no backoff."""
+        session = RemoteSession(cached_service.url, retries=3, backoff=5.0)
+        roundtrips = []
+        original = session._roundtrip
+
+        def counting(method, path, payload):
+            roundtrips.append(path)
+            return original(method, path, payload)
+
+        monkeypatch.setattr(session, "_roundtrip", counting)
+        with pytest.raises(LookupError, match="registered"):
+            session.evaluate("gemm", "MNK-SST", backend="nope", extents=SMALL)
+        assert roundtrips == ["/v1/healthz", "/v1/evaluate"]
+
+    def test_retry_bounds_validated(self):
+        with pytest.raises(ValueError, match="retries"):
+            RemoteSession("http://127.0.0.1:9", retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            RemoteSession("http://127.0.0.1:9", backoff=-0.1)
+
+
+class TestCachePull:
+    def test_pull_round_trips_through_memo_cache(self, remote, cached_service):
+        """GET /v1/cache returns the server's sections; MemoCache.from_payload
+        + merge_from fold them into a local cache (the live alternative to
+        `repro cache merge` on shard files)."""
+        from repro.explore.engine import MemoCache
+
+        result = remote.evaluate("gemm", "MNK-SST", extents={"m": 7, "n": 7, "k": 7})
+        assert result.ok
+        sections = remote.cache_pull()
+        assert sections["api"]  # the evaluation above is in there
+        local = MemoCache()
+        added = local.merge_from(MemoCache.from_payload(sections))
+        assert added["api"] == len(sections["api"])
+        # merged entries serve: a LocalSession on the pulled cache gets a hit
+        session = LocalSession(ArrayConfig(rows=8, cols=8), cache=local)
+        warm = session.evaluate("gemm", "MNK-SST", extents={"m": 7, "n": 7, "k": 7})
+        assert warm.cached
+
+    def test_pull_without_cache_is_empty(self, tmp_path):
+        session = LocalSession(SMALL_ARRAY)  # no cache configured
+        with ServiceThread(session) as thread:
+            assert RemoteSession(thread.url).cache_pull() == {}
 
 
 class TestCleanShutdown:

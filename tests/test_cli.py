@@ -184,3 +184,43 @@ class TestClientCommands:
     def test_client_requires_url(self):
         with pytest.raises(SystemExit):
             main(["client", "evaluate", "gemm", "MNK-SST"])
+
+
+class TestSweepCommand:
+    """`repro sweep --url A --url B` coordinates across several servers."""
+
+    @pytest.fixture(scope="class")
+    def fleet_urls(self):
+        from repro.api import LocalSession
+        from repro.perf.model import ArrayConfig
+        from repro.service import ServiceThread
+
+        with ServiceThread(LocalSession(ArrayConfig(rows=8, cols=8))) as a:
+            with ServiceThread(LocalSession(ArrayConfig(rows=8, cols=8))) as b:
+                yield a.url, b.url
+
+    def test_sweep_over_two_servers(self, fleet_urls, tmp_path, capsys):
+        cache = tmp_path / "fold.json"
+        rc = main(
+            ["sweep", "gemm", "batched_gemv", "--rows", "8", "--cols", "8",
+             "--top", "2", "--one-d", "--url", fleet_urls[0],
+             "--url", fleet_urls[1], "--cache", str(cache)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gemm on 8x8" in out and "batched_gemv on 8x8" in out
+        assert "pareto frontier" in out
+        assert "coordinated 2 shard(s) over 2 server(s)" in out
+        assert cache.exists()  # remote memo caches folded locally
+
+    def test_sweep_all_servers_dead(self, capsys):
+        rc = main(
+            ["sweep", "gemm", "--rows", "8", "--cols", "8",
+             "--url", "http://127.0.0.1:9"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_requires_url(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "gemm"])
