@@ -1,24 +1,47 @@
-"""Coordinated-sweep scaling: one session, one server, a two-server fleet.
+"""Coordinated-sweep scaling: fold identity, weighted shards, poll traffic.
 
-Runs the same workload x config sweep three ways —
+Two experiments:
+
+**Fold identity** (``test_coordinated_sweep_matches_local``) runs the same
+workload x config sweep four ways —
 
 - **local**: ``LocalSession.sweep()`` in-process (the reference fold);
 - **1 server**: a :class:`CoordinatedSession` over one live service;
-- **2 servers**: the same coordinator over two services, shards split
-  between them via the job API —
+- **2 servers**: the same coordinator over a *weighted* two-server fleet
+  (one server advertises a process pool via healthz ``workers``), shards
+  split between them via the job API;
+- **2 servers, shard_size=2**: same fleet with sweep items grouped two per
+  job —
 
 and reports wall-clock per transport plus the coordinator's shard report.
 The asserted bars are correctness, not speed (two servers on one CI box
 share the same cores):
 
-- every fold is bit-identical to the local sweep, shard placement included;
+- every fold is bit-identical to the local sweep — shard placement,
+  capacity weighting and ``shard_size`` grouping included;
 - the two-server run actually distributed (both servers completed shards);
 - the coordinator's folded memo cache warms a *local* session to zero
   evaluations — the distributed sweep's cache is as good as a local one.
 
+**Poll traffic** (``test_streaming_vs_snapshot_poll_payload``) measures the
+wire cost of watching a running job's per-design rows, streaming vs
+snapshot:
+
+- **snapshot**: every poll asks ``?since=0`` — the full row list so far —
+  which is what a client without a cursor has to do for live rows.
+  Cumulative payload grows ~quadratically with sweep length (each of ~T
+  polls re-ships O(rows-so-far)).
+- **streaming**: every poll advances the ``?since=`` cursor, so each row
+  crosses the wire exactly once and cumulative payload stays linear.
+
+The asserted bars: identical row logs both ways, each row shipped exactly
+once on the streaming path, and the snapshot/streaming byte ratio *growing*
+with sweep length — the superlinear gap incremental streaming closes.
+
 Run:  pytest benchmarks/bench_coordinator_sweep.py
 """
 
+import json
 import time
 
 from bench_util import print_table
@@ -26,7 +49,7 @@ from bench_util import print_table
 from repro.api import LocalSession
 from repro.explore.engine import MemoCache
 from repro.perf.model import ArrayConfig
-from repro.service import CoordinatedSession, ServiceThread
+from repro.service import CoordinatedSession, RemoteSession, ServiceThread
 
 ARRAY = ArrayConfig(rows=8, cols=8)
 WORKLOADS = ["gemm", "batched_gemv"]
@@ -50,12 +73,20 @@ def test_coordinated_sweep_matches_local(benchmark, tmp_path):
     )
     points = sum(len(r) + len(r.failures) for r in local)
 
-    with ServiceThread(LocalSession(ARRAY, cache=MemoCache())) as node_a:
+    # node_a advertises a 2-process pool: the coordinator's probe weights its
+    # inflight up to 2 while node_b (serial) keeps the max_inflight baseline
+    with ServiceThread(LocalSession(ARRAY, workers=2, cache=MemoCache())) as node_a:
         with ServiceThread(LocalSession(ARRAY, cache=MemoCache())) as node_b:
             single = CoordinatedSession([node_a.url], array=ARRAY)
             fold_cache = tmp_path / "fold.json"
             fleet = CoordinatedSession(
-                [node_a.url, node_b.url], array=ARRAY, cache=fold_cache
+                [node_a.url, node_b.url],
+                array=ARRAY,
+                cache=fold_cache,
+                max_inflight=1,
+            )
+            grouped = CoordinatedSession(
+                [node_a.url, node_b.url], array=ARRAY, shard_size=2
             )
 
             def run():
@@ -65,13 +96,21 @@ def test_coordinated_sweep_matches_local(benchmark, tmp_path):
                 two, two_s = _timed(
                     lambda: fleet.sweep(WORKLOADS, CONFIGS, **SWEEP_KW)
                 )
-                return one, one_s, two, two_s
+                wide, wide_s = _timed(
+                    lambda: grouped.sweep(WORKLOADS, CONFIGS, **SWEEP_KW)
+                )
+                return one, one_s, two, two_s, wide, wide_s
 
-            one, one_s, two, two_s = benchmark.pedantic(run, rounds=1, iterations=1)
+            one, one_s, two, two_s, wide, wide_s = benchmark.pedantic(
+                run, rounds=1, iterations=1
+            )
             report = fleet.coordinator.last_report
+            grouped_report = grouped.coordinator.last_report
+            capacities = [s.capacity for s in fleet.coordinator.servers]
             completed = [s.completed for s in fleet.coordinator.servers]
             single.close()
             fleet.close()
+            grouped.close()
 
     print_table(
         f"sweep: {len(WORKLOADS)} workloads x {len(CONFIGS)} configs "
@@ -81,17 +120,114 @@ def test_coordinated_sweep_matches_local(benchmark, tmp_path):
             ["local", f"{local_s:.2f}", f"{points / local_s:.0f}"],
             ["coordinated x1", f"{one_s:.2f}", f"{points / one_s:.0f}"],
             ["coordinated x2", f"{two_s:.2f}", f"{points / two_s:.0f}"],
+            ["x2 shard_size=2", f"{wide_s:.2f}", f"{points / wide_s:.0f}"],
         ],
     )
-    print(f"  two-server report: {report}, shards per server: {completed}")
+    print(
+        f"  two-server report: {report}, shards per server: {completed}, "
+        f"weighted capacities: {capacities}"
+    )
+    print(f"  grouped report: {grouped_report}")
 
     # correctness bars: distribution must be invisible in the results
     assert _digest(one) == _digest(local)
     assert _digest(two) == _digest(local)
+    assert _digest(wide) == _digest(local)
     assert report["shards"] == len(WORKLOADS) * len(CONFIGS)
     assert all(done > 0 for done in completed), "a server sat idle"
+    # the probe picked up node_a's advertised pool (weighted sharding)
+    assert capacities[0] == 2 and capacities[1] == 1
+    # shard_size=2 really grouped: one job per config, half the submissions
+    assert grouped_report["shards"] == len(CONFIGS)
+    assert grouped_report["items"] == len(WORKLOADS) * len(CONFIGS)
+    # rows streamed incrementally, one wire row per design, per sweep
+    assert report["rows_streamed"] == points
+    assert grouped_report["rows_streamed"] == points
 
     # the folded cache is as warm as a local one: zero re-evaluations
     warm = LocalSession(ARRAY, cache=fold_cache).sweep(WORKLOADS, CONFIGS, **SWEEP_KW)
     assert all(r.stats.evaluated == 0 for r in warm)
     assert _digest(warm) == _digest(local)
+
+
+def _watch_job(remote, workloads, *, snapshot_mode, poll_interval=0.02):
+    """Submit one stream_rows job and poll it to completion, tallying bytes.
+
+    ``snapshot_mode=True`` polls ``since=0`` every round (the full row list
+    so far — what a cursor-less client must do for live rows);
+    ``snapshot_mode=False`` advances the cursor so each poll carries only
+    new rows.  Returns (rows_seen, polls, payload_bytes).
+    """
+    job = remote.submit_job(
+        ["gemm"] * workloads,
+        extents={"m": 32, "n": 32, "k": 32},
+        one_d_only=True,
+        stream_rows=True,
+    )
+    cursor = 0
+    rows_seen = 0
+    polls = 0
+    payload_bytes = 0
+    while True:
+        snapshot = remote.poll_job(
+            job["id"], since=0 if snapshot_mode else cursor
+        )
+        polls += 1
+        payload_bytes += len(json.dumps(snapshot).encode())
+        if snapshot_mode:
+            rows_seen = snapshot["rows_total"]
+        else:
+            rows_seen += len(snapshot["rows"])
+        cursor = snapshot["rows_total"]
+        if snapshot["status"] in ("done", "failed", "cancelled"):
+            assert snapshot["status"] == "done", snapshot
+            return rows_seen, polls, payload_bytes
+        time.sleep(poll_interval)
+
+
+def test_streaming_vs_snapshot_poll_payload():
+    """Cursor polls ship each row once; since=0 polls re-ship the world.
+
+    The byte ratio between the two must *grow* with sweep length — the
+    snapshot path is superlinear in rows while the streaming path is linear.
+    """
+    lengths = [1, 3]
+    table = []
+    ratios = []
+    # no memo cache: every job is equally cold, so both modes watch the
+    # same amount of work and the poll schedules are comparable
+    with ServiceThread(LocalSession(ARRAY)) as node:
+        remote = RemoteSession(node.url)
+        for length in lengths:
+            stream_rows, stream_polls, stream_bytes = _watch_job(
+                remote, length, snapshot_mode=False
+            )
+            snap_rows, snap_polls, snap_bytes = _watch_job(
+                remote, length, snapshot_mode=True
+            )
+            assert stream_rows == snap_rows > 0  # both watched every design
+            ratio = snap_bytes / stream_bytes
+            ratios.append(ratio)
+            table.append(
+                [
+                    f"{length} workload(s)",
+                    f"{stream_rows}",
+                    f"{stream_polls} / {snap_polls}",
+                    f"{stream_bytes:,}",
+                    f"{snap_bytes:,}",
+                    f"{ratio:.1f}x",
+                ]
+            )
+        remote.close()
+
+    print_table(
+        "job-row polling: cursor (since=<seq>) vs full snapshot (since=0)",
+        ["sweep length", "rows", "polls s/f", "stream B", "snapshot B", "ratio"],
+        table,
+    )
+
+    # the snapshot path re-ships rows: strictly more bytes at every length
+    assert all(r > 1.0 for r in ratios), ratios
+    # and the gap widens superlinearly with sweep length: tripling the work
+    # must grow the byte *ratio*, not just the byte counts
+    assert ratios[-1] > ratios[0], ratios

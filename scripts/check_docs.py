@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Docs checker: links must resolve, fenced Python snippets must compile.
+
+Scans ``README.md`` and every ``docs/*.md`` for
+
+1. **Markdown links** — relative targets must point at files/directories
+   that exist in the repo, and ``#anchor`` fragments (same-file or
+   cross-file) must match a real heading's GitHub-style slug.  External
+   (``http``/``https``/``mailto``) targets are skipped — this checker
+   never touches the network.
+2. **Fenced code blocks** — every ```` ```python ```` block is extracted
+   into a snippets directory (one ``.py`` file each, default a temp dir)
+   and run through ``compileall`` — docs that show Python must at least
+   show *syntactically valid* Python.  Other fence languages (``bash``,
+   ``json``, diagrams) are left alone.
+
+CI runs this as the ``docs`` job; locally::
+
+    python scripts/check_docs.py
+    python scripts/check_docs.py --snippets-dir build/docs-snippets  # keep them
+
+Exit code 0 when everything resolves and compiles, 1 otherwise (every
+problem is listed, not just the first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import compileall
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+
+
+def _rel(path: Path) -> Path:
+    """Repo-relative for display; absolute when outside the repo (tests)."""
+    try:
+        return path.relative_to(REPO)
+    except ValueError:
+        return path
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def slugify(heading: str) -> str:
+    """A heading's GitHub-style anchor slug (close enough for our docs)."""
+    text = re.sub(r"[`*]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.ASCII)
+    return text.replace(" ", "-")
+
+
+def split_markdown(text: str) -> tuple[list[str], list[tuple[str, str]]]:
+    """Split a document into (prose lines, fenced blocks).
+
+    Prose is everything outside code fences — the only place links and
+    headings are looked for, so shell snippets full of brackets can never
+    produce false link errors.  Each fenced block comes back as a
+    ``(language, code)`` pair.
+    """
+    prose: list[str] = []
+    blocks: list[tuple[str, str]] = []
+    language: str | None = None
+    body: list[str] = []
+    for line in text.splitlines():
+        fence = FENCE_RE.match(line)
+        if fence and language is None:
+            language = fence.group(1).lower()
+            body = []
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, "\n".join(body) + "\n"))
+            language = None
+        elif language is not None:
+            body.append(line)
+        else:
+            prose.append(line)
+    return prose, blocks
+
+
+def heading_slugs(path: Path) -> set[str]:
+    prose, _ = split_markdown(path.read_text())
+    return {
+        slugify(match.group(1))
+        for line in prose
+        if (match := HEADING_RE.match(line))
+    }
+
+
+def check_links(files: list[Path]) -> list[str]:
+    errors: list[str] = []
+    slug_cache: dict[Path, set[str]] = {}
+
+    def slugs(path: Path) -> set[str]:
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(path)
+        return slug_cache[path]
+
+    for doc in files:
+        prose, _ = split_markdown(doc.read_text())
+        for number, line in enumerate(prose, 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                where = f"{_rel(doc)}:{number}"
+                path_part, _, anchor = target.partition("#")
+                resolved = doc if not path_part else (doc.parent / path_part)
+                if not resolved.exists():
+                    errors.append(f"{where}: broken link target {target!r}")
+                    continue
+                if anchor and resolved.suffix == ".md":
+                    if anchor not in slugs(resolved):
+                        errors.append(
+                            f"{where}: no heading {('#' + anchor)!r} "
+                            f"in {_rel(resolved)}"
+                        )
+    return errors
+
+
+def extract_snippets(files: list[Path], snippets_dir: Path) -> int:
+    """Write every fenced ```python block to ``snippets_dir``; returns count."""
+    snippets_dir.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for doc in files:
+        _, blocks = split_markdown(doc.read_text())
+        for language, code in blocks:
+            if language not in ("python", "py"):
+                continue
+            count += 1
+            name = f"{doc.stem.lower()}_{count:03d}.py"
+            (snippets_dir / name).write_text(
+                f"# extracted from {_rel(doc)}\n{code}"
+            )
+    return count
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--snippets-dir",
+        metavar="DIR",
+        help="extract fenced python blocks here (default: a temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    files = doc_files()
+    errors = check_links(files)
+
+    if args.snippets_dir:
+        snippets_dir = Path(args.snippets_dir)
+        count = extract_snippets(files, snippets_dir)
+        compiled = compileall.compile_dir(str(snippets_dir), quiet=1)
+    else:
+        with tempfile.TemporaryDirectory(prefix="docs-snippets-") as tmp:
+            snippets_dir = Path(tmp)
+            count = extract_snippets(files, snippets_dir)
+            compiled = compileall.compile_dir(str(snippets_dir), quiet=1)
+    if not compiled:
+        errors.append(
+            f"python snippet(s) in {snippets_dir} failed to compile (see above)"
+        )
+
+    checked = ", ".join(str(_rel(f)) for f in files)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(f"docs check FAILED: {len(errors)} problem(s) in {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"docs check OK: links resolve and {count} python snippet(s) "
+          f"compile across {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

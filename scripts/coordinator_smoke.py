@@ -69,13 +69,13 @@ def main() -> int:
 
         armed = True
 
-        def job(self, job_id):
+        def poll_job(self, job_id, **kwargs):
             if KillVictimOnFirstPoll.armed and self.url == victim_url:
                 KillVictimOnFirstPoll.armed = False
                 victim.kill()
                 victim.wait(timeout=30)
                 print(f"killed {victim_url} mid-sweep (job {job_id} in flight)")
-            return super().job(job_id)
+            return super().poll_job(job_id, **kwargs)
 
     try:
         coordinator = SweepCoordinator(

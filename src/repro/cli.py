@@ -21,10 +21,12 @@ Examples::
     python -m repro.cli client evaluate gemm MNK-MTM --url http://host:8321
     python -m repro.cli client explore gemm --rows 16 --cols 16 --url http://host:8321
     python -m repro.cli client stats --url http://host:8321
+    python -m repro.cli client tail-job job-3 --url http://host:8321
 
     # a coordinated sweep over several servers (sharded + folded)
     python -m repro.cli sweep gemm mttkrp --rows 16 --cols 16 \\
-        --url http://node-a:8321 --url http://node-b:8321 --cache warm.json
+        --url http://node-a:8321 --url http://node-b:8321 --cache warm.json \\
+        --shard-size 2 --verbose
 """
 
 from __future__ import annotations
@@ -239,6 +241,13 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _coordinator_event_printer(evt: dict) -> None:
+    """One stderr line per dispatch-loop event (``repro sweep --verbose``)."""
+    kind = evt.get("event", "?")
+    fields = " ".join(f"{k}={v}" for k, v in evt.items() if k != "event")
+    print(f"[sweep:{kind}] {fields}", file=sys.stderr)
+
+
 def cmd_sweep(args) -> int:
     """Coordinate one sweep across several ``repro serve`` instances."""
     from repro.service import CoordinatedSession
@@ -252,7 +261,11 @@ def cmd_sweep(args) -> int:
         array=ArrayConfig(rows=args.rows, cols=args.cols),
         width=args.width,
         cache=args.cache,
+        shard_size=args.shard_size,
         max_inflight=args.max_inflight,
+        # surface per-shard retry/reassignment events instead of folding
+        # them silently into the final counters
+        on_event=_coordinator_event_printer if args.verbose else None,
     )
     try:
         results = session.sweep(statements, one_d_only=args.one_d)
@@ -264,8 +277,9 @@ def cmd_sweep(args) -> int:
     _print_sweep_results(results, args.top)
     report = session.coordinator.last_report
     print(
-        f"coordinated {report['shards']} shard(s) over {report['servers']} "
-        f"server(s): {report['jobs']} job(s), {report['fallbacks']} "
+        f"coordinated {report['items']} item(s) in {report['shards']} shard(s) "
+        f"over {report['servers']} server(s): {report['jobs']} job(s), "
+        f"{report['rows_streamed']} row(s) streamed, {report['fallbacks']} "
         f"evaluate_many fallback(s), {report['reassigned']} reassigned, "
         f"{report['servers_lost']} server(s) lost"
     )
@@ -418,6 +432,34 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_client_tail_job(args) -> int:
+    """Stream a job's row log as NDJSON (`repro client tail-job <id> --url`).
+
+    Long-polls ``GET /v1/jobs/<id>/rows``: each design lands on stdout as one
+    JSON line *while the job runs*, framed by ``start`` and ``end`` rows —
+    pipe-friendly live telemetry for a queued sweep.  ``--since`` resumes
+    from a row cursor (a previous line's ``seq``).
+    """
+    import json
+
+    from repro.service import RemoteSession
+
+    session = RemoteSession(args.url)
+    status = "unknown"
+    try:
+        for row in session.iter_job_rows(args.job_id, since=args.since):
+            print(json.dumps(row), flush=True)
+            if row.get("row") == "end":
+                status = row.get("status", status)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        session.close()
+    print(f"job {args.job_id}: {status}", file=sys.stderr)
+    return 0
+
+
 def cmd_client_stats(args) -> int:
     """Print the remote server's memo-cache stats (`repro client stats`)."""
     from repro.service import RemoteSession
@@ -498,7 +540,20 @@ def main(argv: list[str] | None = None) -> int:
         "--max-inflight",
         type=int,
         default=2,
-        help="shard jobs in flight per server (default 2)",
+        help="baseline shard jobs in flight per server (default 2; servers "
+        "advertising --workers via healthz are weighted up to that many)",
+    )
+    p_sweep.add_argument(
+        "--shard-size",
+        type=int,
+        default=1,
+        help="sweep items grouped into one job (default 1); larger shards "
+        "amortize queue overhead on fleets with many small workloads",
+    )
+    p_sweep.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-shard dispatch/retry/reassignment events to stderr",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -571,6 +626,19 @@ def main(argv: list[str] | None = None) -> int:
         "stats", parents=[url_parent], help="remote memo-cache stats"
     )
     c_stats.set_defaults(func=cmd_client_stats)
+    c_tail = client_sub.add_parser(
+        "tail-job",
+        parents=[url_parent],
+        help="stream a job's rows live as NDJSON (long-poll until terminal)",
+    )
+    c_tail.add_argument("job_id", metavar="JOB_ID", help="a /v1/jobs id, e.g. job-3")
+    c_tail.add_argument(
+        "--since",
+        type=int,
+        default=0,
+        help="resume from this row cursor (a previous row's seq; default 0)",
+    )
+    c_tail.set_defaults(func=cmd_client_tail_job)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -93,6 +93,12 @@ class DesignPoint:
     A point either carries metrics (``failure is None``) or a structured
     :class:`DesignFailure` explaining which model stage rejected it — skipped
     designs are first-class results, not silently dropped.
+
+    ``seq`` is the point's 1-based position in the run's emission order
+    (enumeration order, identical for serial and pooled evaluation).  It is
+    the engine-level identity behind the service's incremental row cursors:
+    a consumer that saw rows up to ``seq=N`` can resume at ``N`` and miss
+    nothing.  ``None`` only for points built outside a pipeline run.
     """
 
     spec: DataflowSpec
@@ -101,6 +107,7 @@ class DesignPoint:
     area_mm2: float = float("nan")
     power_mw: float = float("nan")
     failure: DesignFailure | None = None
+    seq: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -618,38 +625,69 @@ class EvaluationEngine:
         *,
         specs: Iterable[DataflowSpec] | None = None,
         stats: EvaluationStats | None = None,
+        workers: int | None = None,
+        pool: ProcessPoolExecutor | None = None,
+        seq_start: int = 0,
         **space_kwargs,
     ) -> Iterator[DesignPoint]:
-        """Yield evaluated :class:`DesignPoint` rows one at a time (serial).
+        """Yield evaluated :class:`DesignPoint` rows one at a time.
 
         This is the incremental face of :meth:`evaluate`: each design is
         resolved from the memo cache or run through the models the moment it
         comes off the enumeration stream, so a consumer — the evaluation
-        service's NDJSON ``/v1/explore`` endpoint in particular — sees
-        results as they are produced instead of after the whole space
-        finishes.  Failures are yielded inline as points carrying a
-        :class:`DesignFailure`.  Pass a shared ``stats`` to observe the run's
+        service's NDJSON ``/v1/explore`` endpoint and the job runner's row
+        log in particular — sees results as they are produced instead of
+        after the whole space finishes.  Failures are yielded inline as
+        points carrying a :class:`DesignFailure`.
+
+        ``workers > 1`` evaluates cache misses on a process pool in chunked,
+        deterministically-ordered batches (``pool`` lends an existing
+        executor); the yielded sequence is bit-identical to the serial one,
+        arriving in chunk-sized bursts instead of point by point.  Every
+        yielded point carries ``seq`` — its 1-based emission index offset by
+        ``seq_start`` — which is what the service's incremental job-row
+        cursors are built on.  Pass a shared ``stats`` to observe the run's
         counters; the cache is flushed when the generator is exhausted or
         closed.
         """
         stats = stats if stats is not None else EvaluationStats()
+        workers = self.workers if workers is None else workers
         source: Iterable[DataflowSpec]
         if specs is not None:
             source = specs
         else:
             source = self.iter_space(statement, stats=stats, **space_kwargs)
+        seq = seq_start
         try:
-            for spec in source:
-                outcome, key = self._lookup(statement, spec, stats)
-                if outcome is None:
-                    outcome = _evaluate_one(spec, self.perf, self.cost)
-                    stats.evaluated += 1
-                if key is not None:
-                    self.cache.put("points", key, list(outcome))
-                point = self._point_from_outcome(spec, outcome)
-                if not point.ok:
-                    stats.skipped += 1
-                yield point
+            if workers <= 1:
+                for spec in source:
+                    outcome, key = self._lookup(statement, spec, stats)
+                    if outcome is None:
+                        outcome = _evaluate_one(spec, self.perf, self.cost)
+                        stats.evaluated += 1
+                    if key is not None:
+                        self.cache.put("points", key, list(outcome))
+                    point = self._point_from_outcome(spec, outcome)
+                    if not point.ok:
+                        stats.skipped += 1
+                    seq += 1
+                    point.seq = seq
+                    yield point
+            else:
+                def lookup(spec: DataflowSpec):
+                    return self._lookup(statement, spec, stats)
+
+                for spec, outcome, key in self._iter_parallel(
+                    source, workers, lookup, stats, pool=pool
+                ):
+                    if key is not None:
+                        self.cache.put("points", key, list(outcome))
+                    point = self._point_from_outcome(spec, outcome)
+                    if not point.ok:
+                        stats.skipped += 1
+                    seq += 1
+                    point.seq = seq
+                    yield point
         finally:
             self._flush()
 
@@ -689,6 +727,8 @@ class EvaluationEngine:
             if key is not None:
                 self.cache.put("points", key, list(outcome))
             point = self._point_from_outcome(spec, outcome)
+            # same seq a serial stream() would assign: emission order
+            point.seq = len(points) + len(failures) + 1
             (points if point.ok else failures).append(point)
 
         space_kwargs = dict(
@@ -701,7 +741,11 @@ class EvaluationEngine:
             canonical=canonical,
         )
         if workers <= 1:
-            for point in self.stream(statement, specs=specs, stats=stats, **space_kwargs):
+            # explicit workers=0: stream() defaults to self.workers, but this
+            # call's (possibly overridden) worker count must govern
+            for point in self.stream(
+                statement, specs=specs, stats=stats, workers=0, **space_kwargs
+            ):
                 (points if point.ok else failures).append(point)
         else:
             stream: Iterable[DataflowSpec]
@@ -728,9 +772,19 @@ class EvaluationEngine:
     def _evaluate_parallel(
         self, stream, workers, lookup, emit, stats, pool: ProcessPoolExecutor | None = None
     ) -> None:
+        """Callback face of :meth:`_iter_parallel` (the ``evaluate()`` path)."""
+        for spec, outcome, key in self._iter_parallel(
+            stream, workers, lookup, stats, pool=pool
+        ):
+            emit(spec, outcome, key)
+
+    def _iter_parallel(
+        self, stream, workers, lookup, stats, pool: ProcessPoolExecutor | None = None
+    ) -> Iterator[tuple]:
         """Pool evaluation with bounded in-flight chunks, enumeration order.
 
-        Cache misses batch into ``chunk_size`` pool tasks as the stream is
+        Yields ``(spec, outcome, cache-put-key-or-None)`` triples.  Cache
+        misses batch into ``chunk_size`` pool tasks as the stream is
         consumed; at most ``2 * workers`` chunks are in flight, and chunks
         drain FIFO, so memory stays bounded and emission order (hence the
         result lists) is bit-identical to the serial path.  A borrowed
@@ -742,15 +796,15 @@ class EvaluationEngine:
         buffer: list = []  # (spec, cached-outcome-or-None, cache-key)
         misses: list[DataflowSpec] = []
 
-        def drain_one() -> None:
+        def drain_one() -> Iterator[tuple]:
             records, future = queue.popleft()
             outcomes = iter(future.result()) if future is not None else iter(())
             for spec, cached, key in records:
                 if cached is not None:
-                    emit(spec, cached, None)
+                    yield spec, cached, None
                 else:
                     stats.evaluated += 1
-                    emit(spec, next(outcomes), key)
+                    yield spec, next(outcomes), key
 
         owns_pool = pool is None
         if owns_pool:
@@ -766,8 +820,6 @@ class EvaluationEngine:
                 )
                 queue.append((buffer, future))
                 buffer, misses = [], []
-                while len(queue) > max_inflight:
-                    drain_one()
 
             for spec in stream:
                 outcome, key = lookup(spec)
@@ -776,10 +828,12 @@ class EvaluationEngine:
                     misses.append(spec)
                     if len(misses) >= self.chunk_size:
                         flush_chunk()
+                while len(queue) > max_inflight:
+                    yield from drain_one()
             if buffer:
                 flush_chunk()
             while queue:
-                drain_one()
+                yield from drain_one()
         finally:
             if owns_pool:
                 pool.shutdown()

@@ -6,18 +6,23 @@ PR 2 made every evaluation a versioned, JSON-round-trippable
 
 - :class:`~repro.service.server.EvaluationService` — a stdlib-asyncio
   HTTP/1.1 server exposing ``/v1/evaluate``, ``/v1/evaluate_many``,
-  ``/v1/explore`` (NDJSON streaming), ``/v1/jobs`` (bounded sweep queue) and
-  ``/v1/cache/stats``, run via ``repro serve``;
+  ``/v1/explore`` (NDJSON streaming), ``/v1/jobs`` (bounded sweep queue
+  with an incremental per-design row log: ``?since=`` cursor polls and a
+  ``/rows`` NDJSON long-poll) and ``/v1/cache/stats``, run via
+  ``repro serve`` — the full wire reference is ``docs/service-api.md``;
 - :class:`~repro.service.client.RemoteSession` — the drop-in client: every
   consumer written against :class:`SessionProtocol` runs unmodified against
-  a local or a remote session;
+  a local or a remote session (plus the job helpers ``submit_job`` /
+  ``poll_job`` / ``iter_job_rows`` / ``cancel_job``);
 - :class:`~repro.service.server.ServiceThread` — in-process embedding for
   tests, benchmarks and examples;
 - :class:`~repro.service.coordinator.SweepCoordinator` /
   :class:`~repro.service.coordinator.CoordinatedSession` — shard a
-  ``sweep()`` across several servers via the job API (with failure
-  reassignment and an ``evaluate_many`` fallback) and fold the results and
-  memo caches back together, via ``repro sweep --url A --url B``.
+  ``sweep()`` across several servers via the job API (capacity-weighted
+  inflight, ``shard_size`` item grouping, incremental row-cursor folding,
+  failure reassignment and an ``evaluate_many`` fallback) and fold the
+  results and memo caches back together, via ``repro sweep --url A --url B``
+  — the fleet runbook is ``docs/deployment.md``.
 
 Quickstart::
 

@@ -154,10 +154,12 @@ class RemoteSession(SessionBase):
             wire.raise_remote_error(parsed, response.status)
         return parsed
 
-    def _stream(self, path: str, payload: Any) -> http.client.HTTPResponse:
+    def _stream(
+        self, path: str, payload: Any, method: str = "POST"
+    ) -> http.client.HTTPResponse:
         """Open an NDJSON stream; the caller must read it to the end."""
         self._handshake()
-        response = self._roundtrip("POST", path, payload)
+        response = self._roundtrip(method, path, payload)
         if response.status >= 400:
             parsed = json.loads(response.read() or b"{}")
             wire.raise_remote_error(parsed, response.status)
@@ -335,32 +337,44 @@ class RemoteSession(SessionBase):
     # -- the job API ------------------------------------------------------
     def submit_job(
         self,
-        workloads: Sequence[str],
+        workloads: Sequence[str | Mapping[str, Any]],
         *,
         configs: Sequence[ArrayConfig] | None = None,
         extents: Mapping[str, int] | None = None,
         include_rows: bool = False,
+        stream_rows: bool = False,
         submit_key: str | None = None,
         **engine_options,
     ) -> dict[str, Any]:
         """Queue a long sweep server-side; returns the job snapshot (id+status).
 
-        ``include_rows=True`` asks the server to keep every evaluated design
-        as a full ``/v1/explore``-format row in the job results (not just the
-        best-5 summary) — the coordinator's fold-in source.  ``submit_key``
-        makes the submit idempotent: a retry that lost the response (the one
-        POST on this surface that is *not* naturally idempotent) gets the
-        original job back instead of enqueueing a duplicate.  A full or
-        disabled job queue raises
-        :class:`~repro.service.wire.ServiceBusyError` (HTTP 503).
+        ``workloads`` entries are Table II names, or
+        ``{"workload": name, "extents": {...}}`` payloads when items need
+        per-workload problem sizes (how a coordinator packs several sweep
+        items into one job).  ``stream_rows=True`` asks the server to keep
+        every evaluated design in the job's incremental row log, served by
+        :meth:`poll_job` ``since=`` cursors and :meth:`iter_job_rows` *while
+        the job runs*; ``include_rows=True`` additionally embeds the full row
+        list in each finished record (one self-contained terminal snapshot,
+        at the cost of re-shipping every row).  ``submit_key`` makes the
+        submit idempotent: a retry that lost the response (the one POST on
+        this surface that is *not* naturally idempotent) gets the original
+        job back instead of enqueueing a duplicate.  A full or disabled job
+        queue raises :class:`~repro.service.wire.ServiceBusyError` (503).
         """
-        payload: dict[str, Any] = {"workloads": list(workloads)}
+        payload: dict[str, Any] = {
+            "workloads": [
+                w if isinstance(w, str) else dict(w) for w in workloads
+            ]
+        }
         if configs:
             payload["configs"] = [wire.array_to_dict(c) for c in configs]
         if extents:
             payload["extents"] = dict(extents)
         if include_rows:
             payload["include_rows"] = True
+        if stream_rows:
+            payload["stream_rows"] = True
         if submit_key is not None:
             payload["submit_key"] = submit_key
         if engine_options:
@@ -370,6 +384,45 @@ class RemoteSession(SessionBase):
     def job(self, job_id: str) -> dict[str, Any]:
         """Poll one job (status, and results once done)."""
         return self._call("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def poll_job(self, job_id: str, *, since: int | None = None) -> dict[str, Any]:
+        """Poll one job, optionally paging its row log with a ``since`` cursor.
+
+        With ``since=N`` the snapshot carries only the rows produced after
+        cursor ``N`` (``rows``), plus ``rows_total`` — the cursor to pass
+        next time.  A cursor the server does not recognize as a prefix of the
+        job's log (``since`` beyond the end — e.g. after the job was re-run)
+        comes back as the **full** row list with ``cursor_reset: true``: drop
+        the rows folded so far and rebuild from this snapshot.  Requires the
+        job to have been submitted with ``stream_rows`` or ``include_rows``.
+        """
+        path = f"/v1/jobs/{job_id}"
+        if since is not None:
+            path += f"?since={int(since)}"
+        return self._call("GET", path)["job"]
+
+    def iter_job_rows(self, job_id: str, *, since: int = 0):
+        """Stream a job's rows live over ``GET /v1/jobs/<id>/rows`` (NDJSON).
+
+        Yields every framing and data row as a dict, in wire order: one
+        ``{"row": "start", ...}`` (with ``cursor_reset`` when the ``since``
+        cursor did not survive), then each ``point``/``failure`` row — with
+        its job-global ``seq`` and ``item`` index — *as the server produces
+        it* (long-poll: the stream stays open while the job runs), then one
+        ``{"row": "end", "status": ..., "rows_total": ...}`` when the job
+        reaches a terminal state.  A stale cursor detected only once the job
+        ends travels as a mid-stream ``{"row": "reset"}`` frame: discard
+        rows seen so far, the full log replays after it.  The CLI front door
+        is ``repro client tail-job``.
+        """
+        response = self._stream(
+            f"/v1/jobs/{job_id}/rows?since={int(since)}", None, method="GET"
+        )
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            yield json.loads(line)
 
     def jobs(self) -> list[dict[str, Any]]:
         """All jobs the server still remembers."""

@@ -11,30 +11,40 @@ against one machine or five.
 How a sweep runs
 ----------------
 
-1. **Partition** — every (config, workload) pair becomes one *shard*,
-   enumerated configs-major (the local result order).  Shards are the unit
-   of dispatch, retry and reassignment.
-2. **Dispatch** — each shard is submitted to a server as a one-item
-   ``POST /v1/jobs`` job with ``include_rows=True`` (the server keeps every
-   evaluated design as a wire row, not just the best-5 summary).  At most
-   ``max_inflight`` jobs ride each server at a time; the rest wait in the
-   coordinator's queue.
-3. **Fallback** — a server that answers 503 (job queue full, or started
+1. **Partition** — the (config, workload) grid is enumerated configs-major
+   (the local result order) and grouped into *shards* of up to
+   ``shard_size`` items sharing one config.  Shards are the unit of
+   dispatch, retry and reassignment; ``shard_size > 1`` amortizes job-queue
+   overhead on fleets with many small workloads.
+2. **Dispatch** — each shard is submitted to a server as one
+   ``POST /v1/jobs`` job with ``stream_rows=True`` (the server keeps every
+   evaluated design in the job's incremental row log).  Per-server inflight
+   is *capacity-weighted*: a server advertising a process pool via
+   ``/v1/healthz`` ``workers`` carries up to that many jobs at a time
+   (bounded by its ``max_jobs`` queue), others carry ``max_inflight`` — so
+   a big machine's queue stays fed while a laptop is never swamped.
+3. **Stream + fold** — polls carry a ``since=<seq>`` row cursor, so every
+   poll returns only the rows produced since the last one.  Rows fold into
+   their shard item *incrementally* as real :class:`DesignPoint` objects;
+   the terminal poll just closes the books (per-item stats) instead of
+   re-shipping the whole design list.  A ``cursor_reset`` (the server no
+   longer recognizes the cursor) drops the shard's partial fold and rebuilds
+   from the full snapshot.
+4. **Fallback** — a server that answers 503 (job queue full, or started
    with ``--max-jobs 0``) is not dead, it just has no job capacity: the
    shard's design space is enumerated coordinator-side and shipped as
    chunked ``evaluate_many`` batches of explicit ``selection``+``stt``
    perf/cost request pairs instead.
-4. **Reassign** — a server that stops answering (killed mid-sweep,
-   connection refused/reset) forfeits its in-flight shards: they go back in
-   the queue, excluded from the dead server, and run elsewhere.  A shard
-   that keeps failing raises after ``max_retries`` reassignments — work is
-   never silently dropped.
-5. **Fold** — job rows reconstruct real :class:`DesignPoint` objects
-   (points first, then failures, both in enumeration order), results land
-   at their shard's index, and — when the coordinator owns a
-   :class:`MemoCache` — each surviving server's memo cache is pulled over
-   ``GET /v1/cache`` and merged in, so the *next* sweep starts warm without
-   shipping cache files around.
+5. **Reassign** — a server that stops answering (killed mid-sweep,
+   connection refused/reset) — or that *restarted* and forgot the job —
+   forfeits its in-flight shards: their partial folds are discarded and they
+   go back in the queue, excluded from the dead server, to run elsewhere.  A
+   shard that keeps failing raises after ``max_retries`` reassignments —
+   work is never silently dropped.  Every retry/reassignment is surfaced
+   through the ``on_event`` hook (``repro sweep --verbose``).
+6. **Cache fold** — when the coordinator owns a :class:`MemoCache`, each
+   surviving server's memo cache is pulled over ``GET /v1/cache`` and merged
+   in, so the *next* sweep starts warm without shipping cache files around.
 
 :class:`CoordinatedSession` wraps the coordinator in the full
 :class:`~repro.api.protocol.SessionProtocol` surface: ``sweep()`` fans out,
@@ -90,15 +100,44 @@ _SERVER_LOST = (ConnectionError, OSError, http.client.HTTPException)
 
 
 @dataclass
-class _Shard:
-    """One (config, workload) unit of dispatch."""
+class _ShardItem:
+    """One (config, workload) sweep item and its incrementally folded rows."""
 
     index: int  # position in the folded result list (configs-major)
-    config: ArrayConfig  # always explicit: server defaults never leak in
     statement: Statement
     payload: dict[str, Any]  # wire statement payload: workload name + extents
+    points: list[DesignPoint] = field(default_factory=list)
+    failures: list[DesignPoint] = field(default_factory=list)
+
+    def fold(self, point: DesignPoint) -> None:
+        # renumber to per-item emission order: job rows carry the job-global
+        # cursor seq, local results number each run from 1
+        point.seq = len(self.points) + len(self.failures) + 1
+        (self.points if point.ok else self.failures).append(point)
+
+    def reset(self) -> None:
+        self.points.clear()
+        self.failures.clear()
+
+
+@dataclass
+class _Shard:
+    """A group of same-config sweep items dispatched as one job."""
+
+    config: ArrayConfig  # always explicit: server defaults never leak in
+    items: list[_ShardItem]
     attempts: int = 0
     excluded: set[int] = field(default_factory=set)  # server indices
+    cursor: int = 0  # job-row seq already folded (the ?since= value)
+
+    def describe(self) -> str:
+        return "+".join(item.payload["workload"] for item in self.items)
+
+    def reset_fold(self) -> None:
+        """Drop partially folded rows (reassignment / cursor reset)."""
+        self.cursor = 0
+        for item in self.items:
+            item.reset()
 
 
 @dataclass
@@ -111,6 +150,9 @@ class _Server:
     healthy: bool = True
     jobs_ok: bool = True  # False after a 503 (or a healthz max_jobs == 0)
     probed: bool = False
+    #: Weighted inflight bound from the healthz probe (``None`` until probed:
+    #: fall back to the coordinator's ``max_inflight``).
+    capacity: int | None = None
     inflight: dict[str, _Shard] = field(default_factory=dict)  # job id -> shard
     completed: int = 0
 
@@ -128,14 +170,28 @@ class SweepCoordinator:
     cache:
         A :class:`MemoCache` (or JSON path) that remote caches fold into
         after each sweep; ``None`` skips cache pulling.
+    shard_size:
+        Sweep items per job (default 1).  Items grouped into one shard share
+        a config and ride one ``/v1/jobs`` submission, amortizing queue and
+        poll overhead on fleets with many small workloads; folded results
+        are bit-identical whatever the grouping.
     max_inflight:
-        Jobs in flight per server (the rest queue coordinator-side).
+        Baseline jobs in flight per server (the rest queue
+        coordinator-side).  A server whose ``/v1/healthz`` advertises a
+        process pool (``workers > 1``) is weighted up to ``workers`` inflight
+        jobs instead, bounded by its ``max_jobs`` queue depth — capacity-aware
+        sharding: beefy servers stay fed, small ones are never swamped.
     max_retries:
         Reassignments per shard before the sweep raises.
     poll_interval:
         Seconds between poll rounds when nothing progressed.
     fallback_chunk:
         Requests per ``evaluate_many`` call on the 503 fallback path.
+    on_event:
+        Optional observer for dispatch-loop events; called with one dict per
+        event (``{"event": "reassigned" | "server_lost" | "fallback" |
+        "cursor_reset" | "job_vanished", ...}``).  ``repro sweep --verbose``
+        prints these; exceptions from the hook are the caller's problem.
     session_factory:
         ``url -> RemoteSession``-like, for tests that inject failures;
         defaults to building :class:`RemoteSession` with this coordinator's
@@ -151,6 +207,7 @@ class SweepCoordinator:
         cost_params: CostParams | None = None,
         sram_words: int = 32768,
         cache: MemoCache | str | os.PathLike | None = None,
+        shard_size: int = 1,
         max_inflight: int = 2,
         max_retries: int = 2,
         poll_interval: float = 0.05,
@@ -158,11 +215,14 @@ class SweepCoordinator:
         timeout: float = 300.0,
         retries: int = 2,
         backoff: float = 0.1,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
         session_factory: Callable[[str], RemoteSession] | None = None,
     ):
         urls = list(urls)
         if not urls:
             raise ValueError("SweepCoordinator needs at least one server URL")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if max_retries < 0:
@@ -174,10 +234,12 @@ class SweepCoordinator:
         if isinstance(cache, (str, os.PathLike)):
             cache = MemoCache(cache)
         self.cache = cache
+        self.shard_size = shard_size
         self.max_inflight = max_inflight
         self.max_retries = max_retries
         self.poll_interval = poll_interval
         self.fallback_chunk = fallback_chunk
+        self.on_event = on_event
         if session_factory is None:
 
             def session_factory(url: str) -> RemoteSession:
@@ -218,13 +280,16 @@ class SweepCoordinator:
             list(configs) if configs is not None else [self.array]
         )
         shards = self._partition(workloads, config_list)
+        total_items = sum(len(shard.items) for shard in shards)
         self.last_report = {
             "shards": len(shards),
+            "items": total_items,
             "servers": len(self.servers),
             "jobs": 0,
             "fallbacks": 0,
             "reassigned": 0,
             "servers_lost": 0,
+            "rows_streamed": 0,
         }
         if not shards:
             return []
@@ -238,7 +303,8 @@ class SweepCoordinator:
             server.healthy = True
             server.jobs_ok = True
             server.probed = False
-        results: list[EvaluationResult | None] = [None] * len(shards)
+            server.capacity = None
+        results: list[EvaluationResult | None] = [None] * total_items
         pending: deque[_Shard] = deque(shards)
 
         while any(r is None for r in results):
@@ -270,6 +336,13 @@ class SweepCoordinator:
     def _partition(
         self, workloads: Sequence[Statement | str], configs: Sequence[ArrayConfig]
     ) -> list[_Shard]:
+        """Group the configs-major item grid into shards of ``shard_size``.
+
+        Items in one shard always share a config (a job ships exactly one
+        array config), so grouping never crosses a config boundary; result
+        indices are assigned before grouping, which is what keeps the folded
+        list order independent of ``shard_size``.
+        """
         prepared: list[tuple[Statement, dict[str, Any]]] = []
         for workload in workloads:
             payload = wire.statement_payload(workload)
@@ -279,16 +352,18 @@ class SweepCoordinator:
                 else wire.instantiate_statement(payload)
             )
             prepared.append((statement, payload))
-        shards = []
+        shards: list[_Shard] = []
+        index = 0
         for config in configs:
+            items: list[_ShardItem] = []
             for statement, payload in prepared:
+                items.append(
+                    _ShardItem(index=index, statement=statement, payload=payload)
+                )
+                index += 1
+            for start in range(0, len(items), self.shard_size):
                 shards.append(
-                    _Shard(
-                        index=len(shards),
-                        config=config,
-                        statement=statement,
-                        payload=payload,
-                    )
+                    _Shard(config=config, items=items[start : start + self.shard_size])
                 )
         return shards
 
@@ -296,9 +371,20 @@ class SweepCoordinator:
     def _healthy_servers(self) -> list[_Server]:
         return [s for s in self.servers if s.healthy]
 
+    def _emit(self, event: str, **fields: Any) -> None:
+        """Feed the ``on_event`` observer (``repro sweep --verbose``)."""
+        if self.on_event is not None:
+            self.on_event({"event": event, **fields})
+
     def _probe(self, server: _Server) -> None:
-        """One-time capability check: a ``--max-jobs 0`` server skips the
-        job path up front instead of eating a probe 503 per shard."""
+        """One-time capability check per sweep.
+
+        A ``--max-jobs 0`` server skips the job path up front instead of
+        eating a probe 503 per shard; a server advertising a process pool
+        (healthz ``workers``) gets a *weighted* inflight bound — up to
+        ``workers`` jobs in flight, clamped by its ``max_jobs`` queue depth —
+        so per-server load follows advertised capacity instead of blind
+        round-robin."""
         if server.probed:
             return
         server.probed = True
@@ -307,8 +393,19 @@ class SweepCoordinator:
         except _SERVER_LOST:
             self._lose_server(server, None, None)
             return
-        if info.get("max_jobs") == 0:
+        max_jobs = info.get("max_jobs")
+        if max_jobs == 0:
             server.jobs_ok = False
+        capacity = self.max_inflight
+        workers = info.get("workers")
+        if isinstance(workers, int) and workers > capacity:
+            capacity = workers
+        if isinstance(max_jobs, int) and 0 < max_jobs < capacity:
+            capacity = max_jobs
+        server.capacity = max(1, capacity)
+
+    def _inflight_limit(self, server: _Server) -> int:
+        return server.capacity if server.capacity is not None else self.max_inflight
 
     def _dispatch_round(
         self,
@@ -322,7 +419,7 @@ class SweepCoordinator:
             while (
                 server.healthy
                 and pending
-                and len(server.inflight) < self.max_inflight
+                and len(server.inflight) < self._inflight_limit(server)
             ):
                 shard = self._take_assignable(pending, server)
                 if shard is None:
@@ -357,24 +454,29 @@ class SweepCoordinator:
             if server.jobs_ok:
                 try:
                     job = server.session.submit_job(
-                        [shard.payload["workload"]],
+                        # one {"workload", "extents"} payload per item: items
+                        # keep their own problem sizes inside a grouped shard
+                        [dict(item.payload) for item in shard.items],
                         configs=[shard.config],
-                        extents=shard.payload["extents"] or None,
-                        include_rows=True,
+                        stream_rows=True,
                         # unique per (sweep, shard, attempt): a transport
                         # retry of this submit can never double-enqueue,
                         # while a real reassignment gets a fresh job
-                        submit_key=f"{self._sweep_token}:{shard.index}:{shard.attempts}",
+                        submit_key=(
+                            f"{self._sweep_token}:{shard.items[0].index}"
+                            f":{shard.attempts}"
+                        ),
                         **options,
                     )
                 except ServiceBusyError:
                     # alive but out of job capacity: remember, fall through
+                    # (_fallback emits the observer event)
                     server.jobs_ok = False
                 else:
                     server.inflight[job["id"]] = shard
                     self.last_report["jobs"] += 1
                     return True
-            results[shard.index] = self._fallback(server, shard, options)
+            self._fallback(server, shard, results, options)
             server.completed += 1
             self.last_report["fallbacks"] += 1
             return True
@@ -392,20 +494,41 @@ class SweepCoordinator:
                 continue
             for job_id, shard in list(server.inflight.items()):
                 try:
-                    snapshot = server.session.job(job_id)
+                    snapshot = server.session.poll_job(job_id, since=shard.cursor)
                 except _SERVER_LOST:
                     self._lose_server(server, None, pending)
                     progressed = True
                     break
+                except LookupError:
+                    # the server answered but no longer knows the job — it
+                    # restarted (or pruned it), so the row cursor is void
+                    # too: drop the partial fold and re-run from scratch
+                    del server.inflight[job_id]
+                    shard.reset_fold()
+                    self._emit(
+                        "job_vanished",
+                        server=server.url,
+                        job=job_id,
+                        shard=shard.describe(),
+                    )
+                    self._requeue(
+                        shard,
+                        pending,
+                        reason=f"job {job_id} vanished on {server.url} "
+                        "(server restarted?)",
+                    )
+                    progressed = True
+                    continue
+                progressed |= self._fold_rows(server, shard, snapshot)
                 status = snapshot["status"]
                 if status == "done":
                     del server.inflight[job_id]
-                    (record,) = snapshot["results"]
-                    results[shard.index] = self._fold_job(shard, record)
+                    self._finish_shard(shard, snapshot, results)
                     server.completed += 1
                     progressed = True
                 elif status in ("failed", "cancelled"):
                     del server.inflight[job_id]
+                    shard.reset_fold()  # a retry refolds from row 0
                     # prefer a different server for the retry (the failure
                     # may be server-local: OOM, bad env) — but only when an
                     # eligible one exists, else the retry budget would be
@@ -424,6 +547,46 @@ class SweepCoordinator:
                 # queued / running: keep waiting
         return progressed
 
+    def _fold_rows(
+        self, server: _Server, shard: _Shard, snapshot: Mapping[str, Any]
+    ) -> bool:
+        """Fold a poll's incremental row page into the shard's items."""
+        if snapshot.get("cursor_reset"):
+            # the job behind this id was re-run (or the log restarted):
+            # whatever was folded so far may not prefix the new log — drop
+            # it and rebuild from the full row list this snapshot carries
+            shard.reset_fold()
+            self._emit("cursor_reset", server=server.url, shard=shard.describe())
+        rows = snapshot.get("rows") or ()
+        for row in rows:
+            item = shard.items[int(row["item"])]
+            item.fold(wire.row_to_point(row, item.statement))
+        shard.cursor = int(snapshot.get("rows_total", shard.cursor + len(rows)))
+        self.last_report["rows_streamed"] += len(rows)
+        return bool(rows)
+
+    def _finish_shard(
+        self,
+        shard: _Shard,
+        snapshot: Mapping[str, Any],
+        results: list[EvaluationResult | None],
+    ) -> None:
+        """Close the books on a done job: per-item stats + folded rows."""
+        records = snapshot["results"]
+        if len(records) != len(shard.items):
+            raise RuntimeError(
+                f"job for shard {shard.describe()!r} returned {len(records)} "
+                f"record(s) for {len(shard.items)} item(s)"
+            )
+        for item, record in zip(shard.items, records):
+            results[item.index] = EvaluationResult(
+                workload=record["workload"],
+                array=wire.array_from_dict(record["array"]),
+                points=item.points,
+                failures=item.failures,
+                stats=wire.row_to_stats(record["stats"]),
+            )
+
     # -- failure handling -------------------------------------------------
     def _lose_server(
         self, server: _Server, shard: _Shard | None, pending: deque[_Shard] | None
@@ -431,12 +594,14 @@ class SweepCoordinator:
         """Mark a server dead and send its work back to the queue."""
         server.healthy = False
         self.last_report["servers_lost"] += 1
+        self._emit("server_lost", server=server.url)
         orphans = list(server.inflight.values())
         server.inflight.clear()
         if shard is not None:
             orphans.append(shard)
         for orphan in orphans:
             orphan.excluded.add(server.index)
+            orphan.reset_fold()  # partial rows from the dead server are void
             if pending is not None:
                 self._requeue(
                     orphan, pending, reason=f"server {server.url} unreachable"
@@ -446,33 +611,41 @@ class SweepCoordinator:
         shard.attempts += 1
         if shard.attempts > self.max_retries:
             raise RuntimeError(
-                f"shard {shard.payload['workload']!r} failed after "
+                f"shard {shard.describe()!r} failed after "
                 f"{shard.attempts} attempt(s): {reason}"
             )
         self.last_report["reassigned"] += 1
-        pending.append(shard)
-
-    # -- folding ----------------------------------------------------------
-    def _fold_job(self, shard: _Shard, record: Mapping[str, Any]) -> EvaluationResult:
-        """Rebuild the exact local :class:`EvaluationResult` from a job record."""
-        points: list[DesignPoint] = []
-        failures: list[DesignPoint] = []
-        for row in record.get("rows", ()):
-            point = wire.row_to_point(row, shard.statement)
-            (points if point.ok else failures).append(point)
-        return EvaluationResult(
-            workload=record["workload"],
-            array=wire.array_from_dict(record["array"]),
-            points=points,
-            failures=failures,
-            stats=wire.row_to_stats(record["stats"]),
+        self._emit(
+            "reassigned",
+            shard=shard.describe(),
+            attempt=shard.attempts,
+            reason=reason,
         )
+        pending.append(shard)
 
     # -- the 503 fallback -------------------------------------------------
     def _fallback(
-        self, server: _Server, shard: _Shard, options: Mapping[str, Any]
+        self,
+        server: _Server,
+        shard: _Shard,
+        results: list[EvaluationResult | None],
+        options: Mapping[str, Any],
+    ) -> None:
+        """Run one shard through chunked ``evaluate_many`` instead of a job."""
+        self._emit("fallback", server=server.url, shard=shard.describe())
+        for item in shard.items:
+            results[item.index] = self._fallback_item(
+                server, shard.config, item, options
+            )
+
+    def _fallback_item(
+        self,
+        server: _Server,
+        config: ArrayConfig,
+        item: _ShardItem,
+        options: Mapping[str, Any],
     ) -> EvaluationResult:
-        """Run one shard through chunked ``evaluate_many`` instead of a job.
+        """Run one sweep item through chunked ``evaluate_many``.
 
         The design space is enumerated coordinator-side (models never run
         here), memo-probed against the coordinator's own fold cache, and the
@@ -484,7 +657,6 @@ class SweepCoordinator:
         engine sections (``spaces``/``points``), exactly like a local run's
         would, so fallback shards warm future sweeps too.
         """
-        config = shard.config
         engine = EvaluationEngine(
             config,
             width=self.width,
@@ -494,7 +666,7 @@ class SweepCoordinator:
             autoflush=False,  # _fold_caches flushes once at the end
         )
         stats = EvaluationStats()
-        statement = shard.statement
+        statement = item.statement
         # (spec, memo-hit outcome or None, cache put-key or None), in order
         probed: list[tuple] = []
         for spec in engine.iter_space(statement, stats=stats, **options):
@@ -506,8 +678,8 @@ class SweepCoordinator:
             if outcome is not None:
                 continue
             base = dict(
-                workload=shard.payload["workload"],
-                extents=shard.payload["extents"],
+                workload=item.payload["workload"],
+                extents=item.payload["extents"],
                 selection=list(spec.selected),
                 stt=[list(row) for row in spec.stt.matrix],
                 array=config,
@@ -551,6 +723,7 @@ class SweepCoordinator:
                 if key is not None:
                     engine.cache.put("points", key, list(outcome))
             point = engine._point_from_outcome(spec, outcome)
+            point.seq = len(points) + len(failures) + 1  # emission order
             (points if point.ok else failures).append(point)
         stats.skipped = len(failures)
         return EvaluationResult(
@@ -595,8 +768,10 @@ class CoordinatedSession(SessionBase):
     consumer written against the protocol — the CLI, the benchmarks, the
     examples — runs unmodified against one machine or five:
 
-    - :meth:`sweep` fans out through the :class:`SweepCoordinator` (job
-      sharding, reassignment, 503 fallback, cache fold-in);
+    - :meth:`sweep` fans out through the :class:`SweepCoordinator`
+      (capacity-weighted job sharding with ``shard_size`` item grouping,
+      incremental row streaming, reassignment, 503 fallback, cache
+      fold-in — see the coordinator's docs and ``docs/deployment.md``);
     - :meth:`evaluate` / :meth:`evaluate_names` / :meth:`explore` ride one
       healthy server, failing over to the next when it dies;
     - :meth:`evaluate_many` round-robins request chunks across the healthy
@@ -604,7 +779,9 @@ class CoordinatedSession(SessionBase):
 
     ``cache`` is the *local fold target*: after each ``sweep()`` the
     surviving servers' memo caches are pulled and merged into it, so it
-    warms up exactly like a LocalSession cache would.
+    warms up exactly like a LocalSession cache would.  Keyword arguments
+    beyond the platform ones (``shard_size``, ``max_inflight``,
+    ``on_event`` ...) pass through to :class:`SweepCoordinator`.
     """
 
     def __init__(

@@ -8,26 +8,36 @@ the repo's no-new-deps rule).  The wire format is exactly the versioned
 JSON the API layer already speaks, so a request built anywhere evaluates to
 the same memo-cache key everywhere.
 
-Endpoints (all under ``/v1``):
+Endpoints (all under ``/v1``; the full request/response reference lives in
+``docs/service-api.md``):
 
-========================  =====================================================
-``GET  /v1/healthz``      liveness + ``schema_version`` negotiation + backends
-``POST /v1/evaluate``     one ``DesignRequest`` -> one ``EvalResult``
-``POST /v1/evaluate_many``  ``{"requests": [...]}`` -> ``{"results": [...]}``
-``POST /v1/explore``      NDJSON stream: ``start``, then one ``point`` /
-                          ``failure`` row per design *as it is produced*,
-                          then ``stats``
-``POST /v1/evaluate_names``  paper dataflow names -> per-name perf results
-``POST /v1/jobs``         submit a sweep job to the bounded queue (503 full)
-``GET  /v1/jobs[/<id>]``  list / poll jobs
-``DELETE /v1/jobs/<id>``  cancel (queued jobs immediately; running jobs
-                          cooperatively between workloads); the snapshot
-                          reports ``cancelled_while`` queued vs running
-``GET  /v1/cache/stats``  the session's memo-cache counters
-``GET  /v1/cache``        pull the full memo-cache contents (coordinator
-                          fold-in; see ``MemoCache.dump``)
-``POST /v1/cache/flush``  persist the memo cache now
-========================  =====================================================
+=============================  ================================================
+``GET  /v1/healthz``           liveness + ``schema_version`` negotiation +
+                               backends + capacity (``workers``/``max_jobs``)
+``POST /v1/evaluate``          one ``DesignRequest`` -> one ``EvalResult``
+``POST /v1/evaluate_many``     ``{"requests": [...]}`` -> ``{"results": [...]}``
+``POST /v1/explore``           NDJSON stream: ``start``, then one ``point`` /
+                               ``failure`` row per design *as it is produced*,
+                               then ``stats``
+``POST /v1/evaluate_names``    paper dataflow names -> per-name perf results
+``POST /v1/jobs``              submit a sweep job to the bounded queue
+                               (503 full); ``stream_rows``/``include_rows``
+                               opt into the per-design row log
+``GET  /v1/jobs``              list jobs
+``GET  /v1/jobs/<id>``         poll one job; ``?since=<seq>`` additionally
+                               returns only the rows produced after that
+                               cursor (incremental row streaming)
+``GET  /v1/jobs/<id>/rows``    NDJSON long-poll: every row from ``?since=``
+                               on, *as the job produces them*, until the job
+                               reaches a terminal state
+``DELETE /v1/jobs/<id>``       cancel (queued jobs immediately; running jobs
+                               cooperatively between designs); the snapshot
+                               reports ``cancelled_while`` queued vs running
+``GET  /v1/cache/stats``       the session's memo-cache counters
+``GET  /v1/cache``             pull the full memo-cache contents (coordinator
+                               fold-in; see ``MemoCache.dump``)
+``POST /v1/cache/flush``       persist the memo cache now
+=============================  ================================================
 
 Evaluations run on a thread executor so the event loop stays responsive;
 the session's :class:`~repro.explore.engine.MemoCache` is lock-guarded, so
@@ -48,10 +58,11 @@ import json
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Mapping
+from urllib.parse import parse_qs
 
 from repro.api.session import LocalSession
 from repro.api.types import SCHEMA_VERSION, DesignRequest, SchemaVersionError
-from repro.explore.engine import EvaluationStats
+from repro.explore.engine import EvaluationResult, EvaluationStats
 from repro.service import wire
 
 __all__ = ["EvaluationService", "ServiceThread"]
@@ -65,7 +76,23 @@ _engine_options = wire.engine_options
 
 @dataclass
 class Job:
-    """One queued/running sweep; JSON-safe snapshots via :meth:`snapshot`."""
+    """One queued/running sweep; JSON-safe snapshots via :meth:`snapshot`.
+
+    A job is the unit of work behind ``POST /v1/jobs``: one
+    workloads x configs sweep executed by the service's job runner, observable
+    through :meth:`snapshot` at every point of its life cycle
+    (``queued -> running -> done | failed | cancelled``).
+
+    When the submit payload asked for rows (``stream_rows`` or
+    ``include_rows``), every evaluated design is appended to :attr:`rows` as a
+    ``/v1/explore``-format wire row *while the job runs*, extended with two
+    keys: ``seq`` — the 1-based, job-global, strictly increasing row cursor —
+    and ``item`` — the 0-based index of the (config, workload) item (in
+    configs-major job order) the design belongs to.  ``rows`` only ever
+    grows, which is what makes ``snapshot(since=N)`` (only rows after cursor
+    ``N``) and the ``GET /v1/jobs/<id>/rows`` long-poll safe to serve from
+    another thread without locking.
+    """
 
     id: str
     payload: dict[str, Any]
@@ -77,12 +104,31 @@ class Job:
     cancelled_while: str | None = None
     #: Total (config, workload) items this job will run; progress denominator.
     total_items: int = 0
+    #: The incremental per-design row log (see class docstring); populated
+    #: only when :attr:`keep_rows` is set at submit time.
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    #: Whether this job records :attr:`rows` (``stream_rows``/``include_rows``).
+    keep_rows: bool = False
 
-    def snapshot(self) -> dict[str, Any]:
+    def snapshot(self, since: int | None = None) -> dict[str, Any]:
+        """The job's JSON wire shape; ``since`` adds the incremental row page.
+
+        With ``since=N`` the snapshot additionally carries ``rows`` (every
+        row with ``seq > N``), ``rows_total`` (the caller's next cursor) and —
+        when ``N`` lies beyond the end of the log, i.e. the cursor came from
+        a different run of this job id — ``cursor_reset: true`` with the
+        *full* row list, so a client can drop its stale fold and resync from
+        the snapshot instead of silently missing rows.
+        """
         out: dict[str, Any] = {
             "id": self.id,
             "status": self.status,
-            "workloads": list(self.payload.get("workloads", ())),
+            # entries were validated at submit time: plain extraction here,
+            # not a re-run of wire.job_items on every poll
+            "workloads": [
+                entry if isinstance(entry, str) else entry.get("workload")
+                for entry in self.payload.get("workloads", ())
+            ],
             "progress": {"completed": len(self.results), "total": self.total_items},
         }
         if self.error is not None:
@@ -93,6 +139,19 @@ class Job:
             out["cancelled_while"] = self.cancelled_while
         if self.status in ("done", "cancelled") and self.results:
             out["results"] = self.results
+        if since is not None:
+            if not self.keep_rows:
+                raise ValueError(
+                    f"job {self.id!r} was not submitted with stream_rows/"
+                    "include_rows; it keeps no row log to page with ?since="
+                )
+            total = len(self.rows)  # snapshot the length: rows only grows
+            cursor = max(0, since)
+            if cursor > total:
+                out["cursor_reset"] = True
+                cursor = 0
+            out["rows"] = self.rows[cursor:total]
+            out["rows_total"] = total
         return out
 
 
@@ -242,8 +301,10 @@ class EvaluationService:
                 writer, 400, wire.error_payload(ValueError(f"invalid JSON body: {exc}"))
             )
             return
+        path, _, query = path.partition("?")
+        params = {k: v[-1] for k, v in parse_qs(query).items()}
         try:
-            await self._route(method, path, payload, writer)
+            await self._route(method, path, params, payload, writer)
         except SchemaVersionError as exc:
             self._json_response(writer, 409, wire.error_payload(exc))
         except _CLIENT_ERRORS as exc:
@@ -252,7 +313,12 @@ class EvaluationService:
             self._json_response(writer, 500, wire.error_payload(exc))
 
     async def _route(
-        self, method: str, path: str, payload: Any, writer: asyncio.StreamWriter
+        self,
+        method: str,
+        path: str,
+        params: Mapping[str, str],
+        payload: Any,
+        writer: asyncio.StreamWriter,
     ) -> None:
         loop = asyncio.get_running_loop()
         route = (method, path)
@@ -272,6 +338,9 @@ class EvaluationService:
                     # 0 = the job queue is disabled; coordinators use this to
                     # pick the evaluate_many fallback without a probe 503
                     "max_jobs": max(0, self.max_queued_jobs),
+                    # the session's process-pool size: capacity-aware sweep
+                    # coordinators weight per-server inflight by this
+                    "workers": max(0, getattr(self.session, "workers", 0)),
                 },
             )
         elif route == ("GET", "/v1/cache/stats"):
@@ -342,8 +411,11 @@ class EvaluationService:
             self._json_response(
                 writer, 200, {"jobs": [job.snapshot() for job in self.jobs.values()]}
             )
+        elif method == "GET" and path.startswith("/v1/jobs/") and path.endswith("/rows"):
+            job_id = path[len("/v1/jobs/") : -len("/rows")]
+            await self._job_rows_stream(job_id, params, writer)
         elif method in ("GET", "DELETE") and path.startswith("/v1/jobs/"):
-            self._job_detail(method, path.rsplit("/", 1)[1], writer)
+            self._job_detail(method, path.rsplit("/", 1)[1], params, writer)
         else:
             self._json_response(
                 writer,
@@ -371,7 +443,10 @@ class EvaluationService:
         def produce() -> None:
             """Runs on an executor thread; backpressured by the queue."""
             try:
-                for point in engine.stream(statement, stats=stats, **options):
+                # workers=0: explore streams point-by-point for lowest
+                # first-row latency; pooled chunk streaming is the *job*
+                # path, where throughput matters more than latency
+                for point in engine.stream(statement, stats=stats, workers=0, **options):
                     asyncio.run_coroutine_threadsafe(
                         queue.put(("row", wire.point_to_row(point))), loop
                     ).result()
@@ -422,12 +497,11 @@ class EvaluationService:
 
     # -- jobs -------------------------------------------------------------
     def _submit_job(self, payload: Mapping[str, Any], writer) -> None:
-        workloads = payload.get("workloads")
-        if not isinstance(workloads, list) or not workloads:
-            raise ValueError('job body needs a non-empty "workloads" list')
+        items = wire.job_items(payload)  # validates the workloads list shape
         _engine_options(payload)  # validate option names up front
-        if not isinstance(payload.get("include_rows", False), bool):
-            raise ValueError('"include_rows" must be a boolean')
+        for flag in ("include_rows", "stream_rows"):
+            if not isinstance(payload.get(flag, False), bool):
+                raise ValueError(f'"{flag}" must be a boolean')
         submit_key = payload.get("submit_key")
         if submit_key is not None and not isinstance(submit_key, str):
             raise ValueError('"submit_key" must be a string')
@@ -439,10 +513,8 @@ class EvaluationService:
                 if existing.payload.get("submit_key") == submit_key:
                     self._json_response(writer, 202, {"job": existing.snapshot()})
                     return
-        for name in workloads:
-            wire.instantiate_statement(
-                {"workload": name, "extents": payload.get("extents") or {}}
-            )
+        for item in items:
+            wire.instantiate_statement(item)
         configs = payload.get("configs") or []
         for config in configs:
             wire.array_from_dict(config)
@@ -462,7 +534,10 @@ class EvaluationService:
         job = Job(
             id=f"job-{next(self._job_ids)}",
             payload=dict(payload),
-            total_items=len(workloads) * max(1, len(configs)),
+            total_items=len(items) * max(1, len(configs)),
+            keep_rows=bool(
+                payload.get("include_rows") or payload.get("stream_rows")
+            ),
         )
         try:
             self._job_queue.put_nowait(job)
@@ -483,7 +558,19 @@ class EvaluationService:
         self._prune_jobs()
         self._json_response(writer, 202, {"job": job.snapshot()})
 
-    def _job_detail(self, method: str, job_id: str, writer) -> None:
+    @staticmethod
+    def _since_param(params: Mapping[str, str]) -> int | None:
+        raw = params.get("since")
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise ValueError(f'"since" must be an integer row cursor, got {raw!r}')
+
+    def _job_detail(
+        self, method: str, job_id: str, params: Mapping[str, str], writer
+    ) -> None:
         job = self.jobs.get(job_id)
         if job is None:
             self._json_response(
@@ -494,7 +581,7 @@ class EvaluationService:
             return
         if method == "DELETE":
             # report *where* the cancel landed: a queued job dies immediately,
-            # a running one stops cooperatively after its current workload
+            # a running one stops cooperatively after its current design
             if job.status == "queued":
                 job.cancel_requested = True
                 job.cancelled_while = "queued"
@@ -502,7 +589,81 @@ class EvaluationService:
             elif job.status == "running":
                 job.cancel_requested = True
                 job.cancelled_while = "running"
-        self._json_response(writer, 200, {"job": job.snapshot()})
+        self._json_response(
+            writer, 200, {"job": job.snapshot(since=self._since_param(params))}
+        )
+
+    async def _job_rows_stream(
+        self, job_id: str, params: Mapping[str, str], writer: asyncio.StreamWriter
+    ) -> None:
+        """``GET /v1/jobs/<id>/rows``: long-poll the row log as chunked NDJSON.
+
+        Mirrors ``/v1/explore`` framing — a ``start`` row, then every job row
+        from the ``since`` cursor on *as the job produces them*, then an
+        ``end`` row carrying the job's terminal status and the final cursor.
+        A ``since`` beyond the log (a cursor from a previous life of this job
+        id) restarts from row 0: flagged as ``cursor_reset`` on the ``start``
+        row when the job is already terminal, or — when a *running* job later
+        ends short of the cursor — as a mid-stream ``{"row": "reset"}`` frame
+        before the rows replay.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._json_response(
+                writer,
+                404,
+                {"error": f"no such job {job_id!r}", "error_type": "LookupError"},
+            )
+            return
+        if not job.keep_rows:
+            raise ValueError(
+                f"job {job_id!r} was not submitted with stream_rows/include_rows; "
+                "there is no row log to stream"
+            )
+        cursor = max(0, self._since_param(params) or 0)
+        start_row = {
+            "row": "start",
+            "schema_version": SCHEMA_VERSION,
+            "id": job.id,
+            "status": job.status,
+        }
+        if cursor > len(job.rows) and job.status not in ("running", "queued"):
+            # a terminal job can never grow past the stale cursor; a live one
+            # may still reach it, so only terminal states reset eagerly
+            start_row["cursor_reset"] = True
+            cursor = 0
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+        )
+        self._write_chunk(writer, json.dumps(start_row).encode() + b"\n")
+        while True:
+            # capture terminal-ness BEFORE draining: the runner thread only
+            # flips status after its last row is appended, so a drain that
+            # follows a terminal observation is guaranteed complete (checking
+            # after the drain could break with final rows still unshipped)
+            terminal = job.status in ("done", "failed", "cancelled")
+            if terminal and cursor > len(job.rows):
+                # the job ended short of a stale cursor (a previous life of
+                # this id): a live stream cannot amend its start row, so the
+                # reset travels as its own frame, then the full log replays
+                self._write_chunk(writer, json.dumps({"row": "reset"}).encode() + b"\n")
+                cursor = 0
+            while cursor < len(job.rows):
+                row = job.rows[cursor]
+                cursor += 1
+                self._write_chunk(writer, json.dumps(row).encode() + b"\n")
+            await writer.drain()
+            if terminal:
+                break
+            await asyncio.sleep(0.02)
+        end_row = {"row": "end", "status": job.status, "rows_total": len(job.rows)}
+        if job.error is not None:
+            end_row["error"] = job.error
+        self._write_chunk(writer, json.dumps(end_row).encode() + b"\n")
+        writer.write(b"0\r\n\r\n")
 
     def _prune_jobs(self) -> None:
         """Drop the oldest finished jobs beyond ``max_kept_jobs``."""
@@ -539,34 +700,66 @@ class EvaluationService:
     def _run_sweep_job(self, job: Job) -> bool:
         """Execute one sweep job; returns False when cancelled mid-run.
 
-        Cancellation is cooperative at workload granularity: the flag is
-        checked between (config, workload) evaluations — including once more
-        after the last item, so a DELETE that lands during the final workload
-        still reports ``cancelled`` — and a cancelled job keeps the partial
-        results it finished.  With ``include_rows`` the per-item record also
-        carries every evaluated design as a ``/v1/explore``-format row
-        (points first, then failures, both in enumeration order), which is
-        what lets a sweep coordinator rebuild the exact
-        :class:`~repro.explore.engine.EvaluationResult` client-side.
+        Each (config, workload) item streams through the session's engine —
+        the same :meth:`~repro.explore.engine.EvaluationEngine.stream` path
+        as ``/v1/explore``, pooled when the session has ``workers`` — and,
+        when the job keeps rows, every design lands in :attr:`Job.rows` *as
+        it is evaluated*, tagged with its job-global ``seq`` cursor and its
+        ``item`` index.  That row log is what ``GET /v1/jobs/<id>?since=``
+        and the ``/rows`` long-poll serve incrementally while the job runs.
+
+        Cancellation is cooperative at *design* granularity: the flag is
+        checked between evaluations — including once more after the last
+        design, so a DELETE that lands during the final item still reports
+        ``cancelled`` — and a cancelled job keeps the per-item records it
+        finished (an aborted item's partial rows stay in the log; its record
+        is never appended).  With ``include_rows`` each finished record also
+        embeds its rows (points first, then failures, both in enumeration
+        order) — the pre-cursor fold-in contract, kept for clients that want
+        one self-contained terminal snapshot.
         """
         payload = job.payload
         configs = [wire.array_from_dict(c) for c in payload.get("configs") or []] or [
             None
         ]
         options = _engine_options(payload)
-        extents = payload.get("extents") or {}
         include_rows = bool(payload.get("include_rows", False))
+        items = wire.job_items(payload)
+        item_index = -1
         for config in configs:
-            for name in payload["workloads"]:
+            engine = self.session.engine_for(config)
+            for item in items:
+                item_index += 1
                 if job.cancel_requested:
                     return False
-                statement = wire.instantiate_statement(
-                    {"workload": name, "extents": extents}
+                statement = wire.instantiate_statement(item)
+                stats = EvaluationStats()
+                points: list = []
+                failures: list = []
+                # seq_start aligns every point's engine seq with its position
+                # in the job-global row log, so row["seq"] IS the cursor
+                for point in engine.stream(
+                    statement, stats=stats, seq_start=len(job.rows), **options
+                ):
+                    (points if point.ok else failures).append(point)
+                    if job.keep_rows:
+                        row = wire.point_to_row(point)
+                        row["item"] = item_index
+                        job.rows.append(row)
+                    if job.cancel_requested:
+                        return False
+                stats.skipped = len(failures)
+                result = EvaluationResult(
+                    workload=statement.name,
+                    array=engine.array,
+                    points=points,
+                    failures=failures,
+                    stats=stats,
                 )
-                result = self.session.explore(statement, array=config, **options)
                 record = {
                     "workload": result.workload,
                     "array": wire.array_to_dict(result.array),
+                    "item": item_index,
                     "points": len(result.points),
                     "failures": len(result.failures),
                     "stats": {

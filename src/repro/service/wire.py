@@ -44,6 +44,7 @@ __all__ = [
     "engine_options",
     "statement_payload",
     "instantiate_statement",
+    "job_items",
     "array_to_dict",
     "array_from_dict",
     "point_to_row",
@@ -158,6 +159,47 @@ def instantiate_statement(payload: Mapping[str, Any]) -> Statement:
     return workload_lib.by_name(name, **{k: int(v) for k, v in extents.items()})
 
 
+def job_items(payload: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Normalize a job payload's ``workloads`` list into statement payloads.
+
+    Each entry may be a bare Table II name (inheriting the job's top-level
+    ``extents``) or a ``{"workload": name, "extents": {...}}`` object carrying
+    its own — which is what lets a sweep coordinator group several
+    (config, workload) items with *different* problem sizes into one job
+    (``shard_size > 1``).  Returns one ``{"workload", "extents"}`` payload per
+    item, in job order; the shapes are validated here, the names/extents by
+    :func:`instantiate_statement`.
+    """
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise ValueError('job body needs a non-empty "workloads" list')
+    base_extents = payload.get("extents") or {}
+    if not isinstance(base_extents, Mapping):
+        raise ValueError('job "extents" must be an object')
+    items: list[dict[str, Any]] = []
+    for entry in workloads:
+        if isinstance(entry, str):
+            items.append({"workload": entry, "extents": dict(base_extents)})
+            continue
+        if not isinstance(entry, Mapping) or not isinstance(
+            entry.get("workload"), str
+        ):
+            raise ValueError(
+                '"workloads" entries must be workload names or '
+                '{"workload": name, "extents": {...}} objects'
+            )
+        extents = entry.get("extents")
+        if extents is not None and not isinstance(extents, Mapping):
+            raise ValueError('a workloads entry "extents" must be an object')
+        items.append(
+            {
+                "workload": entry["workload"],
+                "extents": dict(base_extents if extents is None else extents),
+            }
+        )
+    return items
+
+
 # ----------------------------------------------------------------------
 # Array configs
 # ----------------------------------------------------------------------
@@ -173,12 +215,20 @@ def array_from_dict(payload: Mapping[str, Any]) -> ArrayConfig:
 # NDJSON rows (the /v1/explore stream)
 # ----------------------------------------------------------------------
 def point_to_row(point: DesignPoint) -> dict[str, Any]:
-    """One streamed design: metrics for successes, stage+reason for failures."""
+    """One streamed design: metrics for successes, stage+reason for failures.
+
+    ``seq`` (the point's 1-based emission index, when the engine assigned
+    one) travels with the row — it is the cursor the incremental job-row
+    endpoints (``GET /v1/jobs/<id>?since=`` and ``/v1/jobs/<id>/rows``) page
+    on, and lets any stream consumer detect dropped rows.
+    """
     row: dict[str, Any] = {
         "row": "point" if point.ok else "failure",
         "selection": list(point.spec.selected),
         "stt": [list(r) for r in point.spec.stt.matrix],
     }
+    if point.seq is not None:
+        row["seq"] = point.seq
     if point.ok:
         row.update(
             normalized_perf=point.normalized_perf,
@@ -199,6 +249,7 @@ def row_to_point(row: Mapping[str, Any], statement: Statement) -> DesignPoint:
         tuple(row["selection"]),
         STT(tuple(tuple(int(v) for v in r) for r in row["stt"])),
     )
+    seq = row.get("seq")
     if row["row"] == "point":
         return DesignPoint(
             spec=spec,
@@ -206,6 +257,7 @@ def row_to_point(row: Mapping[str, Any], statement: Statement) -> DesignPoint:
             cycles=row["cycles"],
             area_mm2=row["area_mm2"],
             power_mw=row["power_mw"],
+            seq=seq,
         )
     return DesignPoint(
         spec=spec,
@@ -215,6 +267,7 @@ def row_to_point(row: Mapping[str, Any], statement: Statement) -> DesignPoint:
             stage=row["stage"],
             reason=row["reason"],
         ),
+        seq=seq,
     )
 
 

@@ -118,11 +118,11 @@ class TestFailureModes:
         class KillOnFirstPoll(RemoteSession):
             armed = True
 
-            def job(self, job_id):
+            def poll_job(self, job_id, **kwargs):
                 if KillOnFirstPoll.armed and self.url == victim.url:
                     KillOnFirstPoll.armed = False
                     victim.stop()  # the server dies with the job in flight
-                return super().job(job_id)
+                return super().poll_job(job_id, **kwargs)
 
         def factory(url):
             return KillOnFirstPoll(url, array=ARRAY, retries=1, backoff=0.01)
@@ -243,6 +243,187 @@ class TestFallbackCache:
         # and the same file warms a plain in-process session
         local_warm = LocalSession(ARRAY, cache=cache_path).sweep(WORKLOADS, **SWEEP_KW)
         assert all(r.stats.evaluated == 0 for r in local_warm)
+
+
+class TestIncrementalStreaming:
+    """The since-cursor fold path: rows stream, snapshots never re-ship."""
+
+    def test_rows_streamed_not_reshipped(self, fleet, local_results):
+        """The fold is built from incremental row pages: the report counts
+        exactly one streamed row per design, and terminal records carry no
+        embedded row list at all."""
+        a, b = fleet
+
+        class RecordingSession(RemoteSession):
+            snapshots = []
+
+            def poll_job(self, job_id, **kwargs):
+                snapshot = super().poll_job(job_id, **kwargs)
+                RecordingSession.snapshots.append(snapshot)
+                return snapshot
+
+        RecordingSession.snapshots = []
+        coordinator = SweepCoordinator(
+            [a.url, b.url],
+            array=ARRAY,
+            session_factory=lambda url: RecordingSession(url, array=ARRAY),
+        )
+        results = coordinator.sweep(WORKLOADS, **SWEEP_KW)
+        assert names_and_metrics(results) == names_and_metrics(local_results)
+        total_rows = sum(len(r.points) + len(r.failures) for r in results)
+        assert coordinator.last_report["rows_streamed"] == total_rows
+        # every row crossed the wire exactly once, however many polls ran
+        assert (
+            sum(len(s.get("rows", ())) for s in RecordingSession.snapshots)
+            == total_rows
+        )
+        for snapshot in RecordingSession.snapshots:
+            for record in snapshot.get("results", ()):
+                assert "rows" not in record
+        coordinator.close()
+
+    def test_cursor_reset_refolds_without_duplication(self, fleet, local_results):
+        """A cursor_reset (the server re-ran the job / restarted its log)
+        drops the partial fold and rebuilds from the full snapshot — the
+        result is identical, never doubled."""
+        a, _ = fleet
+
+        class LyingCursor(RemoteSession):
+            armed = True
+
+            def poll_job(self, job_id, **kwargs):
+                snapshot = super().poll_job(job_id, **kwargs)
+                if LyingCursor.armed and snapshot.get("rows"):
+                    # replay the page as a reset-to-zero full snapshot: the
+                    # coordinator must drop what it folded and start over
+                    LyingCursor.armed = False
+                    full = super().poll_job(job_id, since=0)
+                    full["cursor_reset"] = True
+                    return full
+                return snapshot
+
+        LyingCursor.armed = True
+        coordinator = SweepCoordinator(
+            [a.url],
+            array=ARRAY,
+            session_factory=lambda url: LyingCursor(url, array=ARRAY),
+        )
+        results = coordinator.sweep(WORKLOADS, **SWEEP_KW)
+        assert not LyingCursor.armed, "no poll ever carried rows"
+        assert names_and_metrics(results) == names_and_metrics(local_results)
+        coordinator.close()
+
+    def test_vanished_job_is_requeued_and_refolded(self, fleet, local_results):
+        """A server that answers but no longer knows the job (restarted,
+        pruned) voids the cursor: the shard re-runs from scratch."""
+        a, _ = fleet
+        events = []
+
+        class ForgetfulServer(RemoteSession):
+            armed = True
+
+            def poll_job(self, job_id, **kwargs):
+                if ForgetfulServer.armed:
+                    ForgetfulServer.armed = False
+                    raise LookupError(f"no such job {job_id!r}")
+                return super().poll_job(job_id, **kwargs)
+
+        ForgetfulServer.armed = True
+        coordinator = SweepCoordinator(
+            [a.url],
+            array=ARRAY,
+            on_event=events.append,
+            session_factory=lambda url: ForgetfulServer(url, array=ARRAY),
+        )
+        results = coordinator.sweep(WORKLOADS, **SWEEP_KW)
+        assert names_and_metrics(results) == names_and_metrics(local_results)
+        assert coordinator.last_report["reassigned"] >= 1
+        kinds = [e["event"] for e in events]
+        assert "job_vanished" in kinds and "reassigned" in kinds
+        vanished = next(e for e in events if e["event"] == "job_vanished")
+        assert vanished["server"] == a.url and vanished["job"].startswith("job-")
+        coordinator.close()
+
+
+class TestWeightedSharding:
+    def test_shard_size_groups_items_fold_identical(self, fleet):
+        """shard_size > 1 groups several (config, workload) items per job;
+        the folded list stays bit-identical to local, configs-major."""
+        a, b = fleet
+        configs = [ARRAY, SMALL_ARRAY]
+        local = LocalSession(ARRAY).sweep(WORKLOADS, configs=configs, **SWEEP_KW)
+        session = CoordinatedSession(
+            [a.url, b.url], array=ARRAY, shard_size=2
+        )
+        results = session.sweep(WORKLOADS, configs=configs, **SWEEP_KW)
+        assert [(r.workload, r.array) for r in results] == [
+            (r.workload, r.array) for r in local
+        ]
+        assert names_and_metrics(results) == names_and_metrics(local)
+        assert failure_rows(results) == failure_rows(local)
+        report = session.coordinator.last_report
+        # 2 configs x 2 workloads = 4 items in 2 two-item shards
+        assert report["items"] == 4 and report["shards"] == 2
+        assert report["jobs"] == 2
+        session.close()
+
+    def test_oversized_shard_is_one_job_per_config(self, fleet, local_results):
+        a, _ = fleet
+        session = CoordinatedSession([a.url], array=ARRAY, shard_size=64)
+        results = session.sweep(WORKLOADS, **SWEEP_KW)
+        assert names_and_metrics(results) == names_and_metrics(local_results)
+        assert session.coordinator.last_report["shards"] == 1
+        session.close()
+
+    def test_shard_size_validated(self, fleet):
+        a, _ = fleet
+        with pytest.raises(ValueError, match="shard_size"):
+            SweepCoordinator([a.url], shard_size=0)
+
+    def test_capacity_weighted_inflight_from_healthz(self, fleet):
+        """A server advertising a process pool is weighted up to `workers`
+        inflight jobs; max_jobs clamps; non-advertising servers keep the
+        max_inflight baseline."""
+        a, _ = fleet
+
+        def probe_with(info_overrides, **kwargs):
+            class AdvertisingSession(RemoteSession):
+                def _call(self, method, path, payload=None):
+                    out = super()._call(method, path, payload)
+                    if path == "/v1/healthz":
+                        out.update(info_overrides)
+                    return out
+
+            coordinator = SweepCoordinator(
+                [a.url],
+                array=ARRAY,
+                session_factory=lambda url: AdvertisingSession(url, array=ARRAY),
+                **kwargs,
+            )
+            server = coordinator.servers[0]
+            coordinator._probe(server)
+            capacity = coordinator._inflight_limit(server)
+            coordinator.close()
+            return capacity
+
+        assert probe_with({"workers": 6}) == 6
+        assert probe_with({"workers": 6, "max_jobs": 4}) == 4
+        assert probe_with({"workers": 0}) == 2  # serial server: baseline
+        assert probe_with({}, max_inflight=3) == 3
+        # the baseline is a floor, never lowered by a small pool
+        assert probe_with({"workers": 1}, max_inflight=3) == 3
+
+    def test_fallback_with_grouped_shards_matches_local(self, local_results):
+        """shard_size > 1 on a job-less (--max-jobs 0) server: every item in
+        the group rides evaluate_many and still folds identically."""
+        with ServiceThread(LocalSession(ARRAY), max_queued_jobs=0) as thread:
+            session = CoordinatedSession([thread.url], array=ARRAY, shard_size=2)
+            results = session.sweep(WORKLOADS, **SWEEP_KW)
+            assert names_and_metrics(results) == names_and_metrics(local_results)
+            report = session.coordinator.last_report
+            assert report["jobs"] == 0 and report["fallbacks"] == 1
+            assert report["items"] == 2
+            session.close()
 
 
 class TestSessionSurface:

@@ -355,6 +355,36 @@ class TestJobs:
         for job in (first, fresh):
             assert _wait_terminal(remote, job["id"])["status"] == "done"
 
+    def test_per_item_extents_in_one_job(self, remote):
+        """Workloads entries may be {"workload", "extents"} payloads carrying
+        their own problem sizes — the wire shape behind shard_size > 1."""
+        job = remote.submit_job(
+            [
+                {"workload": "gemm", "extents": {"m": 8, "n": 8, "k": 8}},
+                {"workload": "batched_gemv", "extents": {"m": 4, "n": 4, "k": 4}},
+            ],
+            one_d_only=True,
+        )
+        assert job["workloads"] == ["gemm", "batched_gemv"]
+        job = _wait_terminal(remote, job["id"])
+        assert job["status"] == "done", job
+        first, second = job["results"]
+        local = LocalSession(ArrayConfig(rows=8, cols=8))
+        assert first["points"] == len(
+            local.explore("gemm", extents={"m": 8, "n": 8, "k": 8}, one_d_only=True)
+        )
+        assert second["points"] == len(
+            local.explore(
+                "batched_gemv", extents={"m": 4, "n": 4, "k": 4}, one_d_only=True
+            )
+        )
+
+    def test_bad_workloads_entry_rejected(self, remote):
+        with pytest.raises(ValueError, match="workloads"):
+            remote.submit_job([{"extents": {"m": 4}}])
+        with pytest.raises(ValueError, match="workloads"):
+            remote._call("POST", "/v1/jobs", {"workloads": [42]})
+
     def test_jobs_disabled_is_503(self, tmp_path):
         """--max-jobs 0 disables the queue: submit answers 503 up front and
         healthz advertises max_jobs=0 so coordinators skip the probe."""
@@ -367,6 +397,176 @@ class TestJobs:
             assert info["max_jobs"] == 0
             with pytest.raises(ServiceBusyError, match="disabled"):
                 remote.submit_job(["batched_gemv"], one_d_only=True)
+
+
+class TestJobRowStreaming:
+    """The incremental row cursor (`?since=`) and the /rows long-poll."""
+
+    EXTENTS = {"m": 8, "n": 8, "k": 8}
+
+    def _submit(self, remote, workloads=("batched_gemv",), **kwargs):
+        kwargs.setdefault("one_d_only", True)
+        kwargs.setdefault("extents", self.EXTENTS)
+        kwargs.setdefault("stream_rows", True)
+        return remote.submit_job(list(workloads), **kwargs)
+
+    def test_since_cursor_pages_the_row_log(self, remote):
+        job = self._submit(remote)
+        job = _wait_terminal(remote, job["id"])
+        assert job["status"] == "done", job
+        full = remote.poll_job(job["id"], since=0)
+        rows = full["rows"]
+        assert rows and full["rows_total"] == len(rows)
+        # seq is the 1-based, strictly increasing job-global cursor
+        assert [row["seq"] for row in rows] == list(range(1, len(rows) + 1))
+        assert all(row["item"] == 0 for row in rows)
+        (record,) = full["results"]
+        assert len(rows) == record["points"] + record["failures"]
+        # a mid-log cursor returns exactly the rows after it
+        middle = remote.poll_job(job["id"], since=len(rows) // 2)
+        assert [r["seq"] for r in middle["rows"]] == [
+            r["seq"] for r in rows[len(rows) // 2 :]
+        ]
+        # a caught-up cursor returns an empty page, not an error
+        done = remote.poll_job(job["id"], since=full["rows_total"])
+        assert done["rows"] == [] and done["rows_total"] == full["rows_total"]
+        assert "cursor_reset" not in done
+
+    def test_cursor_past_end_resets_with_full_snapshot(self, remote):
+        """A cursor beyond the log (e.g. from a previous run of the job id)
+        comes back as the full row list plus cursor_reset — the client's
+        signal to drop its fold and resync."""
+        job = self._submit(remote)
+        job = _wait_terminal(remote, job["id"])
+        full = remote.poll_job(job["id"], since=0)
+        stale = remote.poll_job(job["id"], since=full["rows_total"] + 100)
+        assert stale["cursor_reset"] is True
+        assert [r["seq"] for r in stale["rows"]] == [r["seq"] for r in full["rows"]]
+
+    def test_rows_sequence_spans_items(self, remote):
+        """A multi-item job has one global seq across items, and each row
+        names the (config, workload) item it belongs to."""
+        job = self._submit(remote, workloads=("gemm", "batched_gemv"))
+        job = _wait_terminal(remote, job["id"])
+        assert job["status"] == "done", job
+        rows = remote.poll_job(job["id"], since=0)["rows"]
+        assert [row["seq"] for row in rows] == list(range(1, len(rows) + 1))
+        items = [row["item"] for row in rows]
+        assert set(items) == {0, 1}
+        assert items == sorted(items)  # item 0's rows all precede item 1's
+
+    def test_since_without_row_log_is_client_error(self, remote):
+        """Jobs that did not opt into rows reject cursor polls loudly instead
+        of serving an indistinguishable empty page."""
+        job = remote.submit_job(
+            ["batched_gemv"], one_d_only=True, extents=self.EXTENTS
+        )
+        _wait_terminal(remote, job["id"])
+        with pytest.raises(ValueError, match="stream_rows"):
+            remote.poll_job(job["id"], since=0)
+        with pytest.raises(ValueError, match="row log"):
+            list(remote.iter_job_rows(job["id"]))
+
+    def test_bad_since_is_client_error(self, remote):
+        job = self._submit(remote)
+        _wait_terminal(remote, job["id"])
+        with pytest.raises(ValueError, match="since"):
+            remote._call("GET", f"/v1/jobs/{job['id']}?since=banana")
+
+    def test_tail_stream_long_polls_while_running(self, cached_service):
+        """iter_job_rows yields rows *while the job runs*: the stream opens
+        before the job finishes and still sees every row through to the end
+        frame."""
+        remote = RemoteSession(cached_service.url)
+        job = remote.submit_job(
+            ["gemm"],
+            extents={"m": 64, "n": 64, "k": 64},
+            stream_rows=True,
+        )
+        # a second connection tails while the first job may still be queued
+        tail = RemoteSession(cached_service.url)
+        rows = list(tail.iter_job_rows(job["id"]))
+        assert rows[0]["row"] == "start" and rows[0]["id"] == job["id"]
+        assert rows[-1]["row"] == "end" and rows[-1]["status"] == "done"
+        data = rows[1:-1]
+        assert data and all(r["row"] in ("point", "failure") for r in data)
+        assert [r["seq"] for r in data] == list(range(1, len(data) + 1))
+        assert rows[-1]["rows_total"] == len(data)
+        # the tail saw exactly what a terminal cursor poll serves
+        snapshot = remote.poll_job(job["id"], since=0)
+        assert [r["seq"] for r in snapshot["rows"]] == [r["seq"] for r in data]
+        remote.close()
+        tail.close()
+
+    def test_tail_resumes_from_since_cursor(self, remote):
+        job = self._submit(remote)
+        _wait_terminal(remote, job["id"])
+        total = remote.poll_job(job["id"], since=0)["rows_total"]
+        resumed = list(remote.iter_job_rows(job["id"], since=total - 1))
+        data = [r for r in resumed if r["row"] in ("point", "failure")]
+        assert [r["seq"] for r in data] == [total]
+
+    def test_tail_with_stale_cursor_on_running_job_resets_mid_stream(self):
+        """A stale cursor against a *running* job that ends short of it
+        cannot be flagged on the start frame (the job might still catch up):
+        the reset travels mid-stream and the full log replays after it —
+        never a silent zero-row end frame."""
+        from repro.service.server import Job
+
+        with ServiceThread(LocalSession(SMALL_ARRAY)) as thread:
+            # fabricate a running job the way the runner thread builds one:
+            # rows appended from another thread, status flipped after
+            job = Job(
+                id="job-fab",
+                payload={"workloads": ["gemm"]},
+                status="running",
+                keep_rows=True,
+                total_items=1,
+            )
+            thread.service.jobs[job.id] = job
+            stream = RemoteSession(thread.url).iter_job_rows(job.id, since=50)
+            start = next(stream)
+            assert start["row"] == "start"
+            assert "cursor_reset" not in start  # running: might still catch up
+            row = {"row": "failure", "seq": 1, "item": 0, "selection": ["m"],
+                   "stt": [[1]], "stage": "perf", "reason": "fabricated"}
+            job.rows.append(row)
+            job.status = "done"  # ends at 1 row: far short of cursor 50
+            rest = list(stream)
+            assert [r["row"] for r in rest] == ["reset", "failure", "end"]
+            assert rest[1]["seq"] == 1
+            assert rest[-1]["status"] == "done" and rest[-1]["rows_total"] == 1
+
+    def test_cancel_mid_stream_ends_the_tail(self, tmp_path):
+        """Cancelling a running job terminates its row stream with an end
+        frame reporting `cancelled` — a tail never hangs on a dead job."""
+        session = LocalSession(ArrayConfig(rows=8, cols=8))
+        with ServiceThread(session) as thread:
+            remote = RemoteSession(thread.url)
+            job = remote.submit_job(
+                ["gemm", "batched_gemv"],
+                extents={"m": 64, "n": 64, "k": 64},
+                stream_rows=True,
+            )
+            stream = RemoteSession(thread.url).iter_job_rows(job["id"])
+            seen = [next(stream)]  # the start frame: the stream is live
+            assert seen[0]["row"] == "start"
+            # read a couple of data rows so the cancel lands mid-stream
+            for row in stream:
+                seen.append(row)
+                if len([r for r in seen if r["row"] != "start"]) >= 2:
+                    break
+            remote.cancel_job(job["id"])
+            seen.extend(stream)  # drain to the end frame
+            assert seen[-1]["row"] == "end"
+            assert seen[-1]["status"] == "cancelled"
+            # cancellation is cooperative per design: the log holds the rows
+            # that finished, contiguous from 1, and the cursor still pages
+            data = [r for r in seen if r["row"] in ("point", "failure")]
+            assert [r["seq"] for r in data] == list(range(1, len(data) + 1))
+            snapshot = remote.poll_job(job["id"], since=0)
+            assert snapshot["status"] == "cancelled"
+            assert snapshot["rows_total"] == seen[-1]["rows_total"]
 
 
 class TestRetryBackoff:

@@ -181,6 +181,33 @@ class TestClientCommands:
         assert rc == 0
         assert service_url in capsys.readouterr().out
 
+    def test_client_tail_job_streams_ndjson(self, service_url, capsys):
+        """`repro client tail-job` prints the job's row log as NDJSON lines
+        (start/point/failure/end frames) and exits 0 once the job ends."""
+        import json
+
+        from repro.service import RemoteSession
+
+        remote = RemoteSession(service_url)
+        job = remote.submit_job(
+            ["batched_gemv"], one_d_only=True,
+            extents={"m": 8, "n": 8, "k": 8}, stream_rows=True,
+        )
+        remote.close()
+        rc = main(["client", "tail-job", job["id"], "--url", service_url])
+        assert rc == 0
+        captured = capsys.readouterr()
+        rows = [json.loads(line) for line in captured.out.splitlines()]
+        assert rows[0]["row"] == "start"
+        assert rows[-1]["row"] == "end" and rows[-1]["status"] == "done"
+        assert any(r["row"] in ("point", "failure") for r in rows)
+        assert f"job {job['id']}: done" in captured.err
+
+    def test_client_tail_job_unknown_id(self, service_url, capsys):
+        rc = main(["client", "tail-job", "job-424242", "--url", service_url])
+        assert rc == 1
+        assert "no such job" in capsys.readouterr().err
+
     def test_client_requires_url(self):
         with pytest.raises(SystemExit):
             main(["client", "evaluate", "gemm", "MNK-SST"])
@@ -210,8 +237,31 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "gemm on 8x8" in out and "batched_gemv on 8x8" in out
         assert "pareto frontier" in out
-        assert "coordinated 2 shard(s) over 2 server(s)" in out
+        assert "coordinated 2 item(s) in 2 shard(s) over 2 server(s)" in out
         assert cache.exists()  # remote memo caches folded locally
+
+    def test_sweep_shard_size_and_verbose(self, fleet_urls, capsys):
+        """--shard-size groups items per job; --verbose itemizes the report."""
+        rc = main(
+            ["sweep", "gemm", "batched_gemv", "--rows", "8", "--cols", "8",
+             "--top", "2", "--one-d", "--shard-size", "2", "--verbose",
+             "--url", fleet_urls[0], "--url", fleet_urls[1]]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coordinated 2 item(s) in 1 shard(s)" in out
+        assert "row(s) streamed" in out
+
+    def test_sweep_verbose_surfaces_reassignment(self, fleet_urls, capsys):
+        """A dead fleet member's shards are reassigned loudly under
+        --verbose instead of folding silently (the stderr event lines)."""
+        rc = main(
+            ["sweep", "gemm", "--rows", "8", "--cols", "8", "--one-d",
+             "--verbose", "--url", "http://127.0.0.1:9", "--url", fleet_urls[0]]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[sweep:server_lost]" in err
 
     def test_sweep_all_servers_dead(self, capsys):
         rc = main(

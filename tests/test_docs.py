@@ -1,0 +1,67 @@
+"""The docs stay honest: links resolve, fenced Python compiles.
+
+Runs ``scripts/check_docs.py`` (the same entry point as the CI docs job) so
+a broken README/docs link or a syntax error in a documented snippet fails
+tier-1, not just the docs job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_docs_tree_exists():
+    for name in ("architecture.md", "service-api.md", "deployment.md"):
+        assert (REPO / "docs" / name).exists(), f"docs/{name} is missing"
+
+
+def test_readme_links_the_docs_tree():
+    readme = (REPO / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/service-api.md", "docs/deployment.md"):
+        assert name in readme, f"README does not link {name}"
+
+
+def test_check_docs_passes():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, f"docs check failed:\n{proc.stdout}{proc.stderr}"
+    assert "docs check OK" in proc.stdout
+
+
+def test_check_docs_catches_a_broken_link(tmp_path):
+    """The checker itself works: a dangling link target must fail loudly."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "scripts" / "check_docs.py"
+    )
+    check_docs = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(check_docs)
+
+    doc = tmp_path / "broken.md"
+    doc.write_text("# Title\n\nsee [gone](no-such-file.md)\n")
+    errors = check_docs.check_links([doc])
+    # the fake doc lives outside the repo, so relative_to(REPO) can't be
+    # used for display — just assert the target was flagged
+    assert errors and "no-such-file.md" in errors[0]
+
+
+def test_check_docs_catches_a_bad_anchor(tmp_path):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "scripts" / "check_docs.py"
+    )
+    check_docs = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(check_docs)
+
+    doc = tmp_path / "anchors.md"
+    doc.write_text("# Real Heading\n\n[ok](#real-heading) [bad](#missing)\n")
+    errors = check_docs.check_links([doc])
+    assert len(errors) == 1 and "#missing" in errors[0]
