@@ -1,6 +1,6 @@
-"""Coordinated-sweep scaling: fold identity, weighted shards, poll traffic.
+"""Coordinated-sweep scaling: fold identity, pipelined latency, poll traffic.
 
-Two experiments:
+Three experiments:
 
 **Fold identity** (``test_coordinated_sweep_matches_local``) runs the same
 workload x config sweep four ways —
@@ -23,6 +23,20 @@ share the same cores):
 - the coordinator's folded memo cache warms a *local* session to zero
   evaluations — the distributed sweep's cache is as good as a local one.
 
+**Pipelined latency** (``test_pipelined_folding_beats_cursor_polling``) races
+the asyncio push-fold dispatch loop against a faithful reconstruction of the
+fixed-cadence cursor-poll loop it replaced, over the same three-server fleet
+and the same shard grid.  The asserted bars are the two latencies the rewrite
+exists to cut — time-to-first-folded-row (the poll loop cannot see a row
+before its first cadence boundary; the long-poll stream pushes it the moment
+it exists) and end-to-end wall clock (the poll loop pays a cadence lag at
+every shard completion before the lane resubmits; the event-driven lanes
+pay none) — plus fold identity: the pipelined fleet's results must stay
+bit-identical to ``LocalSession.sweep()``.  Each loop runs twice,
+alternating, and the per-path minimum is compared, which damps the
+shared-box noise CI runs swim in.  The measured numbers land in
+``BENCH_coordinator.json`` at the repo root for the CI artifact upload.
+
 **Poll traffic** (``test_streaming_vs_snapshot_poll_payload``) measures the
 wire cost of watching a running job's per-design rows, streaming vs
 snapshot:
@@ -42,14 +56,27 @@ Run:  pytest benchmarks/bench_coordinator_sweep.py
 """
 
 import json
+import os
+import re
+import shutil
+import subprocess
+import sys
 import time
+from collections import deque
+from pathlib import Path
 
 from bench_util import print_table
 
 from repro.api import LocalSession
 from repro.explore.engine import MemoCache
 from repro.perf.model import ArrayConfig
-from repro.service import CoordinatedSession, RemoteSession, ServiceThread
+from repro.service import (
+    CoordinatedSession,
+    RemoteSession,
+    ServiceThread,
+    SweepCoordinator,
+)
+from repro.service import wire
 
 ARRAY = ArrayConfig(rows=8, cols=8)
 WORKLOADS = ["gemm", "batched_gemv"]
@@ -148,6 +175,210 @@ def test_coordinated_sweep_matches_local(benchmark, tmp_path):
     warm = LocalSession(ARRAY, cache=fold_cache).sweep(WORKLOADS, CONFIGS, **SWEEP_KW)
     assert all(r.stats.evaluated == 0 for r in warm)
     assert _digest(warm) == _digest(local)
+
+
+def _start_server(cache: Path) -> tuple[subprocess.Popen, str]:
+    """One out-of-process ``repro serve`` on an ephemeral port, warm cache."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{env['PYTHONPATH']}" if env.get("PYTHONPATH") else str(src)
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--rows", "8", "--cols", "8", "--cache", str(cache)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    banner = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", banner)
+    assert match, f"no service URL in banner: {banner!r}"
+    return proc, match.group(0)
+
+
+def _cursor_poll_sweep(sessions, workloads, configs, options, *, poll_interval):
+    """The pre-pipelining dispatch loop, reconstructed faithfully.
+
+    One thread, fixed cadence: a serial healthz probe round, then rounds of
+    (top up one in-flight job per idle server) -> ``sleep(poll_interval)``
+    -> (serial ``since=``-cursor poll per open job), decoding every row with
+    :func:`wire.row_to_point` — the same per-row fold work the pipelined
+    folder does, so the race measures dispatch latency, not decode cost.
+
+    Returns ``(time_to_first_row, elapsed, rows_decoded)``, clocks started
+    before the probe round (both loops pay their own startup).
+    """
+    t0 = time.perf_counter()
+    for session in sessions:
+        session._call("GET", "/v1/healthz")  # serial round-trip per server
+    pending = deque(
+        (wire.instantiate_statement(wire.statement_payload(w)),
+         wire.statement_payload(w), config)
+        for config in configs
+        for w in workloads
+    )
+    open_jobs = {}  # session -> [job_id, cursor, statement]
+    first_row = None
+    rows_decoded = 0
+    while pending or open_jobs:
+        for session in sessions:
+            if session not in open_jobs and pending:
+                statement, payload, config = pending.popleft()
+                job = session.submit_job(
+                    [dict(payload)],
+                    configs=[config],
+                    stream_rows=True,
+                    **options,
+                )
+                open_jobs[session] = [job["id"], 0, statement]
+        time.sleep(poll_interval)
+        for session, slot in list(open_jobs.items()):
+            job_id, cursor, statement = slot
+            snapshot = session.poll_job(job_id, since=cursor)
+            for row in snapshot["rows"]:
+                wire.row_to_point(row, statement)
+                rows_decoded += 1
+                if first_row is None:
+                    first_row = time.perf_counter() - t0
+            slot[1] = snapshot["rows_total"]
+            if snapshot["status"] in ("done", "failed", "cancelled"):
+                assert snapshot["status"] == "done", snapshot
+                del open_jobs[session]
+    return first_row, time.perf_counter() - t0, rows_decoded
+
+
+def test_pipelined_folding_beats_cursor_polling(tmp_path):
+    """The push-fold loop must beat the cadence loop it replaced, twice over.
+
+    Three servers, twelve one-item shards (four dispatch waves per lane): the
+    poll loop pays its cadence at first-row discovery and at every shard
+    completion, so the deeper the wave count the more lag it compounds; the
+    pipelined loop's long-poll streams and event-driven lanes pay neither.
+    Alternating rounds, min per path, both latency bars strict — and the
+    pipelined fold stays bit-identical to local.
+    """
+    configs = [
+        ARRAY,
+        ArrayConfig(rows=7, cols=7),
+        ArrayConfig(rows=6, cols=6),
+        ArrayConfig(rows=5, cols=5),
+        ArrayConfig(rows=4, cols=4),
+        ArrayConfig(rows=3, cols=3),
+    ]
+    # pre-warm one memo cache and hand every server its own copy: with
+    # evaluation memoized the race isolates the dispatch loops' own latency —
+    # which is the thing this PR changed — instead of measuring compute both
+    # loops pay identically.  The servers are real subprocesses (as deployed,
+    # and as the smoke test runs them): in-process ServiceThreads would share
+    # the benchmark's GIL, which hides server work inside the poll loop's
+    # sleeps and charges it to the pipelined loop's folding instead.
+    warm_path = tmp_path / "memo.json"
+    local = LocalSession(ARRAY, cache=str(warm_path)).sweep(
+        WORKLOADS, configs, **SWEEP_KW
+    )
+    points = sum(len(r) + len(r.failures) for r in local)
+    options = wire.engine_options({"options": SWEEP_KW})
+    # min-of-N damps shared-box noise; 10 alternating rounds keeps the two
+    # latency bars stable on a single-core runner (3 is visibly flaky there)
+    rounds = int(os.environ.get("BENCH_ROUNDS", "10"))
+
+    procs = []
+    urls = []
+    for i in range(3):
+        node_cache = tmp_path / f"memo-{i}.json"
+        shutil.copy(warm_path, node_cache)
+        proc, url = _start_server(node_cache)
+        procs.append(proc)
+        urls.append(url)
+
+    first_fold = {}
+
+    def on_row(_point):
+        if "t" not in first_fold:
+            first_fold["t"] = time.perf_counter() - first_fold["t0"]
+
+    coordinator = SweepCoordinator(urls, array=ARRAY, max_inflight=1, on_row=on_row)
+    sessions = [RemoteSession(url) for url in urls]
+    try:
+        # one untimed lap of each loop first: server processes page in their
+        # code paths on the first sweep they serve, and whichever loop runs
+        # first would eat that cost
+        _cursor_poll_sweep(
+            sessions, WORKLOADS, configs, options,
+            poll_interval=coordinator.poll_interval,
+        )
+        first_fold["t0"] = time.perf_counter()
+        coordinator.sweep(WORKLOADS, configs, **SWEEP_KW)
+
+        pipe_ttfr, pipe_e2e, poll_ttfr, poll_e2e = [], [], [], []
+        digests = []
+        for _ in range(rounds):  # alternate to share box noise fairly
+            ttfr, elapsed, rows = _cursor_poll_sweep(
+                sessions, WORKLOADS, configs, options,
+                poll_interval=coordinator.poll_interval,
+            )
+            assert rows == points
+            poll_ttfr.append(ttfr)
+            poll_e2e.append(elapsed)
+
+            first_fold.clear()
+            first_fold["t0"] = time.perf_counter()
+            results, elapsed = _timed(
+                lambda: coordinator.sweep(WORKLOADS, configs, **SWEEP_KW)
+            )
+            assert coordinator.last_report["rows_streamed"] == points
+            digests.append(_digest(results))
+            pipe_ttfr.append(first_fold["t"])
+            pipe_e2e.append(elapsed)
+    finally:
+        coordinator.close()
+        for session in sessions:
+            session.close()
+        for proc in procs:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    print_table(
+        f"pipelined push-fold vs cursor polling: 3 servers, "
+        f"{len(WORKLOADS) * len(configs)} shards, {points} designs, "
+        f"min of {rounds}",
+        ["dispatch loop", "first row s", "end-to-end s"],
+        [
+            ["cursor poll", f"{min(poll_ttfr):.3f}", f"{min(poll_e2e):.2f}"],
+            ["pipelined", f"{min(pipe_ttfr):.3f}", f"{min(pipe_e2e):.2f}"],
+        ],
+    )
+
+    # fold identity: the pipelined fleet is invisible in the results
+    assert all(d == _digest(local) for d in digests)
+    # the two latency bars the rewrite exists to cut — both strict
+    assert min(pipe_ttfr) < min(poll_ttfr), (pipe_ttfr, poll_ttfr)
+    assert min(pipe_e2e) < min(poll_e2e), (pipe_e2e, poll_e2e)
+
+    out = {
+        "fleet": len(urls),
+        "shards": len(WORKLOADS) * len(configs),
+        "designs": points,
+        "rounds": rounds,
+        "cursor_poll": {
+            "time_to_first_row_s": min(poll_ttfr),
+            "end_to_end_s": min(poll_e2e),
+        },
+        "pipelined": {
+            "time_to_first_row_s": min(pipe_ttfr),
+            "end_to_end_s": min(pipe_e2e),
+        },
+        "speedup": {
+            "time_to_first_row": min(poll_ttfr) / min(pipe_ttfr),
+            "end_to_end": min(poll_e2e) / min(pipe_e2e),
+        },
+    }
+    artifact = Path(__file__).resolve().parent.parent / "BENCH_coordinator.json"
+    artifact.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"  wrote {artifact}")
 
 
 def _watch_job(remote, workloads, *, snapshot_mode, poll_interval=0.02):

@@ -3,8 +3,9 @@
 Starts **two** real ``repro serve`` subprocesses on ephemeral ports, runs a
 coordinated workload x config sweep through
 :class:`~repro.service.coordinator.SweepCoordinator`, and SIGKILLs one
-server the moment its first shard job is polled — the coordinator must
-notice the dead server, reassign its in-flight work to the survivor, and
+server the moment its first job streams a row — the pipelined consumer dies
+with the long-poll connection OPEN, mid-shard.  The coordinator must notice
+the dead server at once, reassign its in-flight work to the survivor, and
 still fold results **bit-identical** to a plain in-process
 ``LocalSession.sweep()`` over the same grid.  Finally the survivor gets a
 SIGINT and must exit 0 with the clean-shutdown banner.
@@ -63,19 +64,40 @@ def main() -> int:
     survivor, survivor_url = start_server(env)
     print(f"servers up at {victim_url} (victim) and {survivor_url} (survivor)")
 
-    class KillVictimOnFirstPoll(RemoteSession):
-        """SIGKILL the victim server the first time one of its jobs is
-        polled — a real mid-sweep crash, with its shard in flight."""
+    class KillVictimOnFirstRow(RemoteSession):
+        """SIGKILL the victim server the moment one of its jobs streams its
+        first row — a real mid-sweep crash with the shard's long-poll
+        connection open and its fold partially built."""
 
         armed = True
 
-        def poll_job(self, job_id, **kwargs):
-            if KillVictimOnFirstPoll.armed and self.url == victim_url:
-                KillVictimOnFirstPoll.armed = False
-                victim.kill()
-                victim.wait(timeout=30)
-                print(f"killed {victim_url} mid-sweep (job {job_id} in flight)")
-            return super().poll_job(job_id, **kwargs)
+        def job_rows_async(self, job_id, **kwargs):
+            import asyncio
+
+            inner = super().job_rows_async(job_id, **kwargs)
+            if self.url != victim_url:
+                return inner
+
+            async def wrapped():
+                async for frame in inner:
+                    if KillVictimOnFirstRow.armed and frame.get("row") in (
+                        "point",
+                        "failure",
+                    ):
+                        KillVictimOnFirstRow.armed = False
+
+                        def kill():
+                            victim.kill()
+                            victim.wait(timeout=30)
+
+                        await asyncio.get_running_loop().run_in_executor(None, kill)
+                        print(
+                            f"killed {victim_url} mid-stream "
+                            f"(job {job_id} open, rows in flight)"
+                        )
+                    yield frame
+
+            return wrapped()
 
     try:
         coordinator = SweepCoordinator(
@@ -84,7 +106,7 @@ def main() -> int:
             max_inflight=1,
             retries=1,
             backoff=0.05,
-            session_factory=lambda url: KillVictimOnFirstPoll(
+            session_factory=lambda url: KillVictimOnFirstRow(
                 url, array=array, retries=1, backoff=0.05
             ),
         )
@@ -93,7 +115,8 @@ def main() -> int:
         print(f"coordinated sweep done: {report}")
         assert report["servers_lost"] == 1, report
         assert report["reassigned"] >= 1, report
-        assert not KillVictimOnFirstPoll.armed, "the victim was never polled"
+        assert report["rows_streamed"] > 0, report
+        assert not KillVictimOnFirstRow.armed, "the victim never streamed a row"
 
         local = LocalSession(array).sweep(WORKLOADS, configs=configs, **SWEEP_KW)
         assert [(r.workload, r.array) for r in results] == [

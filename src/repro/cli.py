@@ -241,11 +241,35 @@ def cmd_explore(args) -> int:
     return 0
 
 
-def _coordinator_event_printer(evt: dict) -> None:
-    """One stderr line per dispatch-loop event (``repro sweep --verbose``)."""
-    kind = evt.get("event", "?")
-    fields = " ".join(f"{k}={v}" for k, v in evt.items() if k != "event")
-    print(f"[sweep:{kind}] {fields}", file=sys.stderr)
+def _coordinator_event_printer():
+    """Build the ``repro sweep --verbose`` stderr printer.
+
+    Each event line carries a wall-clock timestamp plus two monotonic
+    readings — ``+T`` since the printer was created and ``Δt`` since the
+    previous event — so the overlap the pipelined dispatch loop buys
+    (probes racing submits racing folds) is visible in the field, not
+    just in benchmarks.
+    """
+    import time
+    from datetime import datetime
+
+    t0 = time.monotonic()
+    last = t0
+
+    def printer(evt: dict) -> None:
+        nonlocal last
+        now = time.monotonic()
+        stamp = datetime.now().strftime("%H:%M:%S.%f")[:-3]
+        kind = evt.get("event", "?")
+        fields = " ".join(f"{k}={v}" for k, v in evt.items() if k != "event")
+        print(
+            f"[sweep:{kind}] {stamp} +{now - t0:.3f}s Δ{now - last:.3f}s "
+            f"{fields}",
+            file=sys.stderr,
+        )
+        last = now
+
+    return printer
 
 
 def cmd_sweep(args) -> int:
@@ -265,7 +289,7 @@ def cmd_sweep(args) -> int:
         max_inflight=args.max_inflight,
         # surface per-shard retry/reassignment events instead of folding
         # them silently into the final counters
-        on_event=_coordinator_event_printer if args.verbose else None,
+        on_event=_coordinator_event_printer() if args.verbose else None,
     )
     try:
         results = session.sweep(statements, one_d_only=args.one_d)

@@ -287,14 +287,30 @@ class DataflowSpec:
         self.statement = statement
         self.selected = tuple(selected)
         self.stt = stt
-        self.flows = tuple(
-            TensorDataflow(
-                access=acc,
-                reuse=(r := reuse_space(acc.restrict(self.selected), stt)),
-                kind=classify(r),
+        self._flows: tuple[TensorDataflow, ...] | None = None
+
+    @property
+    def flows(self) -> tuple[TensorDataflow, ...]:
+        """Per-tensor dataflows (type + reuse directions), derived lazily.
+
+        The reuse-space solve is the expensive part of a spec and nothing a
+        consumer folding streamed rows by their scalar metrics ever touches —
+        deferring it keeps wire reconstruction O(parse).  Local evaluation
+        reads ``flows`` immediately, so it pays the same cost as before.
+        The benign race under pooled evaluation recomputes an identical
+        tuple; no lock needed.
+        """
+        flows = self._flows
+        if flows is None:
+            flows = self._flows = tuple(
+                TensorDataflow(
+                    access=acc,
+                    reuse=(r := reuse_space(acc.restrict(self.selected), self.stt)),
+                    kind=classify(r),
+                )
+                for acc in self.statement.accesses
             )
-            for acc in statement.accesses
-        )
+        return flows
 
     # ------------------------------------------------------------------
     @property

@@ -47,13 +47,36 @@ class STT:
         if det == 0:
             raise ValueError(f"STT matrix must be full rank (paper §II): {matrix}")
         self.matrix: IntMatrix = mat
-        self.det = det
+        self._det: int | None = det
         self._inverse_cache: tuple[tuple[Fraction, ...], ...] | None = None
 
     # ------------------------------------------------------------------
     @classmethod
     def from_rows(cls, space1: Sequence[int], space2: Sequence[int], time: Sequence[int]) -> "STT":
         return cls([tuple(space1), tuple(space2), tuple(time)])
+
+    @classmethod
+    def trusted(cls, matrix: Sequence[Sequence[int]]) -> "STT":
+        """Adopt a matrix that already passed ``__init__`` once.
+
+        The wire decoders use this for rows echoed back by a server: the
+        emitting side validated shape and rank when the design was built,
+        so re-proving both per streamed row is pure fold-path overhead.
+        ``det`` is derived on demand.
+        """
+        self = cls.__new__(cls)
+        self.matrix = tuple(tuple(int(v) for v in row) for row in matrix)
+        self._det = None
+        self._inverse_cache = None
+        return self
+
+    @property
+    def det(self) -> int:
+        """Determinant; non-zero by construction (validated or trusted)."""
+        det = self._det
+        if det is None:
+            det = self._det = linalg.determinant(self.matrix)
+        return det
 
     @property
     def n(self) -> int:

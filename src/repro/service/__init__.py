@@ -36,12 +36,13 @@ Quickstart::
         print(session.explore("gemm").pareto())
 """
 
-from repro.service.client import RemoteSession
+from repro.service.client import AsyncRemoteSession, RemoteSession
 from repro.service.coordinator import CoordinatedSession, SweepCoordinator
 from repro.service.server import EvaluationService, ServiceThread
 from repro.service.wire import ServiceBusyError
 
 __all__ = [
+    "AsyncRemoteSession",
     "CoordinatedSession",
     "EvaluationService",
     "RemoteSession",

@@ -26,11 +26,12 @@ Usage::
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
 import random
 import time
-from typing import Any, Mapping, Sequence
+from typing import Any, AsyncIterator, Mapping, Sequence
 from urllib.parse import urlsplit
 
 from repro.api.protocol import SessionBase
@@ -41,7 +42,17 @@ from repro.ir.einsum import Statement
 from repro.perf.model import ArrayConfig, PerfResult
 from repro.service import wire
 
-__all__ = ["RemoteSession"]
+__all__ = ["AsyncRemoteSession", "RemoteSession"]
+
+
+def _parse_http_url(url: str) -> tuple[str, int]:
+    """``http://host[:port]`` (scheme optional) -> ``(host, port)``."""
+    parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+    if parts.scheme != "http":
+        raise ValueError(f"RemoteSession speaks plain http, got {url!r}")
+    if not parts.hostname:
+        raise ValueError(f"no host in service url {url!r}")
+    return parts.hostname, parts.port or 80
 
 
 class RemoteSession(SessionBase):
@@ -90,13 +101,7 @@ class RemoteSession(SessionBase):
             raise ValueError(f"retries must be >= 0, got {retries}")
         if backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {backoff}")
-        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
-        if parts.scheme != "http":
-            raise ValueError(f"RemoteSession speaks plain http, got {url!r}")
-        if not parts.hostname:
-            raise ValueError(f"no host in service url {url!r}")
-        self.host = parts.hostname
-        self.port = parts.port or 80
+        self.host, self.port = _parse_http_url(url)
         self.url = f"http://{self.host}:{self.port}"
         self.timeout = timeout
         self.retries = retries
@@ -401,7 +406,15 @@ class RemoteSession(SessionBase):
             path += f"?since={int(since)}"
         return self._call("GET", path)["job"]
 
-    def iter_job_rows(self, job_id: str, *, since: int = 0):
+    def iter_job_rows(
+        self,
+        job_id: str,
+        *,
+        since: int = 0,
+        keepalive: float | None = None,
+        keepalives: bool = False,
+        reconnect: bool = True,
+    ):
         """Stream a job's rows live over ``GET /v1/jobs/<id>/rows`` (NDJSON).
 
         Yields every framing and data row as a dict, in wire order: one
@@ -414,15 +427,118 @@ class RemoteSession(SessionBase):
         ends travels as a mid-stream ``{"row": "reset"}`` frame: discard
         rows seen so far, the full log replays after it.  The CLI front door
         is ``repro client tail-job``.
+
+        A long-poll that dies mid-stream (EOF before the end frame, reset
+        socket, half-written line) is resumed transparently: the client
+        reconnects with ``since=<last seen seq>`` so no row is dropped or
+        duplicated, up to ``retries`` consecutive drops without progress
+        (then :class:`ConnectionError`).  ``reconnect=False`` restores
+        fail-fast behavior.  A resumed stream's extra ``start`` frame is
+        swallowed — unless it carries ``cursor_reset``, which surfaces as a
+        ``{"row": "reset"}`` frame like the mid-stream server-sent one.
+
+        ``keepalive=N`` asks the server to emit ``{"row": "keepalive"}``
+        heartbeat frames after ~N idle seconds, so a slow job and a dead
+        connection are distinguishable; they are swallowed (but count as
+        progress, resetting the drop budget) unless ``keepalives=True``.
         """
-        response = self._stream(
-            f"/v1/jobs/{job_id}/rows?since={int(since)}", None, method="GET"
-        )
+        cursor = int(since)
+        drops = 0
+        started = False
         while True:
-            line = response.readline()
-            if not line:
-                break
-            yield json.loads(line)
+            path = f"/v1/jobs/{job_id}/rows?since={cursor}"
+            if keepalive is not None:
+                path += f"&keepalive={float(keepalive):g}"
+            try:
+                response = self._stream(path, None, method="GET")
+                resumed = started
+                while True:
+                    line = response.readline()
+                    if not line:
+                        raise ConnectionError(
+                            f"row stream for job {job_id} ended without an end frame"
+                        )
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        # a half-written line is a connection death, not data
+                        raise ConnectionError(
+                            f"row stream for job {job_id} died mid-line"
+                        ) from exc
+                    kind = row.get("row")
+                    if kind == "start":
+                        if not resumed:
+                            started = True
+                            yield row
+                        elif row.get("cursor_reset"):
+                            cursor = 0
+                            yield {"row": "reset"}
+                        continue
+                    if kind == "reset":
+                        cursor = 0
+                        yield row
+                        continue
+                    if kind == "keepalive":
+                        drops = 0
+                        if keepalives:
+                            yield row
+                        continue
+                    if kind == "end":
+                        # drain the terminating chunk: an un-drained stream
+                        # leaves the keep-alive socket dirty, and the *next*
+                        # request on it fails mid-response and retries — for
+                        # POST /v1/jobs that submits a duplicate job
+                        response.read()
+                        yield row
+                        return
+                    if "seq" in row:
+                        cursor = int(row["seq"])
+                    drops = 0
+                    yield row
+            except GeneratorExit:
+                # consumer abandoned the stream mid-poll: the socket holds
+                # an unread tail, reset it rather than recycle it dirty
+                self._reset_connection()
+                raise
+            except self._RETRYABLE as exc:
+                self._reset_connection()
+                drops += 1
+                if not reconnect or drops > self.retries:
+                    raise ConnectionError(
+                        f"row stream for job {job_id} on {self.url} dropped "
+                        f"{drops} time(s) without progress: {exc}"
+                    ) from exc
+                time.sleep(self.backoff * drops * random.uniform(0.5, 1.5))
+
+    def job_rows_async(
+        self,
+        job_id: str,
+        *,
+        since: int = 0,
+        keepalive: float | None = None,
+        idle_timeout: float | None = None,
+        keepalives: bool = False,
+    ) -> AsyncIterator[dict[str, Any]]:
+        """:meth:`iter_job_rows` as an async iterator on a dedicated connection.
+
+        This is the pipelined coordinator's consumer path: each job's row
+        stream gets its own :class:`AsyncRemoteSession` transport (so many
+        streams multiplex on one event loop without touching this session's
+        persistent sync connection), with the same frame discipline and
+        reconnect-with-``since`` resume as the sync iterator, plus an
+        ``idle_timeout`` that treats a silent connection as dead — pair it
+        with ``keepalive`` so a slow job keeps proving liveness.  Tests
+        override this method to inject stream faults.
+        """
+        return AsyncRemoteSession(
+            self.url, timeout=self.timeout, retries=self.retries, backoff=self.backoff
+        ).iter_job_rows(
+            job_id,
+            since=since,
+            keepalive=keepalive,
+            idle_timeout=idle_timeout,
+            keepalives=keepalives,
+        )
 
     def jobs(self) -> list[dict[str, Any]]:
         """All jobs the server still remembers."""
@@ -437,3 +553,242 @@ class RemoteSession(SessionBase):
             f"RemoteSession({self.url}, defaults "
             f"{self.array.rows}x{self.array.cols}, width={self.width})"
         )
+
+
+class AsyncRemoteSession:
+    """The asyncio transport for the service wire protocol.
+
+    A deliberately small counterpart to :class:`RemoteSession`: plain
+    HTTP/1.1 over :func:`asyncio.open_connection`, one connection per
+    request, reusing the same wire codecs (``repro.service.wire``) and error
+    mapping.  It exists for consumers that hold *many* long-poll row streams
+    open at once — the pipelined :class:`~repro.service.coordinator
+    .SweepCoordinator` keeps one per inflight job on a single event loop,
+    where `http.client`'s one-socket-per-session blocking model would need a
+    thread per stream.
+
+    Only the surfaces the coordinator needs are async today: :meth:`call`
+    (JSON round-trip, e.g. ``/v1/healthz``) and :meth:`iter_job_rows`
+    (NDJSON long-poll with reconnect-with-``since`` resume, keepalive
+    awareness and an idle timeout).  Everything else stays on the sync
+    session.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 300.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+    ):
+        self.host, self.port = _parse_http_url(url)
+        self.url = f"http://{self.host}:{self.port}"
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    # -- transport -------------------------------------------------------
+    async def _open(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, dict[str, str], asyncio.StreamReader, asyncio.StreamWriter]:
+        """Send one request; return (status, headers, reader, writer)."""
+        body = json.dumps(payload).encode() if payload is not None else b""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"{wire.SCHEMA_HEADER}: {SCHEMA_VERSION}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+            status, headers = await asyncio.wait_for(
+                self._read_head(reader), self.timeout
+            )
+        except BaseException:
+            writer.close()
+            raise
+        return status, headers, reader, writer
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, str]]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionError(f"no response from {self.url}")
+        try:
+            status = int(status_line.split(None, 2)[1])
+        except (IndexError, ValueError) as exc:
+            raise ConnectionError(
+                f"malformed status line from {self.url}: {status_line!r}"
+            ) from exc
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError(f"{self.url} closed mid-headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: Mapping[str, str]
+    ) -> bytes:
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            chunks = []
+            while True:
+                chunk = await self._read_chunk(reader)
+                if chunk is None:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+        length = int(headers.get("content-length") or 0)
+        return await reader.readexactly(length) if length else b""
+
+    @staticmethod
+    async def _read_chunk(reader: asyncio.StreamReader) -> bytes | None:
+        """One HTTP chunk; ``None`` on the zero-size terminator."""
+        size_line = await reader.readline()
+        if not size_line:
+            raise ConnectionError("connection closed mid-stream")
+        size = int(size_line.strip().split(b";")[0] or b"0", 16)
+        if size == 0:
+            await reader.readline()  # trailing CRLF
+            return None
+        data = await reader.readexactly(size)
+        await reader.readexactly(2)  # chunk CRLF
+        return data
+
+    @staticmethod
+    async def _bounded(awaitable, timeout: float | None):
+        if timeout is None:
+            return await awaitable
+        return await asyncio.wait_for(awaitable, timeout)
+
+    @classmethod
+    async def _bounded_chunk(
+        cls, reader: asyncio.StreamReader, idle_timeout: float | None
+    ) -> bytes | None:
+        """One chunk under the idle deadline.
+
+        ``asyncio.timeout`` instead of ``wait_for``: same semantics (the
+        timer spans just this read), but no Task per read — at streaming
+        rates the wrapper Task costs more than the row it guards.
+        """
+        if idle_timeout is None:
+            return await cls._read_chunk(reader)
+        async with asyncio.timeout(idle_timeout):
+            return await cls._read_chunk(reader)
+
+    # -- the async surface ------------------------------------------------
+    async def call(self, method: str, path: str, payload: Any | None = None) -> Any:
+        """One JSON round-trip; server errors re-raise as local exceptions."""
+        status, headers, reader, writer = await self._open(method, path, payload)
+        try:
+            data = await asyncio.wait_for(
+                self._read_body(reader, headers), self.timeout
+            )
+        finally:
+            writer.close()
+        parsed = json.loads(data) if data else {}
+        if status >= 400:
+            wire.raise_remote_error(parsed, status)
+        return parsed
+
+    async def healthz(self) -> dict[str, Any]:
+        """``GET /v1/healthz`` — capacity and schema advertisement."""
+        return await self.call("GET", "/v1/healthz")
+
+    async def iter_job_rows(
+        self,
+        job_id: str,
+        *,
+        since: int = 0,
+        keepalive: float | None = None,
+        idle_timeout: float | None = None,
+        keepalives: bool = False,
+        reconnect: bool = True,
+    ) -> AsyncIterator[dict[str, Any]]:
+        """Async :meth:`RemoteSession.iter_job_rows`: same frames, same resume.
+
+        ``idle_timeout`` bounds the silence between frames; a stream that is
+        silent longer counts as a drop (reconnect with the last seen
+        ``seq``), so with server ``keepalive`` heartbeats below the timeout,
+        a slow job stays connected while a dead server is detected in one
+        timeout instead of hanging the consumer.
+        """
+        cursor = int(since)
+        drops = 0
+        started = False
+        while True:
+            writer = None
+            try:
+                path = f"/v1/jobs/{job_id}/rows?since={cursor}"
+                if keepalive is not None:
+                    path += f"&keepalive={float(keepalive):g}"
+                status, headers, reader, writer = await self._open("GET", path)
+                if status >= 400:
+                    data = await self._read_body(reader, headers)
+                    wire.raise_remote_error(json.loads(data or b"{}"), status)
+                resumed = started
+                buf = b""
+                while True:
+                    chunk = await self._bounded_chunk(reader, idle_timeout)
+                    if chunk is None:
+                        raise ConnectionError(
+                            f"row stream for job {job_id} ended "
+                            "without an end frame"
+                        )
+                    buf += chunk
+                    while b"\n" in buf:
+                        line, buf = buf.split(b"\n", 1)
+                        if not line.strip():
+                            continue
+                        row = json.loads(line)
+                        kind = row.get("row")
+                        if kind == "start":
+                            if not resumed:
+                                started = True
+                                yield row
+                            elif row.get("cursor_reset"):
+                                cursor = 0
+                                yield {"row": "reset"}
+                            continue
+                        if kind == "reset":
+                            cursor = 0
+                            yield row
+                            continue
+                        if kind == "keepalive":
+                            drops = 0
+                            if keepalives:
+                                yield row
+                            continue
+                        if kind == "end":
+                            yield row
+                            return
+                        if "seq" in row:
+                            cursor = int(row["seq"])
+                        drops = 0
+                        yield row
+            except (ConnectionError, EOFError, OSError, asyncio.TimeoutError) as exc:
+                drops += 1
+                if not reconnect or drops > self.retries:
+                    raise ConnectionError(
+                        f"row stream for job {job_id} on {self.url} dropped "
+                        f"{drops} time(s) without progress: {exc}"
+                    ) from exc
+                await asyncio.sleep(self.backoff * drops)
+            finally:
+                if writer is not None:
+                    writer.close()
+
+    def __repr__(self) -> str:
+        return f"AsyncRemoteSession({self.url})"

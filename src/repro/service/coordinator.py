@@ -16,32 +16,40 @@ How a sweep runs
    ``shard_size`` items sharing one config.  Shards are the unit of
    dispatch, retry and reassignment; ``shard_size > 1`` amortizes job-queue
    overhead on fleets with many small workloads.
-2. **Dispatch** — each shard is submitted to a server as one
-   ``POST /v1/jobs`` job with ``stream_rows=True`` (the server keeps every
-   evaluated design in the job's incremental row log).  Per-server inflight
-   is *capacity-weighted*: a server advertising a process pool via
-   ``/v1/healthz`` ``workers`` carries up to that many jobs at a time
-   (bounded by its ``max_jobs`` queue), others carry ``max_inflight`` — so
-   a big machine's queue stays fed while a laptop is never swamped.
-3. **Stream + fold** — polls carry a ``since=<seq>`` row cursor, so every
-   poll returns only the rows produced since the last one.  Rows fold into
-   their shard item *incrementally* as real :class:`DesignPoint` objects;
-   the terminal poll just closes the books (per-item stats) instead of
-   re-shipping the whole design list.  A ``cursor_reset`` (the server no
-   longer recognizes the cursor) drops the shard's partial fold and rebuilds
-   from the full snapshot.
+2. **Dispatch** — the whole fleet is ``/v1/healthz``-probed *concurrently*
+   (a hung server delays startup by one timeout, not N), then the sweep
+   runs event-driven on one asyncio loop: each server gets one worker lane
+   per unit of advertised capacity (healthz ``workers``, bounded by its
+   ``max_jobs`` queue; ``max_inflight`` otherwise), and each lane pulls the
+   next assignable shard and submits it as one ``POST /v1/jobs`` job with
+   ``stream_rows=True`` — so a big machine's queue stays fed while a
+   laptop is never swamped, and no lane ever waits on another server.
+3. **Stream + fold** — each inflight job's row log is *pushed* over its own
+   ``GET /v1/jobs/<id>/rows`` long-poll (an :class:`~repro.service.client
+   .AsyncRemoteSession` stream that auto-resumes with the last folded
+   ``seq`` and heartbeats ``keepalive`` frames through idle stretches).
+   Every row crosses a bounded :class:`asyncio.Queue` into the *single*
+   folder lane, which rebuilds real :class:`DesignPoint` objects in wire
+   order — fold work overlaps evaluation across the whole fleet, yet stays
+   single-threaded and bit-identical to a local sweep.  The terminal poll
+   just closes the books (per-item stats) instead of re-shipping the
+   design list; a ``cursor_reset`` (the server no longer recognizes the
+   cursor) drops the shard's partial fold and rebuilds from the replay.
 4. **Fallback** — a server that answers 503 (job queue full, or started
    with ``--max-jobs 0``) is not dead, it just has no job capacity: the
    shard's design space is enumerated coordinator-side and shipped as
    chunked ``evaluate_many`` batches of explicit ``selection``+``stt``
    perf/cost request pairs instead.
 5. **Reassign** — a server that stops answering (killed mid-sweep,
-   connection refused/reset) — or that *restarted* and forgot the job —
-   forfeits its in-flight shards: their partial folds are discarded and they
-   go back in the queue, excluded from the dead server, to run elsewhere.  A
-   shard that keeps failing raises after ``max_retries`` reassignments —
-   work is never silently dropped.  Every retry/reassignment is surfaced
-   through the ``on_event`` hook (``repro sweep --verbose``).
+   connection refused/reset, a row stream that dies and cannot resume) —
+   or that *restarted* and forgot the job — forfeits the shard *the moment
+   its consumer fails*, not at the next poll round: the partial fold is
+   discarded (stale queued rows are dropped by an attempt-epoch tag) and
+   the shard goes back in the queue, excluded from the dead server, to run
+   elsewhere.  A shard that keeps failing raises after ``max_retries``
+   reassignments — work is never silently dropped.  Every
+   retry/reassignment is surfaced through the ``on_event`` hook
+   (``repro sweep --verbose``).
 6. **Cache fold** — when the coordinator owns a :class:`MemoCache`, each
    surviving server's memo cache is pulled over ``GET /v1/cache`` and merged
    in, so the *next* sweep starts warm without shipping cache files around.
@@ -65,11 +73,14 @@ Usage::
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import http.client
+import inspect
 import os
-import time
 import uuid
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -97,6 +108,18 @@ __all__ = ["SweepCoordinator", "CoordinatedSession"]
 #: budget is spent).  ServiceBusyError is deliberately *not* here — a 503
 #: server answered, it just has no job capacity.
 _SERVER_LOST = (ConnectionError, OSError, http.client.HTTPException)
+
+#: What kills a row-stream consumer: everything in ``_SERVER_LOST`` plus the
+#: stream-specific deaths — EOF mid-chunk (``IncompleteReadError``) and an
+#: idle timeout that outlived the keepalive heartbeat.  (``TimeoutError`` is
+#: an ``OSError`` subclass on modern Pythons; listed for clarity.)
+_STREAM_LOST = (
+    ConnectionError,
+    OSError,
+    EOFError,
+    asyncio.TimeoutError,
+    http.client.HTTPException,
+)
 
 
 @dataclass
@@ -129,6 +152,10 @@ class _Shard:
     attempts: int = 0
     excluded: set[int] = field(default_factory=set)  # server indices
     cursor: int = 0  # job-row seq already folded (the ?since= value)
+    #: set by the folder once the shard's results are closed; queued events
+    #: arriving after (or from a forfeited attempt — see the epoch tag each
+    #: event carries) are dropped instead of folded
+    done: bool = False
 
     def describe(self) -> str:
         return "+".join(item.payload["workload"] for item in self.items)
@@ -155,6 +182,56 @@ class _Server:
     capacity: int | None = None
     inflight: dict[str, _Shard] = field(default_factory=dict)  # job id -> shard
     completed: int = 0
+    #: serializes this server's *sync* session calls (submit / terminal poll /
+    #: fallback): ``http.client`` holds one socket per session.  Rebound to a
+    #: fresh :class:`asyncio.Lock` by every sweep (locks are loop-bound).
+    lock: asyncio.Lock | None = field(default=None, repr=False)
+
+
+class _SweepState:
+    """The mutable hub one sweep's worker/folder tasks share.
+
+    Everything here lives on the sweep's event loop: ``pending`` is the
+    shard work queue, ``queue`` the bounded fold funnel (every row crosses
+    it, so folding stays single-lane), ``wake`` the "new work may be
+    assignable" doorbell, ``done`` the sweep-over latch, and ``fatal`` the
+    first error that should surface to the caller.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[_Shard],
+        results: list,
+        options: Mapping[str, Any],
+        fold_queue: int,
+    ):
+        self.pending: deque[_Shard] = deque(shards)
+        self.results = results
+        self.options = options
+        self.remaining = len(shards)
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=fold_queue)
+        self.wake = asyncio.Event()
+        self.done = asyncio.Event()
+        self.fatal: BaseException | None = None
+        self.active = 0  # shards a worker lane is on *right now*
+        self.live_workers = 0
+        self.queue_peak = 0
+
+    def fail(self, exc: BaseException) -> None:
+        if self.fatal is None:
+            self.fatal = exc
+        self.finish()
+
+    def finish(self) -> None:
+        self.done.set()
+        self.wake.set()
+
+    def complete_shard(self) -> None:
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.finish()
+        else:
+            self.wake.set()
 
 
 class SweepCoordinator:
@@ -181,12 +258,33 @@ class SweepCoordinator:
         process pool (``workers > 1``) is weighted up to ``workers`` inflight
         jobs instead, bounded by its ``max_jobs`` queue depth — capacity-aware
         sharding: beefy servers stay fed, small ones are never swamped.
+        Each inflight unit is one concurrent worker lane on the sweep's
+        event loop, holding one job's row stream open end to end.
     max_retries:
         Reassignments per shard before the sweep raises.
     poll_interval:
-        Seconds between poll rounds when nothing progressed.
+        Seconds an idle worker lane sleeps before re-checking for
+        assignable work (a safety-net cadence; the normal path is
+        event-driven via the wake doorbell).
     fallback_chunk:
         Requests per ``evaluate_many`` call on the 503 fallback path.
+    fold_queue:
+        Bound of the row queue between the per-job stream consumers and the
+        single folder lane (default 256 events).  Under backpressure — a
+        slow ``on_row`` hook, or a fold briefly behind a fast fleet —
+        consumers block on the queue instead of buffering unboundedly;
+        ``last_report["fold_queue_peak"]`` records the high-water mark.
+    stream_keepalive:
+        Idle seconds between server keepalive heartbeats on each row
+        stream (the ``?keepalive=`` parameter).  Consumers allow five
+        missed heartbeats (``5 * stream_keepalive``) of total silence
+        before declaring the connection dead and resuming/reassigning;
+        ``0`` disables both the heartbeat and the idle timeout.
+    on_row:
+        Optional per-row hook, called by the folder lane with each folded
+        :class:`DesignPoint` (coroutine functions are awaited — they apply
+        backpressure through the bounded queue).  Benchmarks use it to
+        timestamp time-to-first-row.
     on_event:
         Optional observer for dispatch-loop events; called with one dict per
         event (``{"event": "reassigned" | "server_lost" | "fallback" |
@@ -212,10 +310,13 @@ class SweepCoordinator:
         max_retries: int = 2,
         poll_interval: float = 0.05,
         fallback_chunk: int = 64,
+        fold_queue: int = 256,
+        stream_keepalive: float = 2.0,
         timeout: float = 300.0,
         retries: int = 2,
         backoff: float = 0.1,
         on_event: Callable[[dict[str, Any]], None] | None = None,
+        on_row: Callable[[DesignPoint], Any] | None = None,
         session_factory: Callable[[str], RemoteSession] | None = None,
     ):
         urls = list(urls)
@@ -227,6 +328,8 @@ class SweepCoordinator:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if fold_queue < 1:
+            raise ValueError(f"fold_queue must be >= 1, got {fold_queue}")
         self.array = array or ArrayConfig()
         self.width = width
         self.cost_params = cost_params
@@ -239,7 +342,11 @@ class SweepCoordinator:
         self.max_retries = max_retries
         self.poll_interval = poll_interval
         self.fallback_chunk = fallback_chunk
+        self.fold_queue = fold_queue
+        self.stream_keepalive = stream_keepalive
         self.on_event = on_event
+        self.on_row = on_row
+        self._executor: ThreadPoolExecutor | None = None
         if session_factory is None:
 
             def session_factory(url: str) -> RemoteSession:
@@ -274,6 +381,10 @@ class SweepCoordinator:
         ``LocalSession(array, ...).sweep(workloads, configs, ...)`` on one
         machine — regardless of how shards landed on servers, which servers
         died, or which shards rode the 503 fallback.
+
+        The signature is synchronous; the dispatch/stream/fold machinery
+        runs on a private event loop under :func:`asyncio.run` (so this must
+        not be called from inside a running loop — use a thread for that).
         """
         options = wire.engine_options({"options": engine_options})
         config_list: list[ArrayConfig] = (
@@ -290,6 +401,7 @@ class SweepCoordinator:
             "reassigned": 0,
             "servers_lost": 0,
             "rows_streamed": 0,
+            "fold_queue_peak": 0,
         }
         if not shards:
             return []
@@ -304,33 +416,345 @@ class SweepCoordinator:
             server.jobs_ok = True
             server.probed = False
             server.capacity = None
+        for shard in shards:
+            shard.done = False
         results: list[EvaluationResult | None] = [None] * total_items
-        pending: deque[_Shard] = deque(shards)
-
-        while any(r is None for r in results):
-            progressed = self._dispatch_round(pending, results, options)
-            progressed |= self._poll_round(pending, results)
-            if pending and not self._healthy_servers():
-                raise RuntimeError(
-                    f"sweep failed: all {len(self.servers)} servers are gone "
-                    f"with {len(pending)} shard(s) unfinished"
-                )
-            if not progressed:
-                if pending and not any(s.inflight for s in self.servers):
-                    # nothing in flight and nothing assignable: every
-                    # survivor is on some shard's exclusion list.  Relax the
-                    # exclusions (the attempts budget still bounds retries)
-                    # rather than spinning forever.
-                    healthy = {s.index for s in self._healthy_servers()}
-                    for shard in pending:
-                        if not (healthy - shard.excluded):
-                            shard.excluded -= healthy
-                    continue
-                time.sleep(self.poll_interval)
-
+        asyncio.run(self._sweep_async(shards, results, options))
         self._fold_caches()
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    # -- the event loop ---------------------------------------------------
+    async def _sweep_async(
+        self,
+        shards: Sequence[_Shard],
+        results: list[EvaluationResult | None],
+        options: Mapping[str, Any],
+    ) -> None:
+        """One sweep's pipelined run: probe, spawn lanes, fold, settle.
+
+        Structure: ``capacity`` worker-lane tasks per job-capable server
+        (one lane per 503/fallback server) each submit a shard, consume its
+        row stream end to end and repeat; every consumed row is funneled —
+        tagged with its shard's attempt epoch — through the bounded fold
+        queue into the single folder task.  Sync client calls (submit,
+        terminal poll, fallback batches) run on a thread-pool executor,
+        serialized per server by its lock; the streams themselves are
+        native-async and cost no threads.
+        """
+        state = _SweepState(shards, results, options, self.fold_queue)
+        loop = asyncio.get_running_loop()
+        # own executor (not the loop default): sweep teardown must not block
+        # on a thread stuck in a slow connect to a hung server
+        self._executor = ThreadPoolExecutor(
+            max_workers=len(self.servers) + 4,
+            thread_name_prefix="repro-sweep",
+        )
+        try:
+            # satellite of the pipelined design: probe the whole fleet at
+            # once — a hung server costs one timeout, not one per server
+            await asyncio.gather(
+                *(
+                    loop.run_in_executor(self._executor, self._probe, server)
+                    for server in self.servers
+                )
+            )
+            if not self._healthy_servers():
+                raise RuntimeError(
+                    f"sweep failed: all {len(self.servers)} servers are gone "
+                    f"with {len(state.pending)} shard(s) unfinished"
+                )
+            folder = asyncio.create_task(self._folder(state))
+            workers: list[asyncio.Task] = []
+            for server in self._healthy_servers():
+                server.lock = asyncio.Lock()
+                lanes = self._inflight_limit(server) if server.jobs_ok else 1
+                for lane in range(lanes):
+                    workers.append(
+                        asyncio.create_task(self._worker(server, lane, state))
+                    )
+            state.live_workers = len(workers)
+            await state.done.wait()
+            for task in workers:
+                task.cancel()
+            folder.cancel()
+            await asyncio.gather(*workers, folder, return_exceptions=True)
+            if state.fatal is not None:
+                raise state.fatal
+            self.last_report["fold_queue_peak"] = state.queue_peak
+        finally:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    async def _blocking(self, fn: Callable[[], Any]) -> Any:
+        """Run one sync client call on the sweep's executor."""
+        assert self._executor is not None
+        return await asyncio.get_running_loop().run_in_executor(self._executor, fn)
+
+    async def _worker(self, server: _Server, lane: int, state: _SweepState) -> None:
+        """One dispatch lane: pull an assignable shard, run it, repeat.
+
+        Lanes exit when the sweep settles, their server dies, or — for all
+        but lane 0 — when the server turns out to have no job capacity (the
+        sync ``evaluate_many`` fallback runs one shard at a time per server,
+        so spare lanes returning keeps those shards available to the rest of
+        the fleet).  The last lane out with work remaining declares the
+        fleet dead.
+        """
+        try:
+            while not state.done.is_set():
+                if not server.healthy:
+                    return
+                if not server.jobs_ok and lane > 0:
+                    return
+                shard = self._take_assignable(state.pending, server)
+                if shard is None:
+                    if state.active == 0 and state.pending:
+                        # nothing running anywhere and nothing assignable:
+                        # every survivor is on some shard's exclusion list.
+                        # Relax the exclusions (the attempts budget still
+                        # bounds retries) rather than idling forever.
+                        if self._relax_exclusions(state):
+                            continue
+                    state.wake.clear()
+                    if state.done.is_set():
+                        return
+                    try:
+                        await asyncio.wait_for(state.wake.wait(), self.poll_interval)
+                    except asyncio.TimeoutError:
+                        pass
+                    continue
+                state.active += 1
+                try:
+                    await self._run_shard(server, shard, state)
+                finally:
+                    state.active -= 1
+                    state.wake.set()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — surfaces as the sweep error
+            state.fail(exc)
+        finally:
+            state.live_workers -= 1
+            if state.live_workers <= 0 and not state.done.is_set():
+                state.fail(
+                    RuntimeError(
+                        f"sweep failed: all {len(self.servers)} servers are "
+                        f"gone with {state.remaining} shard(s) unfinished"
+                    )
+                )
+
+    def _relax_exclusions(self, state: _SweepState) -> bool:
+        healthy = {s.index for s in self._healthy_servers()}
+        relaxed = False
+        for shard in state.pending:
+            if not (healthy - shard.excluded):
+                shard.excluded -= healthy
+                relaxed = True
+        return relaxed
+
+    async def _run_shard(
+        self, server: _Server, shard: _Shard, state: _SweepState
+    ) -> None:
+        """Submit one shard as a job and consume it, or ride the fallback."""
+        epoch = shard.attempts
+        if server.jobs_ok:
+            submit = functools.partial(
+                server.session.submit_job,
+                # one {"workload", "extents"} payload per item: items keep
+                # their own problem sizes inside a grouped shard
+                [dict(item.payload) for item in shard.items],
+                configs=[shard.config],
+                stream_rows=True,
+                # unique per (sweep, shard, attempt): a transport retry of
+                # this submit can never double-enqueue, while a real
+                # reassignment gets a fresh job
+                submit_key=(
+                    f"{self._sweep_token}:{shard.items[0].index}:{shard.attempts}"
+                ),
+                **state.options,
+            )
+            try:
+                assert server.lock is not None
+                async with server.lock:
+                    job = await self._blocking(submit)
+            except ServiceBusyError:
+                # alive but out of job capacity: remember, fall through
+                # (_fallback emits the observer event)
+                server.jobs_ok = False
+            except _SERVER_LOST:
+                self._lose_server(server, shard, state)
+                return
+            else:
+                server.inflight[job["id"]] = shard
+                self.last_report["jobs"] += 1
+                await self._consume_job(server, shard, job["id"], epoch, state)
+                return
+        try:
+            assert server.lock is not None
+            async with server.lock:
+                await self._blocking(
+                    functools.partial(
+                        self._fallback, server, shard, state.results, state.options
+                    )
+                )
+        except _SERVER_LOST:
+            self._lose_server(server, shard, state)
+            return
+        server.completed += 1
+        self.last_report["fallbacks"] += 1
+        shard.done = True
+        state.complete_shard()
+
+    async def _consume_job(
+        self,
+        server: _Server,
+        shard: _Shard,
+        job_id: str,
+        epoch: int,
+        state: _SweepState,
+    ) -> None:
+        """Drive one job's row stream into the fold queue, end to end.
+
+        The stream (``RemoteSession.job_rows_async`` — the test injection
+        point) already resumes dropped connections with the last seen
+        ``seq``; what reaches here unrecoverable means the server is gone.
+        Rows are queued under this attempt's epoch so a forfeited attempt's
+        leftovers can never fold; the ``end`` frame carries the terminal
+        snapshot (per-item stats), which rides the queue behind every row
+        it must follow — a poll round-trip happens only as the fallback
+        for streams that end without one.
+        """
+        idle_timeout = (
+            5 * self.stream_keepalive if self.stream_keepalive > 0 else None
+        )
+        stream = server.session.job_rows_async(
+            job_id,
+            since=shard.cursor,
+            keepalive=self.stream_keepalive,
+            idle_timeout=idle_timeout,
+        )
+        cursor = shard.cursor
+        status: str | None = None
+        error: str | None = None
+        snapshot: Mapping[str, Any] | None = None
+        try:
+            async for frame in stream:
+                kind = frame.get("row")
+                if kind == "start":
+                    if frame.get("cursor_reset"):
+                        cursor = 0
+                        await self._enqueue(state, ("reset", shard, epoch, server.url))
+                    continue
+                if kind == "reset":
+                    cursor = 0
+                    await self._enqueue(state, ("reset", shard, epoch, server.url))
+                    continue
+                if kind == "keepalive":
+                    continue
+                if kind == "end":
+                    status = frame.get("status")
+                    error = frame.get("error")
+                    # the server sends the terminal snapshot on the end frame
+                    # (records + stats, no rows) — stream consumers close the
+                    # shard without a follow-up poll round-trip
+                    snapshot = frame.get("job")
+                    break
+                if "seq" in frame:
+                    cursor = int(frame["seq"])
+                await self._enqueue(state, ("row", shard, epoch, frame))
+        except _STREAM_LOST:
+            server.inflight.pop(job_id, None)
+            self._lose_server(server, shard, state)
+            return
+        except LookupError:
+            # the server answered but no longer knows the job — it
+            # restarted (or pruned it), so the row cursor is void too
+            server.inflight.pop(job_id, None)
+            self._vanish(server, shard, job_id, state)
+            return
+        server.inflight.pop(job_id, None)
+        if status == "done":
+            if snapshot is None or "results" not in snapshot:
+                # end frame without the embedded snapshot (an injected test
+                # stream, or an older server): fall back to a terminal poll
+                poll = functools.partial(server.session.poll_job, job_id, since=cursor)
+                try:
+                    assert server.lock is not None
+                    async with server.lock:
+                        snapshot = await self._blocking(poll)
+                except _SERVER_LOST:
+                    self._lose_server(server, shard, state)
+                    return
+                except LookupError:
+                    self._vanish(server, shard, job_id, state)
+                    return
+            server.completed += 1
+            await self._enqueue(state, ("finish", shard, epoch, (server.url, snapshot)))
+        elif status in ("failed", "cancelled"):
+            shard.reset_fold()
+            # prefer a different server for the retry (the failure may be
+            # server-local: OOM, bad env) — but only when an eligible one
+            # exists, else the retry budget would be spent with the shard
+            # stuck unassignable
+            if any(
+                s.index != server.index and s.index not in shard.excluded
+                for s in self._healthy_servers()
+            ):
+                shard.excluded.add(server.index)
+            self._requeue(
+                shard, state, reason=error or f"job {status} on {server.url}"
+            )
+        else:
+            # the stream ended without a terminal frame (an injected test
+            # stream ran dry, or the client spent its resume budget)
+            self._lose_server(server, shard, state)
+
+    async def _enqueue(self, state: _SweepState, event: tuple) -> None:
+        """Queue one fold event; blocks when the folder is ``fold_queue`` behind."""
+        await state.queue.put(event)
+        depth = state.queue.qsize()
+        if depth > state.queue_peak:
+            state.queue_peak = depth
+
+    async def _folder(self, state: _SweepState) -> None:
+        """The single fold lane.
+
+        Every row, cursor reset and shard completion crosses the bounded
+        queue into this one task, in wire order per shard — that is the
+        whole bit-identity argument: however many streams feed the queue
+        concurrently, folds happen exactly as a local sweep would make
+        them, and an event tagged with a stale attempt epoch (its shard was
+        reassigned after the event was queued) is dropped, never folded.
+        """
+        try:
+            while True:
+                kind, shard, epoch, payload = await state.queue.get()
+                if shard.done or shard.attempts != epoch:
+                    continue
+                if kind == "row":
+                    item = shard.items[int(payload["item"])]
+                    point = wire.row_to_point(payload, item.statement)
+                    item.fold(point)
+                    shard.cursor = int(payload.get("seq", shard.cursor + 1))
+                    self.last_report["rows_streamed"] += 1
+                    if self.on_row is not None:
+                        outcome = self.on_row(point)
+                        if inspect.isawaitable(outcome):
+                            await outcome
+                elif kind == "reset":
+                    shard.reset_fold()
+                    self._emit("cursor_reset", server=payload, shard=shard.describe())
+                else:  # "finish": the terminal snapshot closes the books
+                    server_url, snapshot = payload
+                    self._fold_rows(server_url, shard, snapshot)
+                    self._finish_shard(shard, snapshot, state.results)
+                    shard.done = True
+                    state.complete_shard()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — surfaces as the sweep error
+            state.fail(exc)
 
     # -- partitioning ----------------------------------------------------
     def _partition(
@@ -391,7 +815,7 @@ class SweepCoordinator:
         try:
             info = server.session._call("GET", "/v1/healthz")
         except _SERVER_LOST:
-            self._lose_server(server, None, None)
+            self._lose_server(server)
             return
         max_jobs = info.get("max_jobs")
         if max_jobs == 0:
@@ -407,30 +831,6 @@ class SweepCoordinator:
     def _inflight_limit(self, server: _Server) -> int:
         return server.capacity if server.capacity is not None else self.max_inflight
 
-    def _dispatch_round(
-        self,
-        pending: deque[_Shard],
-        results: list[EvaluationResult | None],
-        options: Mapping[str, Any],
-    ) -> bool:
-        progressed = False
-        for server in self._healthy_servers():
-            self._probe(server)
-            while (
-                server.healthy
-                and pending
-                and len(server.inflight) < self._inflight_limit(server)
-            ):
-                shard = self._take_assignable(pending, server)
-                if shard is None:
-                    break
-                progressed |= self._dispatch(server, shard, pending, results, options)
-                if not server.jobs_ok:
-                    # the fallback runs synchronously: cap it at one shard
-                    # per round so job-capable servers get theirs in parallel
-                    break
-        return progressed
-
     def _take_assignable(
         self, pending: deque[_Shard], server: _Server
     ) -> _Shard | None:
@@ -442,121 +842,24 @@ class SweepCoordinator:
             pending.append(shard)
         return None
 
-    def _dispatch(
-        self,
-        server: _Server,
-        shard: _Shard,
-        pending: deque[_Shard],
-        results: list[EvaluationResult | None],
-        options: Mapping[str, Any],
-    ) -> bool:
-        try:
-            if server.jobs_ok:
-                try:
-                    job = server.session.submit_job(
-                        # one {"workload", "extents"} payload per item: items
-                        # keep their own problem sizes inside a grouped shard
-                        [dict(item.payload) for item in shard.items],
-                        configs=[shard.config],
-                        stream_rows=True,
-                        # unique per (sweep, shard, attempt): a transport
-                        # retry of this submit can never double-enqueue,
-                        # while a real reassignment gets a fresh job
-                        submit_key=(
-                            f"{self._sweep_token}:{shard.items[0].index}"
-                            f":{shard.attempts}"
-                        ),
-                        **options,
-                    )
-                except ServiceBusyError:
-                    # alive but out of job capacity: remember, fall through
-                    # (_fallback emits the observer event)
-                    server.jobs_ok = False
-                else:
-                    server.inflight[job["id"]] = shard
-                    self.last_report["jobs"] += 1
-                    return True
-            self._fallback(server, shard, results, options)
-            server.completed += 1
-            self.last_report["fallbacks"] += 1
-            return True
-        except _SERVER_LOST:
-            self._lose_server(server, shard, pending)
-            return True  # state changed: the shard moved, the server is out
-
-    # -- polling ----------------------------------------------------------
-    def _poll_round(
-        self, pending: deque[_Shard], results: list[EvaluationResult | None]
-    ) -> bool:
-        progressed = False
-        for server in self.servers:
-            if not server.healthy or not server.inflight:
-                continue
-            for job_id, shard in list(server.inflight.items()):
-                try:
-                    snapshot = server.session.poll_job(job_id, since=shard.cursor)
-                except _SERVER_LOST:
-                    self._lose_server(server, None, pending)
-                    progressed = True
-                    break
-                except LookupError:
-                    # the server answered but no longer knows the job — it
-                    # restarted (or pruned it), so the row cursor is void
-                    # too: drop the partial fold and re-run from scratch
-                    del server.inflight[job_id]
-                    shard.reset_fold()
-                    self._emit(
-                        "job_vanished",
-                        server=server.url,
-                        job=job_id,
-                        shard=shard.describe(),
-                    )
-                    self._requeue(
-                        shard,
-                        pending,
-                        reason=f"job {job_id} vanished on {server.url} "
-                        "(server restarted?)",
-                    )
-                    progressed = True
-                    continue
-                progressed |= self._fold_rows(server, shard, snapshot)
-                status = snapshot["status"]
-                if status == "done":
-                    del server.inflight[job_id]
-                    self._finish_shard(shard, snapshot, results)
-                    server.completed += 1
-                    progressed = True
-                elif status in ("failed", "cancelled"):
-                    del server.inflight[job_id]
-                    shard.reset_fold()  # a retry refolds from row 0
-                    # prefer a different server for the retry (the failure
-                    # may be server-local: OOM, bad env) — but only when an
-                    # eligible one exists, else the retry budget would be
-                    # spent with the shard stuck unassignable
-                    if any(
-                        s.index != server.index and s.index not in shard.excluded
-                        for s in self._healthy_servers()
-                    ):
-                        shard.excluded.add(server.index)
-                    self._requeue(
-                        shard,
-                        pending,
-                        reason=snapshot.get("error", f"job {status} on {server.url}"),
-                    )
-                    progressed = True
-                # queued / running: keep waiting
-        return progressed
-
     def _fold_rows(
-        self, server: _Server, shard: _Shard, snapshot: Mapping[str, Any]
+        self, server_url: str, shard: _Shard, snapshot: Mapping[str, Any]
     ) -> bool:
-        """Fold a poll's incremental row page into the shard's items."""
+        """Fold a snapshot's row page into the shard's items (folder lane).
+
+        On the pipelined path, rows travel the stream and the terminal
+        snapshot rides the end frame with no row page at all — so this
+        normally folds nothing.  It exists for the fallback terminal poll
+        (``since=<last folded seq>``): a job re-run between the stream's
+        end and that poll answers ``cursor_reset`` with the full row list,
+        and this rebuild keeps the fold exact.
+        """
         if snapshot.get("cursor_reset"):
             # the job behind this id was re-run (or the log restarted):
             # whatever was folded so far may not prefix the new log — drop
             # it and rebuild from the full row list this snapshot carries
             shard.reset_fold()
-            self._emit("cursor_reset", server=server.url, shard=shard.describe())
+            self._emit("cursor_reset", server=server_url, shard=shard.describe())
         rows = snapshot.get("rows") or ()
         for row in rows:
             item = shard.items[int(row["item"])]
@@ -589,25 +892,58 @@ class SweepCoordinator:
 
     # -- failure handling -------------------------------------------------
     def _lose_server(
-        self, server: _Server, shard: _Shard | None, pending: deque[_Shard] | None
+        self,
+        server: _Server,
+        shard: _Shard | None = None,
+        state: _SweepState | None = None,
     ) -> None:
-        """Mark a server dead and send its work back to the queue."""
-        server.healthy = False
-        self.last_report["servers_lost"] += 1
-        self._emit("server_lost", server=server.url)
-        orphans = list(server.inflight.values())
-        server.inflight.clear()
-        if shard is not None:
-            orphans.append(shard)
-        for orphan in orphans:
-            orphan.excluded.add(server.index)
-            orphan.reset_fold()  # partial rows from the dead server are void
-            if pending is not None:
-                self._requeue(
-                    orphan, pending, reason=f"server {server.url} unreachable"
-                )
+        """Mark a server dead and requeue the caller's shard.
 
-    def _requeue(self, shard: _Shard, pending: deque[_Shard], *, reason: str) -> None:
+        Only the *caller's* shard is requeued: every other shard inflight on
+        the dead server has its own consumer task, which observes the death
+        itself (stream reset, failed terminal poll, or the idle timeout) —
+        per-consumer requeue is what makes a shard impossible to requeue
+        twice.  The fold/attempt bookkeeping here runs without an await
+        point, so the folder can never interleave with a half-forfeited
+        shard.
+        """
+        if server.healthy:
+            server.healthy = False
+            self.last_report["servers_lost"] += 1
+            self._emit("server_lost", server=server.url)
+        if shard is not None and not shard.done:
+            shard.excluded.add(server.index)
+            shard.reset_fold()  # partial rows from the dead server are void
+            if state is not None:
+                self._requeue(shard, state, reason=f"server {server.url} unreachable")
+        if (
+            state is not None
+            and not state.done.is_set()
+            and state.remaining > 0
+            and not self._healthy_servers()
+        ):
+            state.fail(
+                RuntimeError(
+                    f"sweep failed: all {len(self.servers)} servers are gone "
+                    f"with {state.remaining} shard(s) unfinished"
+                )
+            )
+
+    def _vanish(
+        self, server: _Server, shard: _Shard, job_id: str, state: _SweepState
+    ) -> None:
+        """A live server forgot the job: void the cursor, re-run from scratch."""
+        shard.reset_fold()
+        self._emit(
+            "job_vanished", server=server.url, job=job_id, shard=shard.describe()
+        )
+        self._requeue(
+            shard,
+            state,
+            reason=f"job {job_id} vanished on {server.url} (server restarted?)",
+        )
+
+    def _requeue(self, shard: _Shard, state: _SweepState, *, reason: str) -> None:
         shard.attempts += 1
         if shard.attempts > self.max_retries:
             raise RuntimeError(
@@ -621,7 +957,8 @@ class SweepCoordinator:
             attempt=shard.attempts,
             reason=reason,
         )
-        pending.append(shard)
+        state.pending.append(shard)
+        state.wake.set()
 
     # -- the 503 fallback -------------------------------------------------
     def _fallback(

@@ -56,6 +56,7 @@ import asyncio
 import itertools
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 from urllib.parse import parse_qs
@@ -109,6 +110,10 @@ class Job:
     rows: list[dict[str, Any]] = field(default_factory=list)
     #: Whether this job records :attr:`rows` (``stream_rows``/``include_rows``).
     keep_rows: bool = False
+    #: Set (on the loop thread) the moment :attr:`status` turns terminal —
+    #: lets a ``/rows`` stream cut its micro-batch pause short the instant
+    #: the job ends instead of sleeping the pause out.
+    done: asyncio.Event = field(default_factory=asyncio.Event)
 
     def snapshot(self, since: int | None = None) -> dict[str, Any]:
         """The job's JSON wire shape; ``since`` adds the incremental row page.
@@ -164,19 +169,39 @@ class EvaluationService:
         *,
         max_queued_jobs: int = 16,
         max_kept_jobs: int = 256,
+        rows_keepalive: float = 15.0,
+        rows_drain_pace: float = 0.05,
     ):
         self.session = session
         self.max_queued_jobs = max_queued_jobs
         self.max_kept_jobs = max_kept_jobs
+        #: default idle interval between ``{"row": "keepalive"}`` heartbeat
+        #: frames on ``/rows`` long-polls; per-request ``?keepalive=`` wins
+        self.rows_keepalive = rows_keepalive
+        #: minimum quiet time between productive ``/rows`` drains.  A job
+        #: evaluating from a warm memo cache appends rows far faster than a
+        #: wakeup-per-row stream can ship them — without this floor the
+        #: stream task trades the GIL with the evaluator thread on every
+        #: design and was measured doubling job runtime.  The first row of
+        #: an idle stream still pushes immediately, and the job's terminal
+        #: event preempts the pace, so only mid-burst batching coarsens.
+        self.rows_drain_pace = rows_drain_pace
         self.jobs: dict[str, Job] = {}
         self._job_ids = itertools.count(1)
         self._job_queue: asyncio.Queue[Job] | None = None
         self._runner: asyncio.Task | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        #: Doorbell for every ``/rows`` long-poll: rung (thread-safely) on
+        #: each appended row and each job status flip, so streams push rows
+        #: the moment they exist instead of on a fixed drain cadence.
+        self._rows_wake: asyncio.Event | None = None
 
     # -- lifecycle -----------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0):
         """Bind and start serving; returns the ``asyncio.Server`` (port 0 = ephemeral)."""
+        self._loop = asyncio.get_running_loop()
+        self._rows_wake = asyncio.Event()
         self._job_queue = asyncio.Queue(maxsize=self.max_queued_jobs)
         self._runner = asyncio.create_task(self._run_jobs())
         self._server = await asyncio.start_server(self._handle_connection, host, port)
@@ -586,6 +611,8 @@ class EvaluationService:
                 job.cancel_requested = True
                 job.cancelled_while = "queued"
                 job.status = "cancelled"
+                job.done.set()
+                self._poke_rows_streams()
             elif job.status == "running":
                 job.cancel_requested = True
                 job.cancelled_while = "running"
@@ -606,6 +633,14 @@ class EvaluationService:
         row when the job is already terminal, or — when a *running* job later
         ends short of the cursor — as a mid-stream ``{"row": "reset"}`` frame
         before the rows replay.
+
+        While the job is live but producing nothing (queued behind other
+        jobs, or mid-evaluation on a slow design), the stream heartbeats a
+        ``{"row": "keepalive", "status": ..., "rows_total": ...}`` frame
+        every ``?keepalive=<seconds>`` of silence (default
+        :attr:`rows_keepalive`), so consumers can run an idle timeout that
+        distinguishes a slow job from a dead connection.  ``keepalive=0``
+        disables the heartbeat.
         """
         job = self.jobs.get(job_id)
         if job is None:
@@ -621,6 +656,17 @@ class EvaluationService:
                 "there is no row log to stream"
             )
         cursor = max(0, self._since_param(params) or 0)
+        raw_keepalive = params.get("keepalive")
+        try:
+            keepalive = (
+                self.rows_keepalive if raw_keepalive is None else float(raw_keepalive)
+            )
+        except ValueError:
+            raise ValueError(
+                f'"keepalive" must be a number of seconds, got {raw_keepalive!r}'
+            )
+        # never heartbeat faster than the drain tick; <= 0 disables entirely
+        keepalive = max(keepalive, 0.02) if keepalive > 0 else 0.0
         start_row = {
             "row": "start",
             "schema_version": SCHEMA_VERSION,
@@ -639,7 +685,13 @@ class EvaluationService:
             b"\r\n"
         )
         self._write_chunk(writer, json.dumps(start_row).encode() + b"\n")
+        last_sent = time.monotonic()
+        assert self._rows_wake is not None
         while True:
+            # the doorbell is cleared BEFORE the state checks: a poke that
+            # lands between check and wait leaves the event set, so the wait
+            # below returns immediately instead of missing the wakeup
+            self._rows_wake.clear()
             # capture terminal-ness BEFORE draining: the runner thread only
             # flips status after its last row is appended, so a drain that
             # follows a terminal observation is guaranteed complete (checking
@@ -651,17 +703,59 @@ class EvaluationService:
                 # reset travels as its own frame, then the full log replays
                 self._write_chunk(writer, json.dumps({"row": "reset"}).encode() + b"\n")
                 cursor = 0
-            while cursor < len(job.rows):
-                row = job.rows[cursor]
-                cursor += 1
-                self._write_chunk(writer, json.dumps(row).encode() + b"\n")
+            total = len(job.rows)  # snapshot: rows only grows
+            progressed = cursor < total
+            if progressed:
+                # one chunk per drain, not per row: the NDJSON framing is
+                # line-based, so clients split lines wherever chunks land
+                self._write_chunk(
+                    writer,
+                    b"".join(
+                        json.dumps(job.rows[i]).encode() + b"\n"
+                        for i in range(cursor, total)
+                    ),
+                )
+                cursor = total
+            now = time.monotonic()
+            if progressed:
+                last_sent = now
+            elif not terminal and keepalive and now - last_sent >= keepalive:
+                heartbeat = {
+                    "row": "keepalive",
+                    "status": job.status,
+                    "rows_total": len(job.rows),
+                }
+                self._write_chunk(writer, json.dumps(heartbeat).encode() + b"\n")
+                last_sent = now
             await writer.drain()
             if terminal:
                 break
-            await asyncio.sleep(0.02)
+            if progressed:
+                # micro-batch: after a productive drain, let the burst
+                # accumulate for one pace interval instead of waking per
+                # appended row — the evaluator keeps the GIL and the rows
+                # ship as a few fat chunks.  The job's terminal event cuts
+                # the pause short, so the end frame never waits out a pace.
+                try:
+                    await asyncio.wait_for(job.done.wait(), self.rows_drain_pace)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            # event-driven: the runner rings _rows_wake on every appended row
+            # and status flip, so rows push the moment they exist; the timeout
+            # only paces keepalive heartbeats (and is a safety net against a
+            # poke lost to a torn-down loop)
+            wait = 0.25 if not keepalive else max(0.01, keepalive - (now - last_sent))
+            try:
+                await asyncio.wait_for(self._rows_wake.wait(), min(wait, 0.25))
+            except asyncio.TimeoutError:
+                pass
         end_row = {"row": "end", "status": job.status, "rows_total": len(job.rows)}
         if job.error is not None:
             end_row["error"] = job.error
+        # the terminal snapshot (per-item records, stats) rides the end frame:
+        # a streaming consumer closes its books without a follow-up poll
+        end_row["job"] = job.snapshot()
         self._write_chunk(writer, json.dumps(end_row).encode() + b"\n")
         writer.write(b"0\r\n\r\n")
 
@@ -675,6 +769,21 @@ class EvaluationService:
         for job_id in finished[: max(0, len(self.jobs) - self.max_kept_jobs)]:
             del self.jobs[job_id]
 
+    def _poke_rows_streams(self) -> None:
+        """Ring the ``/rows`` doorbell, from any thread (no-op before start)."""
+        loop, event = self._loop, self._rows_wake
+        if loop is None or event is None:
+            return
+        if event.is_set():
+            # already rung and not yet drained — the drain clears the bell
+            # *before* reading the row log, so it will see this append too;
+            # skipping the re-ring keeps a row burst at one wakeup syscall
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # loop already closed mid-shutdown; nothing left to wake
+
     async def _run_jobs(self) -> None:
         assert self._job_queue is not None
         loop = asyncio.get_running_loop()
@@ -682,6 +791,8 @@ class EvaluationService:
             job = await self._job_queue.get()
             if job.status == "cancelled" or job.cancel_requested:
                 job.status = "cancelled"
+                job.done.set()
+                self._poke_rows_streams()
                 continue
             job.status = "running"
             try:
@@ -696,6 +807,8 @@ class EvaluationService:
                     job.status = "cancelled"
                     if job.cancelled_while is None:
                         job.cancelled_while = "running"
+            job.done.set()
+            self._poke_rows_streams()
 
     def _run_sweep_job(self, job: Job) -> bool:
         """Execute one sweep job; returns False when cancelled mid-run.
@@ -746,6 +859,7 @@ class EvaluationService:
                         row = wire.point_to_row(point)
                         row["item"] = item_index
                         job.rows.append(row)
+                        self._poke_rows_streams()
                     if job.cancel_requested:
                         return False
                 stats.skipped = len(failures)

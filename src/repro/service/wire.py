@@ -244,11 +244,10 @@ def point_to_row(point: DesignPoint) -> dict[str, Any]:
 
 def row_to_point(row: Mapping[str, Any], statement: Statement) -> DesignPoint:
     """Reconstruct the exact :class:`DesignPoint` a ``point``/``failure`` row encodes."""
-    spec = DataflowSpec(
-        statement,
-        tuple(row["selection"]),
-        STT(tuple(tuple(int(v) for v in r) for r in row["stt"])),
-    )
+    # trusted adoption: the emitting server validated the STT when the
+    # design was enumerated, and folding reads only the scalar metrics —
+    # this keeps the per-row decode O(parse) on the streaming hot path
+    spec = DataflowSpec(statement, tuple(row["selection"]), STT.trusted(row["stt"]))
     seq = row.get("seq")
     if row["row"] == "point":
         return DesignPoint(

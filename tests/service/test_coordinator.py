@@ -110,22 +110,23 @@ class TestFailureModes:
 
     def test_server_killed_mid_sweep_is_reassigned(self, local_results):
         """The acceptance scenario: kill a shard's server after its job was
-        submitted; the coordinator must notice at poll time and re-run the
-        shard on the survivor, with a fold identical to local."""
+        submitted; the coordinator must notice when the row stream dies and
+        re-run the shard on the survivor, with a fold identical to local."""
         victim = ServiceThread(LocalSession(ARRAY)).start()
         survivor = ServiceThread(LocalSession(ARRAY)).start()
 
-        class KillOnFirstPoll(RemoteSession):
+        class KillAfterSubmit(RemoteSession):
             armed = True
 
-            def poll_job(self, job_id, **kwargs):
-                if KillOnFirstPoll.armed and self.url == victim.url:
-                    KillOnFirstPoll.armed = False
+            def submit_job(self, *args, **kwargs):
+                job = super().submit_job(*args, **kwargs)
+                if KillAfterSubmit.armed and self.url == victim.url:
+                    KillAfterSubmit.armed = False
                     victim.stop()  # the server dies with the job in flight
-                return super().poll_job(job_id, **kwargs)
+                return job
 
         def factory(url):
-            return KillOnFirstPoll(url, array=ARRAY, retries=1, backoff=0.01)
+            return KillAfterSubmit(url, array=ARRAY, retries=1, backoff=0.01)
 
         try:
             coordinator = SweepCoordinator(
@@ -249,9 +250,10 @@ class TestIncrementalStreaming:
     """The since-cursor fold path: rows stream, snapshots never re-ship."""
 
     def test_rows_streamed_not_reshipped(self, fleet, local_results):
-        """The fold is built from incremental row pages: the report counts
-        exactly one streamed row per design, and terminal records carry no
-        embedded row list at all."""
+        """The fold is built from the pushed row stream: the report counts
+        exactly one streamed row per design, and the terminal snapshot
+        (records + stats, no rows) rides the end frame — a completed job
+        costs zero poll round-trips."""
         a, b = fleet
 
         class RecordingSession(RemoteSession):
@@ -272,44 +274,57 @@ class TestIncrementalStreaming:
         assert names_and_metrics(results) == names_and_metrics(local_results)
         total_rows = sum(len(r.points) + len(r.failures) for r in results)
         assert coordinator.last_report["rows_streamed"] == total_rows
-        # every row crossed the wire exactly once, however many polls ran
-        assert (
-            sum(len(s.get("rows", ())) for s in RecordingSession.snapshots)
-            == total_rows
-        )
-        for snapshot in RecordingSession.snapshots:
-            for record in snapshot.get("results", ()):
-                assert "rows" not in record
+        # every row crossed the wire exactly once — on the stream; the
+        # terminal snapshot arrived on the end frame, so no job ever
+        # needed a poll round-trip
+        assert RecordingSession.snapshots == []
         coordinator.close()
 
     def test_cursor_reset_refolds_without_duplication(self, fleet, local_results):
-        """A cursor_reset (the server re-ran the job / restarted its log)
-        drops the partial fold and rebuilds from the full snapshot — the
+        """A mid-stream reset frame (the server re-ran the job / restarted
+        its log) drops the partial fold and rebuilds from the replay — the
         result is identical, never doubled."""
         a, _ = fleet
 
-        class LyingCursor(RemoteSession):
+        class ResetMidStream(RemoteSession):
             armed = True
 
-            def poll_job(self, job_id, **kwargs):
-                snapshot = super().poll_job(job_id, **kwargs)
-                if LyingCursor.armed and snapshot.get("rows"):
-                    # replay the page as a reset-to-zero full snapshot: the
-                    # coordinator must drop what it folded and start over
-                    LyingCursor.armed = False
-                    full = super().poll_job(job_id, since=0)
-                    full["cursor_reset"] = True
-                    return full
-                return snapshot
+            def job_rows_async(self, job_id, *, since=0, **kwargs):
+                inner = super().job_rows_async(job_id, since=since, **kwargs)
 
-        LyingCursor.armed = True
+                async def wrapped():
+                    streamed = 0
+                    async for frame in inner:
+                        yield frame
+                        if frame.get("row") in ("point", "failure"):
+                            streamed += 1
+                            if ResetMidStream.armed and streamed >= 1:
+                                # fake a log restart after the first folded
+                                # row: reset, then replay the log from 0
+                                ResetMidStream.armed = False
+                                break
+                    else:
+                        return
+                    await inner.aclose()
+                    yield {"row": "reset"}
+                    replay = RemoteSession.job_rows_async(
+                        self, job_id, since=0, **kwargs
+                    )
+                    async for frame in replay:
+                        if frame.get("row") == "start":
+                            continue
+                        yield frame
+
+                return wrapped()
+
+        ResetMidStream.armed = True
         coordinator = SweepCoordinator(
             [a.url],
             array=ARRAY,
-            session_factory=lambda url: LyingCursor(url, array=ARRAY),
+            session_factory=lambda url: ResetMidStream(url, array=ARRAY),
         )
         results = coordinator.sweep(WORKLOADS, **SWEEP_KW)
-        assert not LyingCursor.armed, "no poll ever carried rows"
+        assert not ResetMidStream.armed, "no stream ever carried a data row"
         assert names_and_metrics(results) == names_and_metrics(local_results)
         coordinator.close()
 
@@ -322,11 +337,16 @@ class TestIncrementalStreaming:
         class ForgetfulServer(RemoteSession):
             armed = True
 
-            def poll_job(self, job_id, **kwargs):
+            def job_rows_async(self, job_id, **kwargs):
                 if ForgetfulServer.armed:
                     ForgetfulServer.armed = False
-                    raise LookupError(f"no such job {job_id!r}")
-                return super().poll_job(job_id, **kwargs)
+
+                    async def forgot():
+                        raise LookupError(f"no such job {job_id!r}")
+                        yield  # noqa: B901 — unreachable; makes a generator
+
+                    return forgot()
+                return super().job_rows_async(job_id, **kwargs)
 
         ForgetfulServer.armed = True
         coordinator = SweepCoordinator(
@@ -342,6 +362,126 @@ class TestIncrementalStreaming:
         assert "job_vanished" in kinds and "reassigned" in kinds
         vanished = next(e for e in events if e["event"] == "job_vanished")
         assert vanished["server"] == a.url and vanished["job"].startswith("job-")
+        coordinator.close()
+
+
+class TestPipelinedFolding:
+    """The asyncio dispatch loop: stream-kill reassignment, the bounded
+    fold queue under backpressure, and concurrent capacity probing."""
+
+    def test_stream_death_mid_row_triggers_immediate_requeue(self, local_results):
+        """SIGKILL-equivalent while a row stream is OPEN: the consumer dies
+        with the connection, the shard requeues at once (no poll round to
+        wait for), and the survivor's fold is identical to local."""
+        import asyncio
+
+        victim = ServiceThread(LocalSession(ARRAY)).start()
+        survivor = ServiceThread(LocalSession(ARRAY)).start()
+
+        class KillOnFirstStreamedRow(RemoteSession):
+            armed = True
+
+            def job_rows_async(self, job_id, **kwargs):
+                inner = super().job_rows_async(job_id, **kwargs)
+                if self.url != victim.url:
+                    return inner
+
+                async def wrapped():
+                    async for frame in inner:
+                        if (
+                            KillOnFirstStreamedRow.armed
+                            and frame.get("row") in ("point", "failure")
+                        ):
+                            KillOnFirstStreamedRow.armed = False
+                            # stop() joins the server thread: keep the event
+                            # loop responsive by parking it on the executor
+                            await asyncio.get_running_loop().run_in_executor(
+                                None, victim.stop
+                            )
+                        yield frame
+
+                return wrapped()
+
+        def factory(url):
+            return KillOnFirstStreamedRow(url, array=ARRAY, retries=1, backoff=0.01)
+
+        try:
+            events = []
+            coordinator = SweepCoordinator(
+                [victim.url, survivor.url],
+                array=ARRAY,
+                max_inflight=1,
+                on_event=events.append,
+                session_factory=factory,
+            )
+            results = coordinator.sweep(WORKLOADS, **SWEEP_KW)
+            assert not KillOnFirstStreamedRow.armed, "no victim stream ever ran"
+            assert names_and_metrics(results) == names_and_metrics(local_results)
+            report = coordinator.last_report
+            assert report["servers_lost"] == 1
+            assert report["reassigned"] >= 1
+            assert "server_lost" in [e["event"] for e in events]
+            coordinator.close()
+        finally:
+            victim.stop()
+            survivor.stop()
+
+    def test_bounded_fold_queue_under_backpressure(self, fleet, local_results):
+        """A deliberately slow fold callback throttles the consumers through
+        the bounded queue instead of buffering unboundedly — and slowing the
+        folder changes neither fold order nor results."""
+        import asyncio
+
+        a, b = fleet
+        folded = []
+
+        async def slow_fold(point):
+            folded.append(point.name)
+            await asyncio.sleep(0.002)  # ~5x a typical evaluation
+
+        bound = 4
+        coordinator = SweepCoordinator(
+            [a.url, b.url],
+            array=ARRAY,
+            fold_queue=bound,
+            on_row=slow_fold,
+        )
+        results = coordinator.sweep(WORKLOADS, **SWEEP_KW)
+        assert names_and_metrics(results) == names_and_metrics(local_results)
+        assert failure_rows(results) == failure_rows(local_results)
+        total_rows = sum(len(r.points) + len(r.failures) for r in results)
+        assert len(folded) == total_rows
+        report = coordinator.last_report
+        assert report["rows_streamed"] == total_rows
+        # the queue high-water mark proves the bound held under pressure
+        assert 0 < report["fold_queue_peak"] <= bound
+        coordinator.close()
+
+    def test_healthz_probes_run_concurrently(self, fleet):
+        """A slow (hung) healthz answer delays sweep start by ~one probe,
+        not one per server — the probes fan out together."""
+        import time as _time
+
+        a, _ = fleet
+        delay = 0.8
+
+        class SlowHealthz(RemoteSession):
+            def _call(self, method, path, payload=None):
+                if path == "/v1/healthz":
+                    _time.sleep(delay)
+                return super()._call(method, path, payload)
+
+        coordinator = SweepCoordinator(
+            [a.url, a.url, a.url],
+            array=ARRAY,
+            session_factory=lambda url: SlowHealthz(url, array=ARRAY),
+        )
+        t0 = _time.monotonic()
+        results = coordinator.sweep(["gemm"], **SWEEP_KW)
+        elapsed = _time.monotonic() - t0
+        assert len(results) == 1
+        # serial probing alone would cost 3 * delay = 2.4s
+        assert elapsed < 3 * delay
         coordinator.close()
 
 

@@ -569,6 +569,150 @@ class TestJobRowStreaming:
             assert snapshot["rows_total"] == seen[-1]["rows_total"]
 
 
+    def test_keepalive_frames_prove_liveness_while_idle(self):
+        """A live job producing nothing heartbeats `keepalive` frames, so a
+        tail can tell a slow job from a dead connection."""
+        from repro.service.server import Job
+
+        with ServiceThread(LocalSession(SMALL_ARRAY)) as thread:
+            job = Job(
+                id="job-idle",
+                payload={"workloads": ["gemm"]},
+                status="running",
+                keep_rows=True,
+                total_items=1,
+            )
+            thread.service.jobs[job.id] = job
+            stream = RemoteSession(thread.url).iter_job_rows(
+                job.id, keepalive=0.05, keepalives=True
+            )
+            assert next(stream)["row"] == "start"
+            beat = next(stream)  # nothing evaluates: the next frame is a beat
+            assert beat == {"row": "keepalive", "status": "running", "rows_total": 0}
+            row = {"row": "failure", "seq": 1, "item": 0, "selection": ["m"],
+                   "stt": [[1]], "stage": "perf", "reason": "fabricated"}
+            job.rows.append(row)
+            job.status = "done"
+            rest = list(stream)
+            assert [r["row"] for r in rest[-2:]] == ["failure", "end"]
+            # beats between the first and the finish are fine; rows are not
+            assert all(r["row"] == "keepalive" for r in rest[:-2])
+
+    def test_tail_swallows_keepalives_by_default(self):
+        """Without `keepalives=True` the heartbeat frames are transport
+        detail: consumers see only start/rows/end."""
+        from repro.service.server import Job
+
+        with ServiceThread(LocalSession(SMALL_ARRAY)) as thread:
+            job = Job(
+                id="job-quiet",
+                payload={"workloads": ["gemm"]},
+                status="running",
+                keep_rows=True,
+                total_items=1,
+            )
+            thread.service.jobs[job.id] = job
+            stream = RemoteSession(thread.url).iter_job_rows(job.id, keepalive=0.05)
+            assert next(stream)["row"] == "start"
+            # give the server time to emit (and the client to swallow) beats
+            time.sleep(0.2)
+            job.status = "done"
+            assert [r["row"] for r in stream] == ["end"]
+
+    def test_end_frame_carries_terminal_snapshot(self, remote):
+        """The end frame embeds the job's terminal snapshot (records + stats,
+        no row page), so a streaming consumer closes its books without a
+        follow-up poll round-trip."""
+        job = self._submit(remote)
+        rows = list(remote.iter_job_rows(job["id"]))
+        end = rows[-1]
+        assert end["row"] == "end"
+        snapshot = end["job"]
+        assert snapshot["status"] == "done"
+        assert "rows" not in snapshot  # the rows already streamed
+        data = [r for r in rows if r["row"] in ("point", "failure")]
+        assert data and end["rows_total"] == len(data)
+        assert snapshot["results"] == remote.poll_job(job["id"])["results"]
+
+    def test_stream_leaves_connection_reusable(self, remote):
+        """Consuming a row stream to its end frame must drain the chunked
+        body fully: the next request on the recycled keep-alive socket would
+        otherwise fail mid-response and retry — and a retried POST /v1/jobs
+        submits a duplicate job."""
+        before = len(remote.jobs())
+        job = self._submit(remote)
+        assert list(remote.iter_job_rows(job["id"]))[-1]["row"] == "end"
+        second = self._submit(remote)  # same session, same socket
+        _wait_terminal(remote, second["id"])
+        assert len(remote.jobs()) == before + 2  # no phantom resubmission
+
+    def _truncating_session(self, url, drop_after, **kwargs):
+        """A RemoteSession whose first row stream dies after `drop_after`
+        NDJSON lines — the server-killed-mid-stream shape."""
+
+        class TruncatedResponse:
+            def __init__(self, response, left):
+                self._response = response
+                self._left = left
+
+            def readline(self):
+                if self._left == 0:
+                    self._response.close()  # the socket dies mid-body
+                    return b""
+                self._left -= 1
+                return self._response.readline()
+
+            def read(self, *args):
+                return self._response.read(*args)
+
+        class DroppingSession(RemoteSession):
+            dropped = False
+
+            def _stream(self, path, payload, method="POST"):
+                response = super()._stream(path, payload, method)
+                if self.dropped or "/rows" not in path:
+                    return response
+                self.dropped = True
+                return TruncatedResponse(response, drop_after)
+
+        return DroppingSession(url, **kwargs)
+
+    def test_stream_reconnects_with_cursor_after_mid_stream_drop(self, remote):
+        """Regression: a row stream that dies mid-flight must resume from the
+        last seen `seq` — every row exactly once, no duplicates, no gaps."""
+        job = self._submit(remote)
+        _wait_terminal(remote, job["id"])
+        total = remote.poll_job(job["id"], since=0)["rows_total"]
+        assert total > 4
+        # die after the start frame + 3 data rows: resume lands mid-log
+        session = self._truncating_session(
+            remote.url, drop_after=4, backoff=0.01
+        )
+        rows = list(session.iter_job_rows(job["id"]))
+        assert session.dropped  # the fault actually fired
+        assert [r["row"] for r in rows[:1]] == ["start"]  # start not re-yielded
+        data = [r for r in rows if r["row"] in ("point", "failure")]
+        assert [r["seq"] for r in data] == list(range(1, total + 1))
+        assert rows[-1]["row"] == "end" and rows[-1]["rows_total"] == total
+        session.close()
+
+    def test_stream_drop_without_reconnect_raises(self, remote):
+        """`reconnect=False` surfaces the drop instead of resuming; a retry
+        budget of zero does the same even with reconnect on."""
+        job = self._submit(remote)
+        _wait_terminal(remote, job["id"])
+        session = self._truncating_session(remote.url, drop_after=2, backoff=0.01)
+        with pytest.raises(ConnectionError, match="dropped"):
+            list(session.iter_job_rows(job["id"], reconnect=False))
+        session.close()
+        session = self._truncating_session(
+            remote.url, drop_after=2, backoff=0.01, retries=0
+        )
+        with pytest.raises(ConnectionError, match="without progress"):
+            list(session.iter_job_rows(job["id"]))
+        session.close()
+
+
 class TestRetryBackoff:
     def test_connect_errors_retry_with_jittered_backoff(self, monkeypatch):
         """Transport failures retry up to `retries` times: the first retry is

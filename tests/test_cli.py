@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import re
+
 import pytest
 
 from repro.cli import main
@@ -262,6 +264,15 @@ class TestSweepCommand:
         assert rc == 0
         err = capsys.readouterr().err
         assert "[sweep:server_lost]" in err
+        # every event line is stamped: wall clock, elapsed, per-event delta
+        event_lines = [ln for ln in err.splitlines() if ln.startswith("[sweep:")]
+        assert event_lines
+        for line in event_lines:
+            assert re.search(
+                r"^\[sweep:\w+\] \d{2}:\d{2}:\d{2}\.\d{3} "
+                r"\+\d+\.\d{3}s Δ\d+\.\d{3}s ",
+                line,
+            ), line
 
     def test_sweep_all_servers_dead(self, capsys):
         rc = main(
