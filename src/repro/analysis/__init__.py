@@ -1,0 +1,38 @@
+"""``repro.analysis``: the repo's own static-analysis pass (``repro lint``).
+
+A small AST-based checker suite that proves the properties the service
+layer's concurrency and wire design depend on, instead of trusting review
+to catch regressions:
+
+* :mod:`~repro.analysis.checkers.blocking` (**RA001**) — no blocking call
+  reachable from an ``async def`` body;
+* :mod:`~repro.analysis.checkers.wire_contract` (**RA002**) — server
+  routes, client paths and ``docs/service-api.md`` agree three ways;
+* :mod:`~repro.analysis.checkers.locks` (**RA003**) — lock-guarded
+  attributes are never touched outside the lock;
+* :mod:`~repro.analysis.checkers.loop_affinity` (**RA004**) — asyncio
+  primitives are only poked from threads via ``call_soon_threadsafe``.
+
+Everything is pure :mod:`ast` — the analyzed code is parsed, never
+imported.  Front doors: ``repro lint`` (CLI), :func:`run_lint` (tests/CI),
+``docs/development.md`` (the checker catalog and waiver syntax).
+"""
+
+from repro.analysis.findings import Finding, Waiver
+from repro.analysis.runner import (
+    LintOptions,
+    LintResult,
+    format_text,
+    result_to_json,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintOptions",
+    "LintResult",
+    "Waiver",
+    "format_text",
+    "result_to_json",
+    "run_lint",
+]

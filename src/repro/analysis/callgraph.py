@@ -1,0 +1,223 @@
+"""A module-local call graph with async/thread execution contexts.
+
+The concurrency checkers need to know *where a function runs*, not just what
+it does: a ``time.sleep`` is fine on an executor thread and poison on the
+event loop.  This module classifies every function in a module into
+
+* **loop context** — ``async def`` bodies, plus every sync function they
+  (transitively) call *directly*.  A helper three hops below a coroutine
+  still blocks the loop when it blocks.
+* **thread context** — functions handed to worker threads by reference
+  (``loop.run_in_executor(..., fn)``, ``threading.Thread(target=fn)``,
+  ``executor.submit(fn)``, including through ``functools.partial``), plus
+  everything they transitively call.
+
+Resolution is deliberately module-local and name-based: ``self.foo()``
+resolves to the enclosing class's ``foo``, bare names to siblings or
+module-level functions.  Calls into other modules stay as their dotted text
+(``time.sleep``, ``self.session.flush``) — exactly what the blocking-call
+pattern tables match against.  Nested ``def``s and lambdas are separate
+scopes: *passing* one to an executor creates no loop edge, only a direct
+call does.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.source import SourceFile
+
+__all__ = ["CallSite", "FunctionInfo", "ModuleGraph", "dotted_name"]
+
+#: Call attributes that receive a *callable reference* destined for another
+#: thread: positional index of the callable argument for each.
+_THREAD_DISPATCHERS = {
+    "run_in_executor": 1,  # loop.run_in_executor(executor, fn, *args)
+    "submit": 0,  # pool.submit(fn, *args)
+}
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains; ``()``/``[]`` stand in for
+    call/subscript bases so suffix matching still works
+    (``run_coroutine_threadsafe(...).result`` -> ``().result``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    if isinstance(node, ast.Call):
+        return "()"
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value)
+        return f"{base}[]" if base is not None else None
+    return None
+
+
+def strip_self(raw: str) -> str:
+    """``self.session.flush`` -> ``session.flush`` (ditto ``cls.``)."""
+    for prefix in ("self.", "cls."):
+        if raw.startswith(prefix):
+            return raw[len(prefix) :]
+    return raw
+
+
+@dataclass
+class CallSite:
+    """One ``ast.Call`` inside a function body."""
+
+    raw: str  #: the dotted text as written (``self.session.flush``)
+    node: ast.Call
+    resolved: str | None = None  #: qualname of a same-module callee, if any
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    cls: str | None
+    parent: str | None  #: enclosing function qualname for nested defs
+    calls: list[CallSite] = field(default_factory=list)
+    #: qualnames referenced (not called) as thread-dispatch targets here
+    dispatches: list[str] = field(default_factory=list)
+
+
+def _own_statements(fn: ast.FunctionDef | ast.AsyncFunctionDef):
+    """Walk a function body without descending into nested defs/lambdas."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a nested scope: its calls belong to it, not to us
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ModuleGraph:
+    """Functions, call edges, and execution contexts for one module."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.functions: dict[str, FunctionInfo] = {}
+        self._collect(source.tree, cls=None, parent=None)
+        for info in self.functions.values():
+            self._link(info)
+
+    # -- construction --------------------------------------------------
+    def _collect(self, node: ast.AST, cls: str | None, parent: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                self._collect(child, cls=child.name, parent=None)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if parent is not None:
+                    qualname = f"{parent}.<locals>.{child.name}"
+                elif cls is not None:
+                    qualname = f"{cls}.{child.name}"
+                else:
+                    qualname = child.name
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname,
+                    node=child,
+                    is_async=isinstance(child, ast.AsyncFunctionDef),
+                    cls=cls,
+                    parent=parent,
+                )
+                # nested defs: scope chains deeper than one level keep the
+                # innermost parent (enough for this codebase's nesting)
+                self._collect(child, cls=cls, parent=qualname)
+
+    def _resolve(self, raw: str, info: FunctionInfo) -> str | None:
+        """Map a dotted call target to a same-module qualname, if it is one."""
+        bare = strip_self(raw)
+        if "." in bare or "(" in bare or "[" in bare:
+            return None
+        if raw.startswith(("self.", "cls.")) and info.cls is not None:
+            candidate = f"{info.cls}.{bare}"
+            return candidate if candidate in self.functions else None
+        # a bare name: sibling nested def first, then module-level function
+        if info.parent is not None:
+            candidate = f"{info.parent}.<locals>.{bare}"
+            if candidate in self.functions:
+                return candidate
+        scope = info.qualname
+        candidate = f"{scope}.<locals>.{bare}"
+        if candidate in self.functions:
+            return candidate
+        return bare if bare in self.functions else None
+
+    def _link(self, info: FunctionInfo) -> None:
+        for node in _own_statements(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            raw = dotted_name(node.func)
+            if raw is None:
+                continue
+            info.calls.append(
+                CallSite(raw=raw, node=node, resolved=self._resolve(raw, info))
+            )
+            self._record_dispatch(raw, node, info)
+
+    def _record_dispatch(self, raw: str, call: ast.Call, info: FunctionInfo) -> None:
+        """Note callables handed off to threads (executors, Thread targets)."""
+        targets: list[ast.AST] = []
+        tail = raw.rsplit(".", 1)[-1]
+        if tail in _THREAD_DISPATCHERS:
+            index = _THREAD_DISPATCHERS[tail]
+            if len(call.args) > index:
+                targets.append(call.args[index])
+        if tail == "Thread":
+            targets.extend(
+                kw.value for kw in call.keywords if kw.arg == "target"
+            )
+        for target in targets:
+            # unwrap functools.partial(fn, ...) to fn
+            if isinstance(target, ast.Call):
+                inner = dotted_name(target.func)
+                if inner is not None and inner.rsplit(".", 1)[-1] == "partial":
+                    if target.args:
+                        target = target.args[0]
+                    else:
+                        continue
+                else:
+                    continue
+            name = dotted_name(target)
+            if name is None:
+                continue
+            resolved = self._resolve(name, info)
+            if resolved is not None:
+                info.dispatches.append(resolved)
+
+    # -- contexts -------------------------------------------------------
+    def _closure(self, roots: set[str]) -> dict[str, list[str]]:
+        """Reachable qualnames with one shortest call chain each (BFS)."""
+        chains: dict[str, list[str]] = {root: [root] for root in roots}
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop(0)
+            info = self.functions.get(current)
+            if info is None:
+                continue
+            for site in info.calls:
+                callee = site.resolved
+                if callee is not None and callee not in chains:
+                    chains[callee] = chains[current] + [callee]
+                    frontier.append(callee)
+        return chains
+
+    def loop_context(self) -> dict[str, list[str]]:
+        """qualname -> call chain from an ``async def``, for everything that
+        executes on the event loop via direct (non-executor) calls."""
+        roots = {q for q, info in self.functions.items() if info.is_async}
+        return self._closure(roots)
+
+    def thread_roots(self) -> set[str]:
+        roots: set[str] = set()
+        for info in self.functions.values():
+            roots.update(info.dispatches)
+        return roots
+
+    def thread_context(self) -> dict[str, list[str]]:
+        """qualname -> chain from a thread entry point (executor/Thread)."""
+        return self._closure(self.thread_roots())

@@ -1,0 +1,72 @@
+"""The ``repro lint`` checker registry.
+
+==========  ================================================================
+``RA001``   blocking calls reachable from ``async def`` bodies (loop stalls)
+``RA002``   server/client/docs wire-contract drift on the ``/v1`` surface
+``RA003``   lock discipline: attributes mutated under ``self._lock`` must
+            always be accessed under it
+``RA004``   loop affinity: asyncio primitives touched from worker threads
+            only via ``call_soon_threadsafe``
+==========  ================================================================
+
+A checker is a class with an ``id``, a ``title``, and a
+``check(sources, context) -> list[Finding]`` method; add new ones to
+``ALL_CHECKERS`` and they ride the waiver/baseline framework for free (see
+``docs/development.md`` for the walkthrough).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["ALL_CHECKERS", "Checker", "LintContext"]
+
+
+@dataclass
+class LintContext:
+    """Cross-file inputs a checker may need beyond the Python sources."""
+
+    #: ``docs/service-api.md`` (path, text) when discoverable; ``None`` when
+    #: linting an installed package with no docs tree alongside.
+    docs_path: Path | None = None
+    docs_text: str | None = None
+    #: Populated by checkers with run metadata (e.g. RA002's route counts)
+    #: so callers can assert the comparison actually happened.
+    summary: dict | None = None
+
+    def note(self, key: str, value) -> None:
+        if self.summary is not None:
+            self.summary[key] = value
+
+
+class Checker:
+    """Base class: subclasses set ``id``/``title`` and implement ``check``."""
+
+    id: str = "RA000"
+    title: str = ""
+
+    def check(
+        self, sources: list[SourceFile], context: LintContext
+    ) -> list[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _registry() -> list[type[Checker]]:
+    from repro.analysis.checkers.blocking import BlockingInAsyncChecker
+    from repro.analysis.checkers.locks import LockDisciplineChecker
+    from repro.analysis.checkers.loop_affinity import LoopAffinityChecker
+    from repro.analysis.checkers.wire_contract import WireContractChecker
+
+    return [
+        BlockingInAsyncChecker,
+        WireContractChecker,
+        LockDisciplineChecker,
+        LoopAffinityChecker,
+    ]
+
+
+ALL_CHECKERS: list[type[Checker]] = _registry()

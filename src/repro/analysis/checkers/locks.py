@@ -1,0 +1,229 @@
+"""RA003: attributes mutated under ``self._lock`` are always accessed under it.
+
+The memo cache (and anything else guarding state with a ``threading.Lock`` /
+``RLock`` attribute) follows one discipline: if *any* method mutates an
+attribute inside ``with self._lock:``, then *every* access to that attribute
+— read or write, in any method of the class — must happen inside such a
+block.  A lock that only guards the writers documents an invariant the
+readers silently break.
+
+The analysis is per-class and ``self``-rooted: a ``with`` on an attribute
+whose name contains ``lock`` opens a guarded region; mutations are
+assignments, ``del``, augmented assignment, subscript stores rooted at
+``self.X``, and calls of known mutating methods (``append``, ``update``,
+``pop``…) on it.  ``__init__``/``__post_init__`` are exempt — construction
+happens before the object is shared.  Cross-object accesses
+(``other._data`` under ``other._lock``) are out of scope by design: the
+checker never guesses about aliasing, it enforces the local discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.checkers import Checker, LintContext
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["LockDisciplineChecker"]
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "clear",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+def _is_self_lock(node: ast.expr) -> str | None:
+    """``self.X`` where X smells like a lock -> X (handles ``self._lock``
+    and ``self._cache_lock`` alike)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and "lock" in node.attr.lower()
+    ):
+        return node.attr
+    return None
+
+
+def _self_attr_root(node: ast.expr) -> str | None:
+    """The ``X`` of ``self.X``, ``self.X[...]``, ``self.X.get(...)``'s base —
+    the first attribute hanging directly off ``self`` in the chain."""
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr
+            node = node.value
+        else:
+            return None
+
+
+@dataclass
+class _Access:
+    attr: str
+    line: int
+    method: str
+    guarded: bool
+    mutating: bool
+
+
+@dataclass
+class _ClassScan:
+    name: str
+    lock_attrs: set[str] = field(default_factory=set)
+    accesses: list[_Access] = field(default_factory=list)
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Collect ``self.X`` accesses with their lock-nesting depth."""
+
+    def __init__(self, scan: _ClassScan, method: str):
+        self.scan = scan
+        self.method = method
+        self.depth = 0
+
+    def _record(self, node: ast.expr, mutating: bool) -> None:
+        attr = _self_attr_root(node)
+        if attr is None or "lock" in attr.lower():
+            return
+        self.scan.accesses.append(
+            _Access(
+                attr=attr,
+                line=node.lineno,
+                method=self.method,
+                guarded=self.depth > 0,
+                mutating=mutating,
+            )
+        )
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        locked = any(_is_self_lock(item.context_expr) for item in node.items)
+        if locked:
+            for item in node.items:
+                lock = _is_self_lock(item.context_expr)
+                if lock is not None:
+                    self.scan.lock_attrs.add(lock)
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self.depth -= 1
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, (ast.Attribute, ast.Subscript)):
+                    self._record(sub, mutating=True)
+                    break
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, mutating=True)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record(target, mutating=True)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            root = _self_attr_root(func.value)
+            if root is not None:
+                # one mutating access for self.X.append(...); visit only the
+                # arguments so the receiver is not double-counted as a load
+                self._record(func.value, mutating=True)
+                for arg in node.args:
+                    self.visit(arg)
+                for keyword in node.keywords:
+                    self.visit(keyword.value)
+                return
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._record(node, mutating=False)
+        # don't recurse: self.X.Y records X once, not X twice
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # nested defs inherit the current lock depth only if called inline;
+        # be conservative and scan them at depth 0 is *wrong* for closures
+        # used under the lock — scan at current depth instead
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+class LockDisciplineChecker(Checker):
+    id = "RA003"
+    title = "lock-guarded attributes accessed outside the lock"
+
+    def check(self, sources: list[SourceFile], context: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        guarded_classes = 0
+        for source in sources:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                scan = _ClassScan(name=node.name)
+                for method in node.body:
+                    if not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    _MethodVisitor(scan, method.name).visit(method)
+                if not scan.lock_attrs:
+                    continue
+                guarded = {
+                    a.attr
+                    for a in scan.accesses
+                    if a.guarded and a.mutating and a.method not in _EXEMPT_METHODS
+                }
+                if guarded:
+                    guarded_classes += 1
+                for access in scan.accesses:
+                    if (
+                        access.attr in guarded
+                        and not access.guarded
+                        and access.method not in _EXEMPT_METHODS
+                    ):
+                        findings.append(
+                            Finding(
+                                path=source.rel,
+                                line=access.line,
+                                checker=self.id,
+                                symbol=f"{scan.name}.{access.method}",
+                                message=(
+                                    f"self.{access.attr} is mutated under "
+                                    f"self.{sorted(scan.lock_attrs)[0]} elsewhere in "
+                                    f"{scan.name} but accessed here without the lock"
+                                ),
+                            )
+                        )
+        context.note("ra003_guarded_classes", guarded_classes)
+        return findings

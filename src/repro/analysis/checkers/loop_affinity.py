@@ -1,0 +1,158 @@
+"""RA004: asyncio primitives are loop-affine; threads go through the loop.
+
+``asyncio.Event``, ``asyncio.Queue`` and friends are **not thread-safe**:
+``event.set()`` from an executor thread mutates loop state without waking
+the loop's selector — the waiter may sleep its full timeout, or race the
+loop's own bookkeeping.  The sanctioned pattern (the ``/rows`` doorbell in
+``server._poke_rows_streams``) is ``loop.call_soon_threadsafe(event.set)``:
+the *reference* travels to the loop thread, the call happens there.
+
+The checker builds a registry of attributes bound to asyncio primitives
+(``self.X = asyncio.Event()``, dataclass
+``field(default_factory=asyncio.Event)``), classifies functions into thread
+context via the module call graph (targets of ``run_in_executor`` /
+``Thread(target=...)`` / ``executor.submit`` plus everything they call), and
+flags any direct mutator call (``.set()``, ``.clear()``, ``.put_nowait()``)
+on a registered primitive from thread context.  References passed to
+``call_soon_threadsafe`` are not calls, so the sanctioned pattern is
+structurally invisible to the check — nothing to waive.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import ModuleGraph, dotted_name
+from repro.analysis.checkers import Checker, LintContext
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["LoopAffinityChecker"]
+
+#: Constructors whose result is loop-affine.
+_PRIMITIVE_TYPES = {
+    "asyncio.Event",
+    "asyncio.Queue",
+    "asyncio.Condition",
+    "asyncio.Future",
+    "asyncio.Lock",
+    "asyncio.Semaphore",
+    "asyncio.BoundedSemaphore",
+}
+
+#: Synchronous mutators that poke loop state when called off-loop.
+_MUTATORS = {"set", "clear", "put_nowait", "set_result", "set_exception"}
+
+
+def _primitive_ctor(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) in _PRIMITIVE_TYPES
+    )
+
+
+def _primitive_attrs(tree: ast.Module) -> set[str]:
+    """Attribute names ever bound to an asyncio primitive, module-wide."""
+    attrs: set[str] = set()
+    for node in ast.walk(tree):
+        # self.X = asyncio.Event()   (possibly behind `or`/`if` expressions)
+        if isinstance(node, ast.Assign) and _primitive_ctor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    attrs.add(target.attr)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _primitive_ctor(node.value) and isinstance(node.target, ast.Attribute):
+                attrs.add(node.target.attr)
+            # dataclass: done: asyncio.Event = field(default_factory=asyncio.Event)
+            elif (
+                isinstance(node.value, ast.Call)
+                and dotted_name(node.value.func) in ("field", "dataclasses.field")
+                and isinstance(node.target, ast.Name)
+            ):
+                for kw in node.value.keywords:
+                    if (
+                        kw.arg == "default_factory"
+                        and dotted_name(kw.value) in _PRIMITIVE_TYPES
+                    ):
+                        attrs.add(node.target.id)
+    return attrs
+
+
+def _aliases(fn: ast.FunctionDef | ast.AsyncFunctionDef, attrs: set[str]) -> dict[str, str]:
+    """Locals aliasing a primitive attribute: ``event = self._rows_wake``."""
+    out: dict[str, str] = {}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            targets = target.elts if isinstance(target, ast.Tuple) else [target]
+            values = (
+                node.value.elts
+                if isinstance(node.value, ast.Tuple)
+                and isinstance(target, ast.Tuple)
+                and len(node.value.elts) == len(targets)
+                else [node.value] * len(targets)
+            )
+            for tgt, val in zip(targets, values):
+                if (
+                    isinstance(tgt, ast.Name)
+                    and isinstance(val, ast.Attribute)
+                    and val.attr in attrs
+                ):
+                    out[tgt.id] = val.attr
+    return out
+
+
+class LoopAffinityChecker(Checker):
+    id = "RA004"
+    title = "asyncio primitive touched from a worker thread"
+
+    def check(self, sources: list[SourceFile], context: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        primitives_seen = 0
+        for source in sources:
+            attrs = _primitive_attrs(source.tree)
+            if not attrs:
+                continue
+            primitives_seen += len(attrs)
+            graph = ModuleGraph(source)
+            thread_chains = graph.thread_context()
+            for qualname, chain in thread_chains.items():
+                info = graph.functions.get(qualname)
+                if info is None:
+                    continue
+                aliases = _aliases(info.node, attrs)
+                for site in info.calls:
+                    func = site.node.func
+                    if not isinstance(func, ast.Attribute):
+                        continue
+                    if func.attr not in _MUTATORS:
+                        continue
+                    base = func.value
+                    attr = None
+                    if isinstance(base, ast.Attribute) and base.attr in attrs:
+                        attr = base.attr
+                    elif isinstance(base, ast.Name) and base.id in aliases:
+                        attr = aliases[base.id]
+                    if attr is None:
+                        continue
+                    origin = (
+                        f"thread entry {chain[0]}"
+                        if len(chain) == 1
+                        else f"thread entry {chain[0]} via {' -> '.join(chain)}"
+                    )
+                    findings.append(
+                        Finding(
+                            path=source.rel,
+                            line=site.node.lineno,
+                            checker=self.id,
+                            symbol=qualname,
+                            message=(
+                                f"asyncio primitive .{attr} mutated with "
+                                f".{func.attr}() from {origin}; route it "
+                                "through loop.call_soon_threadsafe"
+                            ),
+                        )
+                    )
+        context.note("ra004_primitives", primitives_seen)
+        return findings

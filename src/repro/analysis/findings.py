@@ -1,0 +1,248 @@
+"""The shared finding/waiver/baseline vocabulary of the ``repro lint`` pass.
+
+Every checker (:mod:`repro.analysis.checkers`) reports :class:`Finding`
+objects — file:line anchored, tagged with the checker id — and every finding
+can be suppressed two ways:
+
+* **inline waivers**: a ``# repro-lint: waive[RA001] reason`` comment on the
+  offending line (or alone on the line above it) waives the named checkers
+  there, *with a mandatory justification* — a waiver without a reason is
+  itself a finding (``RA000``);
+* **a committed baseline**: ``lint-baseline.json`` pins a set of known
+  findings by (checker, path, symbol, message) — deliberately *not* by line
+  number, so unrelated edits above a baselined finding do not churn the file.
+
+Suppressed findings are still collected and reported (``--format json``
+carries them), they just stop failing the run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "Waiver",
+    "apply_suppressions",
+    "load_baseline",
+    "save_baseline",
+    "scan_waivers",
+]
+
+#: The waiver grammar (one or several comma-separated checker ids; see the
+#: module docstring for the spelled-out form).
+_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*waive\[\s*([A-Za-z0-9_,\s]+?)\s*\]\s*(.*?)\s*$"
+)
+#: Anything that *looks* like it wants to be a lint pragma gets validated, so
+#: a typo in the verb fails loudly instead of silently suppressing nothing.
+_PRAGMA_RE = re.compile(r"#\s*repro-lint\b")
+_CHECKER_ID_RE = re.compile(r"^RA\d{3}$")
+
+
+def _comment_tokens(text: str) -> list[tuple[int, str, bool]]:
+    """Real ``#`` comments as ``(line, comment_text, standalone)`` triples.
+
+    Tokenizing (rather than scanning raw lines) keeps pragma-shaped text in
+    docstrings and string literals — e.g. this very module documenting the
+    syntax — from being parsed as waivers.  Falls back to nothing on
+    tokenize errors; the AST parse will have failed loudly first anyway.
+    """
+    out: list[tuple[int, str, bool]] = []
+    lines = text.splitlines()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            line = token.start[0]
+            source_line = lines[line - 1] if line <= len(lines) else ""
+            standalone = source_line.strip().startswith("#")
+            out.append((line, token.string, standalone))
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse failed first
+        pass
+    return out
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, anchored to ``path:line`` and a checker id."""
+
+    path: str
+    line: int
+    checker: str
+    message: str
+    #: The enclosing function/class qualname when the checker knows it; part
+    #: of the baseline identity, so findings survive line drift.
+    symbol: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str, str]:
+        """Baseline identity: everything except the (drifting) line number."""
+        return (self.checker, self.path, self.symbol, self.message)
+
+    def render(self) -> str:
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}: {self.checker}{sym} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed ``# repro-lint: waive[...]`` comment."""
+
+    path: str
+    line: int
+    checkers: tuple[str, ...]
+    reason: str
+    #: The source lines this waiver suppresses (the comment's own line, plus
+    #: the next line when the comment stands alone).
+    applies_to: tuple[int, ...] = field(default=())
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "checkers": list(self.checkers),
+            "reason": self.reason,
+        }
+
+
+def scan_waivers(path: str, text: str) -> tuple[list[Waiver], list[Finding]]:
+    """Parse every waiver comment in ``text``; malformed ones become findings.
+
+    A waiver on a code line applies to that line; a waiver alone on its line
+    applies to the line below it (the conventional "decorate the statement"
+    placement).  Returns ``(waivers, malformed_findings)`` — the latter carry
+    the pseudo-checker id ``RA000`` so a broken waiver cannot pass silently.
+    """
+    waivers: list[Waiver] = []
+    malformed: list[Finding] = []
+    for lineno, comment, standalone in _comment_tokens(text):
+        if not _PRAGMA_RE.search(comment):
+            continue
+        match = _WAIVER_RE.search(comment)
+        if not match:
+            malformed.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    checker="RA000",
+                    message=(
+                        "malformed repro-lint pragma; expected "
+                        "'# repro-lint: waive[RA001] reason'"
+                    ),
+                )
+            )
+            continue
+        ids = tuple(part.strip() for part in match.group(1).split(",") if part.strip())
+        reason = match.group(2).strip()
+        bad_ids = [cid for cid in ids if not _CHECKER_ID_RE.match(cid)]
+        if not ids or bad_ids:
+            malformed.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    checker="RA000",
+                    message=f"waiver names invalid checker id(s) {bad_ids or ['<none>']}",
+                )
+            )
+            continue
+        if not reason:
+            malformed.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    checker="RA000",
+                    message=(
+                        f"waiver for {', '.join(ids)} has no justification; "
+                        "every waiver must say why"
+                    ),
+                )
+            )
+            continue
+        applies = (lineno, lineno + 1) if standalone else (lineno,)
+        waivers.append(
+            Waiver(
+                path=path, line=lineno, checkers=ids, reason=reason, applies_to=applies
+            )
+        )
+    return waivers, malformed
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    waivers: list[Waiver],
+    baseline: set[tuple[str, str, str, str]],
+) -> tuple[list[Finding], list[tuple[Finding, Waiver]], list[Finding]]:
+    """Split findings into (active, waived, baselined) — in that precedence."""
+    by_site: dict[tuple[str, int], list[Waiver]] = {}
+    for waiver in waivers:
+        for line in waiver.applies_to:
+            by_site.setdefault((waiver.path, line), []).append(waiver)
+    active: list[Finding] = []
+    waived: list[tuple[Finding, Waiver]] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        waiver = next(
+            (
+                w
+                for w in by_site.get((finding.path, finding.line), ())
+                if finding.checker in w.checkers
+            ),
+            None,
+        )
+        if waiver is not None:
+            waived.append((finding, waiver))
+        elif finding.key in baseline:
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    return active, waived, baselined
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str, str]]:
+    """Read a baseline file into a set of finding keys (empty if absent)."""
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text())
+    return {
+        (
+            entry["checker"],
+            entry["path"],
+            entry.get("symbol", ""),
+            entry["message"],
+        )
+        for entry in payload.get("findings", ())
+    }
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the line-independent identities of ``findings`` as the baseline."""
+    entries = sorted(
+        {f.key for f in findings}
+    )  # set first: identical keys collapse to one entry
+    payload = {
+        "version": 1,
+        "comment": (
+            "Known repro-lint findings, pinned by (checker, path, symbol, "
+            "message). Regenerate with: repro lint --write-baseline"
+        ),
+        "findings": [
+            {"checker": c, "path": p, "symbol": s, "message": m}
+            for c, p, s, m in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,189 @@
+"""Orchestration for ``repro lint``: collect, check, suppress, report.
+
+The runner glues the pieces together: it loads the sources
+(:mod:`repro.analysis.source`), runs every registered checker
+(:mod:`repro.analysis.checkers`), then applies the two suppression layers
+(:func:`repro.analysis.findings.apply_suppressions`) — inline waivers first,
+the committed baseline second.  Only what survives both fails the run.
+
+Defaults are discovery-based so ``repro lint`` works from a checkout *and*
+against an installed package: the source root falls back to the ``repro``
+package directory, the docs/baseline to the enclosing repo root (the first
+ancestor holding ``pyproject.toml``) when one exists.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.checkers import ALL_CHECKERS, LintContext
+from repro.analysis.findings import (
+    Finding,
+    Waiver,
+    apply_suppressions,
+    load_baseline,
+    save_baseline,
+    scan_waivers,
+)
+from repro.analysis.source import SourceFile, collect_sources
+
+__all__ = [
+    "LintOptions",
+    "LintResult",
+    "default_src_root",
+    "discover_repo_root",
+    "format_text",
+    "result_to_json",
+    "run_lint",
+]
+
+
+def default_src_root() -> Path:
+    """The installed ``repro`` package directory — lint ourselves by default."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def discover_repo_root(start: Path | None = None) -> Path | None:
+    """First ancestor with a ``pyproject.toml`` (the checkout root), if any."""
+    probe = (start or default_src_root()).resolve()
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return None
+
+
+@dataclass
+class LintOptions:
+    paths: list[Path] = field(default_factory=list)
+    docs_path: Path | None = None
+    baseline_path: Path | None = None
+    select: set[str] | None = None  #: checker ids to run (None = all)
+
+    def resolve(self) -> "LintOptions":
+        """Fill unset fields via discovery; explicit values always win."""
+        paths = list(self.paths) or [default_src_root()]
+        root = discover_repo_root(paths[0])
+        docs = self.docs_path
+        if docs is None and root is not None:
+            candidate = root / "docs" / "service-api.md"
+            docs = candidate if candidate.exists() else None
+        baseline = self.baseline_path
+        if baseline is None and root is not None:
+            candidate = root / "lint-baseline.json"
+            baseline = candidate if candidate.exists() else None
+        return LintOptions(
+            paths=paths, docs_path=docs, baseline_path=baseline, select=self.select
+        )
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding]  #: active (unwaived, unbaselined) — these fail
+    waived: list[tuple[Finding, Waiver]]
+    baselined: list[Finding]
+    files: list[str]
+    checkers: list[str]
+    summary: dict
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def all_findings(self) -> list[Finding]:
+        """Everything the checkers reported, suppression ignored — the set a
+        ``--write-baseline`` pins."""
+        return sorted(
+            set(self.findings)
+            | {f for f, _ in self.waived}
+            | set(self.baselined)
+        )
+
+
+def run_lint(
+    options: LintOptions | None = None, *, sources: list[SourceFile] | None = None
+) -> LintResult:
+    """Run the analysis pass; ``sources`` overrides file collection (tests)."""
+    options = (options or LintOptions()).resolve()
+    if sources is None:
+        sources = []
+        for path in options.paths:
+            sources.extend(collect_sources(path))
+    context = LintContext(summary={})
+    if options.docs_path is not None and options.docs_path.exists():
+        context.docs_path = options.docs_path
+        context.docs_text = options.docs_path.read_text()
+    findings: list[Finding] = []
+    waivers: list[Waiver] = []
+    checker_ids: list[str] = []
+    for checker_cls in ALL_CHECKERS:
+        if options.select and checker_cls.id not in options.select:
+            continue
+        checker_ids.append(checker_cls.id)
+        findings.extend(checker_cls().check(sources, context))
+    for source in sources:
+        file_waivers, malformed = scan_waivers(source.rel, source.text)
+        waivers.extend(file_waivers)
+        findings.extend(malformed)  # RA000: malformed waivers always surface
+    baseline = (
+        load_baseline(options.baseline_path)
+        if options.baseline_path is not None
+        else set()
+    )
+    active, waived, baselined = apply_suppressions(
+        sorted(set(findings)), waivers, baseline
+    )
+    context.summary["waivers"] = len(waivers)
+    return LintResult(
+        findings=active,
+        waived=waived,
+        baselined=baselined,
+        files=[s.rel for s in sources],
+        checkers=checker_ids,
+        summary=context.summary,
+    )
+
+
+def write_baseline(result: LintResult, path: Path) -> None:
+    """Pin every finding not already waived inline — the adoption workflow:
+    run once, commit the baseline, and ratchet it down over time."""
+    save_baseline(path, result.findings + result.baselined)
+
+
+def format_text(result: LintResult, *, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if verbose:
+        for finding, waiver in result.waived:
+            lines.append(f"{finding.render()}  [waived: {waiver.reason}]")
+        for finding in result.baselined:
+            lines.append(f"{finding.render()}  [baselined]")
+    suppressed = ""
+    if result.waived or result.baselined:
+        suppressed = f" ({len(result.waived)} waived, {len(result.baselined)} baselined)"
+    verdict = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"repro lint: {verdict} across {len(result.files)} file(s), "
+        f"checkers {', '.join(result.checkers)}{suppressed}"
+    )
+    return "\n".join(lines)
+
+
+def result_to_json(result: LintResult) -> str:
+    payload = {
+        "version": 1,
+        "ok": result.ok,
+        "files": len(result.files),
+        "checkers": result.checkers,
+        "findings": [f.to_dict() for f in result.findings],
+        "waived": [
+            {"finding": f.to_dict(), "waiver": w.to_dict()} for f, w in result.waived
+        ],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "summary": result.summary,
+    }
+    return json.dumps(payload, indent=2)

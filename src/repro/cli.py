@@ -499,6 +499,46 @@ def cmd_client_stats(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the repo's own static-analysis pass (`repro lint`).
+
+    Four AST checkers (RA001-RA004) prove the service layer's concurrency
+    and wire contracts; see docs/development.md for the catalog and the
+    waiver/baseline syntax.  Exits 1 when any unsuppressed finding remains.
+    """
+    from pathlib import Path
+
+    from repro.analysis import (
+        LintOptions,
+        format_text,
+        result_to_json,
+        run_lint,
+    )
+    from repro.analysis.runner import discover_repo_root, write_baseline
+
+    options = LintOptions(
+        paths=[Path(p) for p in args.paths],
+        docs_path=Path(args.docs) if args.docs else None,
+        baseline_path=Path(args.baseline) if args.baseline else None,
+        select=set(args.select.split(",")) if args.select else None,
+    )
+    result = run_lint(options)
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else None
+        if target is None:
+            root = discover_repo_root()
+            target = (root or Path.cwd()) / "lint-baseline.json"
+        write_baseline(result, target)
+        pinned = len(result.findings) + len(result.baselined)
+        print(f"wrote {pinned} finding(s) to {target}")
+        return 0
+    if args.format == "json":
+        print(result_to_json(result))
+    else:
+        print(format_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="TensorLib reproduction CLI"
@@ -663,6 +703,45 @@ def main(argv: list[str] | None = None) -> int:
         help="resume from this row cursor (a previous row's seq; default 0)",
     )
     c_tail.set_defaults(func=cmd_client_tail_job)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo's static-analysis pass (checkers RA001-RA004)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--docs",
+        metavar="MD",
+        help="service API doc for the wire-contract checker "
+        "(default: docs/service-api.md at the repo root, if present)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p_lint.add_argument(
+        "--baseline",
+        metavar="JSON",
+        help="baseline file of known findings (default: lint-baseline.json "
+        "at the repo root, if present)",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="pin every current finding into the baseline file and exit 0",
+    )
+    p_lint.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated checker ids to run (e.g. RA001,RA003)",
+    )
+    p_lint.add_argument(
+        "--verbose", action="store_true", help="also list waived/baselined findings"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -667,12 +667,6 @@ class AsyncRemoteSession:
         await reader.readexactly(2)  # chunk CRLF
         return data
 
-    @staticmethod
-    async def _bounded(awaitable, timeout: float | None):
-        if timeout is None:
-            return await awaitable
-        return await asyncio.wait_for(awaitable, timeout)
-
     @classmethod
     async def _bounded_chunk(
         cls, reader: asyncio.StreamReader, idle_timeout: float | None

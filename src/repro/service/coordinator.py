@@ -958,6 +958,7 @@ class SweepCoordinator:
             reason=reason,
         )
         state.pending.append(shard)
+        # repro-lint: waive[RA004] every caller that passes a state runs on the loop; the probe thread reaches _lose_server with state=None only, so this set() never executes off-loop
         state.wake.set()
 
     # -- the 503 fallback -------------------------------------------------
@@ -1178,7 +1179,9 @@ class CoordinatedSession(SessionBase):
             servers = self.coordinator.servers
             rotation = servers[i % len(servers) :] + servers[: i % len(servers)]
             outcome = self._failover_over(
-                rotation, lambda session: session.evaluate_many(batch)
+                # bind batch now: the lambda may be retried on another server
+                # after this loop variable has moved on (flake8-bugbear B023)
+                rotation, lambda session, batch=batch: session.evaluate_many(batch)
             )
             results[start : start + len(batch)] = outcome
         assert all(r is not None for r in results)

@@ -225,7 +225,9 @@ class EvaluationService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self.session.flush()
+        # flush() is file I/O under the memo-cache lock: on the executor, so
+        # a big cache never stalls the loop's own shutdown sequence
+        await asyncio.get_running_loop().run_in_executor(None, self.session.flush)
 
     # -- HTTP plumbing --------------------------------------------------
     @staticmethod
@@ -369,7 +371,10 @@ class EvaluationService:
                 },
             )
         elif route == ("GET", "/v1/cache/stats"):
-            self._json_response(writer, 200, self.session.cache_stats())
+            # counters only, but stats() takes the memo-cache lock — which a
+            # flushing executor thread can hold for seconds on a big cache
+            stats = await loop.run_in_executor(None, self.session.cache_stats)
+            self._json_response(writer, 200, stats)
         elif route == ("GET", "/v1/cache"):
             cache = self.session.cache
             # dump + serialize on the executor: a big memo cache must not
@@ -591,7 +596,9 @@ class EvaluationService:
         try:
             return int(raw)
         except ValueError:
-            raise ValueError(f'"since" must be an integer row cursor, got {raw!r}')
+            raise ValueError(
+                f'"since" must be an integer row cursor, got {raw!r}'
+            ) from None
 
     def _job_detail(
         self, method: str, job_id: str, params: Mapping[str, str], writer
@@ -664,7 +671,7 @@ class EvaluationService:
         except ValueError:
             raise ValueError(
                 f'"keepalive" must be a number of seconds, got {raw_keepalive!r}'
-            )
+            ) from None
         # never heartbeat faster than the drain tick; <= 0 disables entirely
         keepalive = max(keepalive, 0.02) if keepalive > 0 else 0.0
         start_row = {

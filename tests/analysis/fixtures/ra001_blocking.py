@@ -1,0 +1,32 @@
+# ruff: noqa
+"""RA001 fixture: blocking calls reachable from async bodies.
+
+Loaded as *text* by tests/analysis/test_checkers.py and fed to the checker
+via SourceFile.from_text — never imported.  Each seeded violation is marked
+with a `SEEDED:` comment so the asserting test reads like the checker's spec.
+"""
+
+import asyncio
+import time
+
+
+def _sync_helper() -> None:
+    # SEEDED: blocking call two hops below a coroutine (indirect RA001)
+    with open("/tmp/fixture", "w") as fh:
+        fh.write("x")
+
+
+def _middle() -> None:
+    _sync_helper()
+
+
+async def handler() -> None:
+    # SEEDED: direct blocking call on the event loop (direct RA001)
+    time.sleep(0.1)
+    _middle()
+
+
+async def offloaded_is_fine() -> None:
+    loop = asyncio.get_running_loop()
+    # a *reference* handed to an executor is not a loop-context call edge
+    await loop.run_in_executor(None, _sync_helper)

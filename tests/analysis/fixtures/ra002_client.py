@@ -1,0 +1,27 @@
+# ruff: noqa
+"""RA002 fixture: a miniature client for the paired server fixture.
+
+Calls GET /v1/healthz, POST /v1/evaluate, GET /v1/jobs/<id>?since= — plus a
+POST /v1/flush the server fixture does not implement (the seeded drift).
+"""
+
+
+class MiniClient:
+    def _call(self, method, path, body=None):
+        raise NotImplementedError
+
+    def healthz(self):
+        return self._call("GET", "/v1/healthz")
+
+    def evaluate(self, payload):
+        return self._call("POST", "/v1/evaluate", payload)
+
+    def job(self, job_id, since=0):
+        path = f"/v1/jobs/{job_id}"
+        if since:
+            path += f"?since={int(since)}"
+        return self._call("GET", path)
+
+    def flush(self):
+        # SEEDED: the server fixture has no POST /v1/flush route
+        return self._call("POST", "/v1/flush")

@@ -1,0 +1,19 @@
+# ruff: noqa
+"""RA002 fixture: a miniature server `_route` dispatcher.
+
+Implements GET /v1/healthz, POST /v1/evaluate, GET /v1/jobs/<id> — but NOT
+the POST /v1/flush the paired client fixture calls (the seeded drift).
+"""
+
+
+class MiniServer:
+    async def _route(self, method, path, params, body, writer):
+        route = (method, path)
+        if route == ("GET", "/v1/healthz"):
+            return {"ok": True}
+        if route == ("POST", "/v1/evaluate"):
+            return {"result": body}
+        if method == "GET" and path.startswith("/v1/jobs/"):
+            since = params.get("since")
+            return {"job": path, "since": since}
+        raise LookupError(path)

@@ -1,0 +1,37 @@
+# ruff: noqa
+"""RA003 fixture: lock-discipline violation plus a clean twin class."""
+
+import threading
+
+
+class LeakyCache:
+    """Mutates `_entries` under the lock in one place, bare in another."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._entries.update({})
+
+    def get(self, key):
+        # SEEDED: `_entries` is lock-guarded elsewhere but read bare here
+        return self._entries.get(key)
+
+
+class TidyCache:
+    """Every `_entries` touch outside __init__ holds the lock."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)

@@ -1,0 +1,38 @@
+# ruff: noqa
+"""RA004 fixture: an asyncio primitive poked from a worker thread.
+
+`BadBridge._worker` runs on an executor thread (dispatched by reference from
+`run`) and calls `.set()` on an asyncio.Event directly — the seeded
+violation.  `GoodBridge` routes the same wake-up through
+`loop.call_soon_threadsafe`, the sanctioned pattern.
+"""
+
+import asyncio
+
+
+class BadBridge:
+    def __init__(self):
+        self._done = asyncio.Event()
+
+    def _worker(self):
+        # SEEDED: asyncio.Event.set() from a thread corrupts loop state
+        self._done.set()
+
+    async def run(self):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._worker)
+        await self._done.wait()
+
+
+class GoodBridge:
+    def __init__(self):
+        self._done = asyncio.Event()
+        self._loop = None
+
+    def _worker(self):
+        self._loop.call_soon_threadsafe(self._done.set)
+
+    async def run(self):
+        self._loop = asyncio.get_running_loop()
+        await self._loop.run_in_executor(None, self._worker)
+        await self._done.wait()

@@ -1,0 +1,23 @@
+# ruff: noqa
+"""Waiver-syntax fixture: a waived violation and two malformed pragmas."""
+
+import time
+
+
+async def waived_inline() -> None:
+    time.sleep(0)  # repro-lint: waive[RA001] fixture: deliberate, covered by test
+
+
+async def waived_standalone() -> None:
+    # repro-lint: waive[RA001] fixture: standalone comment covers the next line
+    time.sleep(0)
+
+
+async def unwaived() -> None:
+    time.sleep(0)  # this one must still be reported
+
+
+async def bad_pragmas() -> None:
+    x = 1  # repro-lint: wave[RA001] typo in the verb -> RA000
+    y = 2  # repro-lint: waive[RA001]
+    return x + y

@@ -1,0 +1,239 @@
+"""Each RA checker catches its seeded fixture; the suppression layers work.
+
+The fixtures under ``tests/analysis/fixtures/`` are loaded as *text* and fed
+through :meth:`SourceFile.from_text` — they are never imported, and each
+seeded violation is marked with a ``SEEDED:`` comment in the fixture itself.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintOptions, run_lint
+from repro.analysis.checkers import LintContext
+from repro.analysis.checkers.blocking import BlockingInAsyncChecker, classify_blocking
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.loop_affinity import LoopAffinityChecker
+from repro.analysis.checkers.wire_contract import WireContractChecker
+from repro.analysis.findings import scan_waivers
+from repro.analysis.source import SourceFile
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_source(name: str, rel: str | None = None) -> SourceFile:
+    text = (FIXTURES / name).read_text()
+    return SourceFile.from_text(text, rel=rel or name)
+
+
+def check_one(checker, *sources, docs_text=None):
+    context = LintContext(docs_text=docs_text, summary={})
+    return checker.check(list(sources), context)
+
+
+class TestBlockingChecker:
+    def test_direct_blocking_call_caught(self):
+        findings = check_one(BlockingInAsyncChecker(), fixture_source("ra001_blocking.py"))
+        direct = [f for f in findings if f.symbol == "handler" and "time.sleep" in f.message]
+        assert direct, findings
+        assert "in async handler" in direct[0].message
+
+    def test_indirect_chain_caught_and_reported(self):
+        findings = check_one(BlockingInAsyncChecker(), fixture_source("ra001_blocking.py"))
+        indirect = [f for f in findings if f.symbol == "_sync_helper"]
+        assert indirect, findings
+        # the message names the whole call chain back to the coroutine
+        assert "handler -> _middle -> _sync_helper" in indirect[0].message
+
+    def test_executor_reference_not_flagged(self):
+        findings = check_one(BlockingInAsyncChecker(), fixture_source("ra001_blocking.py"))
+        assert not [f for f in findings if f.symbol == "offloaded_is_fine"]
+
+    def test_classifier_strips_self(self):
+        assert classify_blocking("self.session.flush") is not None
+        assert classify_blocking("asyncio.sleep") is None
+
+
+class TestLockChecker:
+    def test_unguarded_read_of_guarded_attr_caught(self):
+        findings = check_one(LockDisciplineChecker(), fixture_source("ra003_locks.py"))
+        assert len(findings) == 1, findings
+        finding = findings[0]
+        assert finding.symbol == "LeakyCache.get"
+        assert "_entries" in finding.message and "_lock" in finding.message
+
+    def test_disciplined_class_is_clean(self):
+        findings = check_one(LockDisciplineChecker(), fixture_source("ra003_locks.py"))
+        assert not [f for f in findings if f.symbol.startswith("TidyCache")]
+
+
+class TestLoopAffinityChecker:
+    def test_thread_side_set_caught(self):
+        findings = check_one(LoopAffinityChecker(), fixture_source("ra004_affinity.py"))
+        assert len(findings) == 1, findings
+        finding = findings[0]
+        assert finding.symbol == "BadBridge._worker"
+        assert ".set()" in finding.message
+        assert "call_soon_threadsafe" in finding.message
+
+    def test_call_soon_threadsafe_pattern_is_clean(self):
+        findings = check_one(LoopAffinityChecker(), fixture_source("ra004_affinity.py"))
+        assert not [f for f in findings if f.symbol.startswith("GoodBridge")]
+
+
+class TestWireContractChecker:
+    """The miniature server/client/docs trio drifts in exactly one place."""
+
+    def trio(self):
+        server = fixture_source("ra002_server.py", rel="mini/service/server.py")
+        client = fixture_source("ra002_client.py", rel="mini/service/client.py")
+        docs = (FIXTURES / "ra002_docs.md").read_text()
+        return server, client, docs
+
+    def test_seeded_drift_caught(self):
+        server, client, docs = self.trio()
+        findings = check_one(WireContractChecker(), server, client, docs_text=docs)
+        assert len(findings) == 1, findings
+        assert "POST /v1/flush" in findings[0].message
+        assert findings[0].path == "mini/service/client.py"
+
+    def test_agreeing_trio_is_clean(self):
+        server, client, docs = self.trio()
+        fixed = client.text.replace('self._call("POST", "/v1/flush")', "None")
+        client = SourceFile.from_text(fixed, rel=client.rel)
+        findings = check_one(WireContractChecker(), server, client, docs_text=docs)
+        assert findings == [], findings
+
+    def test_no_service_sources_is_a_noop(self):
+        context = LintContext(summary={})
+        findings = WireContractChecker().check(
+            [fixture_source("ra001_blocking.py")], context
+        )
+        assert findings == []
+        assert context.summary["ra002_routes"] == 0
+
+
+class TestWaivers:
+    def test_waiver_suppresses_inline_and_standalone(self):
+        source = fixture_source("waivers.py")
+        result = run_lint(LintOptions(select={"RA001"}), sources=[source])
+        assert [f.symbol for f in result.findings if f.checker == "RA001"] == [
+            "unwaived"
+        ], result.findings
+        waived_symbols = {f.symbol for f, _ in result.waived}
+        assert waived_symbols == {"waived_inline", "waived_standalone"}
+
+    def test_malformed_pragmas_become_ra000(self):
+        source = fixture_source("waivers.py")
+        waivers, malformed = scan_waivers(source.rel, source.text)
+        assert len(waivers) == 2
+        messages = sorted(f.message for f in malformed)
+        assert len(malformed) == 2, malformed
+        assert any("malformed" in m for m in messages)
+        assert any("no justification" in m for m in messages)
+
+    def test_ra000_findings_fail_the_run(self):
+        source = fixture_source("waivers.py")
+        result = run_lint(LintOptions(select={"RA001"}), sources=[source])
+        assert {f.checker for f in result.findings} == {"RA000", "RA001"}
+        assert not result.ok
+
+    def test_pragma_text_in_docstrings_is_ignored(self):
+        source = SourceFile.from_text(
+            '"""Docs quoting the syntax: # repro-lint: waive[RA001] reason."""\n'
+        )
+        waivers, malformed = scan_waivers(source.rel, source.text)
+        assert waivers == [] and malformed == []
+
+
+class TestBaseline:
+    def test_write_then_suppress_round_trip(self, tmp_path):
+        from repro.analysis.runner import write_baseline
+
+        source = fixture_source("ra003_locks.py")
+        first = run_lint(LintOptions(select={"RA003"}), sources=[source])
+        assert len(first.findings) == 1
+        baseline = tmp_path / "baseline.json"
+        write_baseline(first, baseline)
+
+        second = run_lint(
+            LintOptions(select={"RA003"}, baseline_path=baseline), sources=[source]
+        )
+        assert second.ok
+        assert [f.symbol for f in second.baselined] == ["LeakyCache.get"]
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        from repro.analysis.runner import write_baseline
+
+        source = fixture_source("ra003_locks.py")
+        first = run_lint(LintOptions(select={"RA003"}), sources=[source])
+        baseline = tmp_path / "baseline.json"
+        write_baseline(first, baseline)
+        # shift every line down: the finding moves, its identity does not
+        shifted = SourceFile.from_text("# pad\n# pad\n" + source.text, rel=source.rel)
+        second = run_lint(
+            LintOptions(select={"RA003"}, baseline_path=baseline), sources=[shifted]
+        )
+        assert second.ok, second.findings
+
+
+class TestOutput:
+    def test_json_payload_shape(self):
+        import json
+
+        from repro.analysis import result_to_json
+
+        source = fixture_source("ra004_affinity.py")
+        result = run_lint(LintOptions(select={"RA004"}), sources=[source])
+        payload = json.loads(result_to_json(result))
+        assert payload["ok"] is False
+        (finding,) = payload["findings"]
+        assert finding["checker"] == "RA004"
+        assert finding["path"] == "ra004_affinity.py"
+        # both bridges bind the same attr name, registered once module-wide
+        assert payload["summary"]["ra004_primitives"] == 1
+
+    def test_text_verdict_line(self):
+        from repro.analysis import format_text
+
+        source = fixture_source("ra004_affinity.py")
+        result = run_lint(LintOptions(select={"RA004"}), sources=[source])
+        text = format_text(result)
+        assert "1 finding(s)" in text.splitlines()[-1]
+        assert "BadBridge._worker" in text
+
+
+class TestCli:
+    def test_lint_subcommand_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "mod.py"
+        bad.write_text(
+            "import time\n\n\nasync def f():\n    time.sleep(1)\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RA001" in out and "time.sleep" in out
+
+    def test_lint_subcommand_clean_exit(self, tmp_path, capsys):
+        from repro.cli import main
+
+        good = tmp_path / "mod.py"
+        good.write_text("async def f():\n    return 1\n")
+        assert main(["lint", str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "ra001_blocking.py",
+        "ra002_server.py",
+        "ra002_client.py",
+        "ra003_locks.py",
+        "ra004_affinity.py",
+        "waivers.py",
+    ],
+)
+def test_fixtures_parse(name):
+    fixture_source(name)

@@ -1,0 +1,138 @@
+"""RA002 against the real service sources: agreement now, drift detection.
+
+The acceptance bar for the wire-contract checker: deleting any one route
+from ``server._route`` — or any one endpoint row from
+``docs/service-api.md`` — must make the pass fail.  These tests corrupt
+in-memory copies of the real files and assert exactly that.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.checkers import LintContext
+from repro.analysis.checkers.wire_contract import (
+    WireContractChecker,
+    docs_contract,
+    extract_client_contract,
+    extract_server_contract,
+)
+from repro.analysis.source import SourceFile, load_source
+
+REPO = Path(__file__).resolve().parents[2]
+SERVER = REPO / "src" / "repro" / "service" / "server.py"
+CLIENT = REPO / "src" / "repro" / "service" / "client.py"
+DOCS = REPO / "docs" / "service-api.md"
+
+
+@pytest.fixture(scope="module")
+def real_sources():
+    root = REPO / "src"
+    return (
+        load_source(SERVER, root),
+        load_source(CLIENT, root),
+        DOCS.read_text(),
+    )
+
+
+def run_checker(server, client, docs_text):
+    context = LintContext(docs_text=docs_text, summary={})
+    findings = WireContractChecker().check([server, client], context)
+    return findings, context.summary
+
+
+class TestRealContractAgrees:
+    def test_clean_and_nontrivial(self, real_sources):
+        server, client, docs_text = real_sources
+        findings, summary = run_checker(server, client, docs_text)
+        assert findings == [], [f.render() for f in findings]
+        # the comparison actually covered the surface — no vacuous pass
+        assert summary["ra002_routes"] >= 10
+        assert summary["ra002_routes"] == summary["ra002_client_routes"]
+        assert summary["ra002_routes"] == summary["ra002_docs_routes"]
+        assert set(summary["ra002_params"]) == {"since", "keepalive"}
+
+    def test_both_clients_cover_every_route(self, real_sources):
+        server, client, _ = real_sources
+        server_routes = set(extract_server_contract(server).routes)
+        client_routes = set(extract_client_contract(client).routes)
+        assert server_routes == client_routes
+
+    def test_docs_table_matches_server(self, real_sources):
+        server, _, docs_text = real_sources
+        server_routes = set(extract_server_contract(server).routes)
+        docs_routes = set(docs_contract("docs/service-api.md", docs_text).routes)
+        assert server_routes == docs_routes
+
+
+class TestDeletionSensitivity:
+    def test_every_server_route_deletion_is_caught(self, real_sources):
+        """Renaming any single route literal in _route must fail the pass."""
+        server, client, docs_text = real_sources
+        routes = extract_server_contract(server).routes
+        assert routes
+        for method, path in routes:
+            literal = f'"{path}"'
+            if literal not in server.text:
+                continue  # parametrized routes (synthesized <id> paths)
+            corrupted = SourceFile.from_text(
+                server.text.replace(literal, f'"{path}-gone"', 1), rel=server.rel
+            )
+            findings, _ = run_checker(corrupted, client, docs_text)
+            rendered = "\n".join(f.render() for f in findings)
+            assert findings, f"deleting {method} {path} went unnoticed"
+            assert path in rendered
+
+    def test_parametrized_route_deletion_is_caught(self, real_sources):
+        """The startswith/endswith job branches are part of the contract too."""
+        server, client, docs_text = real_sources
+        corrupted = SourceFile.from_text(
+            server.text.replace('path.startswith("/v1/jobs/")', "False", 1),
+            rel=server.rel,
+        )
+        findings, _ = run_checker(corrupted, client, docs_text)
+        assert any("/v1/jobs/<id>" in f.message for f in findings), [
+            f.render() for f in findings
+        ]
+
+    def test_every_docs_row_deletion_is_caught(self, real_sources):
+        """Dropping any one endpoint line from the docs must fail the pass."""
+        server, client, docs_text = real_sources
+        lines = docs_text.splitlines()
+        doc_routes = docs_contract("docs", docs_text).routes
+        for method, path in sorted(doc_routes):
+            pruned = [
+                line
+                for i, line in enumerate(lines, start=1)
+                if not (f"{method} {path}" in line)
+            ]
+            assert len(pruned) < len(lines)
+            findings, _ = run_checker(server, client, "\n".join(pruned))
+            assert any(
+                "undocumented" in f.message and path in f.message for f in findings
+            ), f"dropping the {method} {path} doc rows went unnoticed"
+
+    def test_dropped_query_param_is_caught(self, real_sources):
+        server, client, docs_text = real_sources
+        stripped = docs_text.replace("keepalive=", "kept_alive_", 1)
+        # strip every mention so the param disappears from the docs contract
+        while "keepalive=" in stripped:
+            stripped = stripped.replace("keepalive=", "kept_alive_", 1)
+        findings, _ = run_checker(server, client, stripped)
+        assert any(
+            "keepalive" in f.message and "undocumented" in f.message for f in findings
+        ), [f.render() for f in findings]
+
+    def test_client_only_route_is_caught(self, real_sources):
+        server, client, docs_text = real_sources
+        extended = client.text.replace(
+            'self._roundtrip("GET", "/v1/healthz", None)',
+            'self._roundtrip("GET", "/v1/ghost", None)',
+            1,
+        )
+        assert extended != client.text
+        corrupted = SourceFile.from_text(extended, rel=client.rel)
+        findings, _ = run_checker(server, corrupted, docs_text)
+        assert any("/v1/ghost" in f.message for f in findings), [
+            f.render() for f in findings
+        ]

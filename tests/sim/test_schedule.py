@@ -45,7 +45,7 @@ class TestBuildSchedule:
         stage = next(design.plan.stages())
         sched = build_stage_schedule(design.plan, design.info, sp, stage)
         assert sched.collections
-        for cyc, port, index in sched.collections:
+        for cyc, port, _index in sched.collections:
             assert 0 <= cyc < design.timing.total
             assert port in design.top.outputs
 

@@ -1,0 +1,50 @@
+"""Tier-1 gate: ``repro lint`` stays clean on the repo's own sources.
+
+This is the analysis pass eating its own dog food — every checker runs over
+``src/repro`` with the real docs and the committed baseline, exactly like
+the CI ``lint-analysis`` job and a developer's ``repro lint``.  A finding
+here means either a real concurrency/wire-contract regression or a checker
+that needs a fix, a waiver, or a baseline entry; the failure message renders
+each finding so the culprit is one click away.
+"""
+
+from pathlib import Path
+
+from repro.analysis import LintOptions, run_lint
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def repo_result():
+    options = LintOptions(
+        paths=[REPO / "src" / "repro"],
+        docs_path=REPO / "docs" / "service-api.md",
+        baseline_path=REPO / "lint-baseline.json",
+    )
+    return run_lint(options)
+
+
+def test_repo_sources_lint_clean():
+    result = repo_result()
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.ok, f"repro lint found regressions:\n{rendered}"
+
+
+def test_pass_actually_covered_the_service_layer():
+    """Guard against a vacuous pass: the wire comparison and the call-graph
+    walk must have seen the real surface, not an empty file set."""
+    result = repo_result()
+    assert len(result.files) > 40
+    assert result.summary["ra002_routes"] >= 10
+    assert set(result.summary["ra002_params"]) == {"since", "keepalive"}
+    assert result.summary["ra001_async_functions"] >= 20
+    assert result.summary["ra003_guarded_classes"] >= 1
+    assert result.summary["ra004_primitives"] >= 5
+
+
+def test_waivers_in_production_code_stay_justified():
+    """Every inline waiver in src/ suppresses a live finding (no stale
+    waivers) and carries a reason (enforced by RA000 at parse time)."""
+    result = repo_result()
+    for finding, waiver in result.waived:
+        assert waiver.reason, finding.render()
