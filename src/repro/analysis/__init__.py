@@ -11,10 +11,19 @@ to catch regressions:
 * :mod:`~repro.analysis.checkers.locks` (**RA003**) — lock-guarded
   attributes are never touched outside the lock;
 * :mod:`~repro.analysis.checkers.loop_affinity` (**RA004**) — asyncio
-  primitives are only poked from threads via ``call_soon_threadsafe``.
+  primitives are only poked from threads via ``call_soon_threadsafe``;
+* :mod:`~repro.analysis.checkers.lock_order` (**RA005**) — the
+  project-wide lock-acquisition graph has no ABBA cycles;
+* :mod:`~repro.analysis.checkers.error_contract` (**RA006**) — every
+  server-reachable ``raise`` round-trips through ``wire._ERROR_TYPES``;
+* :mod:`~repro.analysis.checkers.determinism` (**RA007**) — nothing
+  nondeterministic is reachable from the sweep fold paths.
 
-Everything is pure :mod:`ast` — the analyzed code is parsed, never
-imported.  Front doors: ``repro lint`` (CLI), :func:`run_lint` (tests/CI),
+RA001 and RA005-RA007 share one project-wide, import-resolving call graph
+(:class:`~repro.analysis.callgraph.ProjectGraph`); results are cached
+whole-run on disk, keyed by content hash + checker versions.  Everything
+is pure :mod:`ast` — the analyzed code is parsed, never imported.  Front
+doors: ``repro lint`` (CLI), :func:`run_lint` (tests/CI),
 ``docs/development.md`` (the checker catalog and waiver syntax).
 """
 
@@ -26,6 +35,7 @@ from repro.analysis.runner import (
     result_to_json,
     run_lint,
 )
+from repro.analysis.sarif import result_to_sarif
 
 __all__ = [
     "Finding",
@@ -34,5 +44,6 @@ __all__ = [
     "Waiver",
     "format_text",
     "result_to_json",
+    "result_to_sarif",
     "run_lint",
 ]

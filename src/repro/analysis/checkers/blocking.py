@@ -3,9 +3,11 @@
 One synchronous ``flush()`` on the event loop stalls *every* in-flight row
 stream and health probe at once — the exact tail-latency failure mode the
 service layer's executor discipline exists to prevent.  This checker walks
-each module's call graph (:class:`~repro.analysis.callgraph.ModuleGraph`)
-from every coroutine through directly-called sync helpers and flags calls
-matching two pattern tables:
+the project-wide call graph (:class:`~repro.analysis.callgraph.ProjectGraph`)
+from every coroutine through directly-called sync helpers — across module
+boundaries, so a coroutine in the coordinator that calls a helper defined in
+``wire.py`` which calls ``json.dump`` is flagged just like a local call —
+and flags calls matching two pattern tables:
 
 * :data:`BLOCKING_EXACT` — stdlib calls that always block (``time.sleep``,
   ``open``, ``subprocess.*``, sync socket construction, file renames…);
@@ -22,7 +24,7 @@ only count when the coroutine actually calls them.
 
 from __future__ import annotations
 
-from repro.analysis.callgraph import ModuleGraph, strip_self
+from repro.analysis.callgraph import strip_self
 from repro.analysis.checkers import Checker, LintContext
 from repro.analysis.findings import Finding
 from repro.analysis.source import SourceFile
@@ -95,43 +97,45 @@ def classify_blocking(raw: str) -> str | None:
 class BlockingInAsyncChecker(Checker):
     id = "RA001"
     title = "blocking call reachable from async def"
+    version = 2  # project-wide: chains now cross module boundaries
 
     def check(self, sources: list[SourceFile], context: LintContext) -> list[Finding]:
         findings: list[Finding] = []
-        async_functions = 0
-        for source in sources:
-            graph = ModuleGraph(source)
-            loop_chains = graph.loop_context()
-            async_functions += sum(
-                1 for info in graph.functions.values() if info.is_async
-            )
-            for qualname, chain in loop_chains.items():
-                info = graph.functions.get(qualname)
-                if info is None:
+        graph = context.project_graph(sources)
+        loop_chains = graph.loop_context()
+        async_functions = sum(
+            1 for info in graph.functions.values() if info.is_async
+        )
+        for fqn, chain in loop_chains.items():
+            info = graph.functions.get(fqn)
+            if info is None:
+                continue
+            mod = graph.module_of(fqn)
+            qualname = fqn.partition(":")[2]
+            shown = [graph.display(hop, relative_to=mod) for hop in chain]
+            for site in info.calls:
+                reason = classify_blocking(site.raw)
+                if reason is None:
                     continue
-                for site in info.calls:
-                    reason = classify_blocking(site.raw)
-                    if reason is None:
-                        continue
-                    if len(chain) == 1:
-                        via = f"in async {qualname}"
-                    else:
-                        via = (
-                            f"in {qualname} (reachable from async {chain[0]} "
-                            f"via {' -> '.join(chain)})"
-                        )
-                    findings.append(
-                        Finding(
-                            path=source.rel,
-                            line=site.node.lineno,
-                            checker=self.id,
-                            symbol=qualname,
-                            message=(
-                                f"blocking call {strip_self(site.raw)}() on the "
-                                f"event loop {via}: {reason}; move it onto "
-                                "loop.run_in_executor"
-                            ),
-                        )
+                if len(chain) == 1:
+                    via = f"in async {qualname}"
+                else:
+                    via = (
+                        f"in {qualname} (reachable from async {shown[0]} "
+                        f"via {' -> '.join(shown)})"
                     )
+                findings.append(
+                    Finding(
+                        path=graph.source_of(fqn).rel,
+                        line=site.node.lineno,
+                        checker=self.id,
+                        symbol=qualname,
+                        message=(
+                            f"blocking call {strip_self(site.raw)}() on the "
+                            f"event loop {via}: {reason}; move it onto "
+                            "loop.run_in_executor"
+                        ),
+                    )
+                )
         context.note("ra001_async_functions", async_functions)
         return findings

@@ -1,0 +1,250 @@
+"""RA007: fold paths must be bit-identical run to run.
+
+The coordinator's contract is that a sharded sweep folds to *exactly* the
+rows `LocalSession.sweep()` would produce — same values, same order.  That
+only holds if nothing on the fold path consults a source whose value or
+order changes between runs.  This checker closes the project-wide call
+graph over the fold roots — methods named ``sweep`` or containing ``fold``
+on classes whose names contain ``Coordinator``/``Engine``/``Shard`` (the
+sweep executors; deliberately *not* the client ``Session`` classes, whose
+retry jitter is legitimate transport behaviour) — and flags, in any
+reachable function:
+
+* **unseeded randomness / wall-clock reads** — ``random.*``, ``uuid.uuid1/
+  uuid4``, ``time.time``/``monotonic``/``perf_counter``, ``datetime.now``,
+  ``os.urandom``, ``secrets.*``: different every run by construction;
+* **filesystem-order dependence** — ``os.listdir``/``os.scandir`` and
+  ``Path.iterdir/glob/rglob`` return entries in whatever order the OS
+  feels like, unless the call is wrapped directly in ``sorted(...)``;
+* **bare-set iteration** — ``for x in {...}`` / ``for x in set(...)``
+  (including iterating a local variable assigned one): Python set order
+  is salted per process, so any fold over it diverges across workers.
+
+Dict iteration is fine (insertion-ordered since 3.7) and sorted sets are
+fine — the finding is specifically the *unordered* traversal reaching a
+fold.  Genuine exceptions (e.g. an id that never influences folded rows)
+take an inline ``# repro-lint: waive[RA007] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import (
+    FunctionInfo,
+    ProjectGraph,
+    _own_statements,
+    dotted_name,
+    strip_self,
+)
+from repro.analysis.checkers import Checker, LintContext
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["FoldDeterminismChecker"]
+
+#: Class-name fragments that mark sweep/fold executors (never clients).
+_ROOT_CLASS_HINTS = ("Coordinator", "Engine", "Shard")
+
+#: Dotted names (matched on the stripped tail) that differ run to run.
+_NONDETERMINISTIC = {
+    "random.random": "unseeded randomness",
+    "random.randint": "unseeded randomness",
+    "random.randrange": "unseeded randomness",
+    "random.choice": "unseeded randomness",
+    "random.choices": "unseeded randomness",
+    "random.shuffle": "unseeded randomness",
+    "random.sample": "unseeded randomness",
+    "random.uniform": "unseeded randomness",
+    "random.getrandbits": "unseeded randomness",
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "clock read (differs per process)",
+    "time.perf_counter": "clock read (differs per process)",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "date.today": "wall-clock read",
+    "uuid.uuid1": "host/time-derived id",
+    "uuid.uuid4": "random id",
+    "os.urandom": "OS entropy",
+    "os.getpid": "process-dependent value",
+}
+
+#: Calls whose *result order* is OS-dependent (fine when wrapped in sorted()).
+_UNORDERED_FS = {
+    "os.listdir": "os.listdir order is filesystem-dependent",
+    "os.scandir": "os.scandir order is filesystem-dependent",
+}
+_UNORDERED_FS_TAILS = {
+    "iterdir": "Path.iterdir order is filesystem-dependent",
+    "glob": "glob order is filesystem-dependent",
+    "rglob": "rglob order is filesystem-dependent",
+}
+
+
+def _classify_call(raw: str) -> str | None:
+    name = strip_self(raw)
+    reason = _NONDETERMINISTIC.get(name)
+    if reason is not None:
+        return reason
+    for tail, tail_reason in _NONDETERMINISTIC.items():
+        if name.endswith(f".{tail}"):
+            return tail_reason
+    if name.startswith("secrets."):
+        return "cryptographic randomness"
+    return None
+
+
+def _classify_fs(raw: str) -> str | None:
+    name = strip_self(raw)
+    if name in _UNORDERED_FS:
+        return _UNORDERED_FS[name]
+    tail = name.rsplit(".", 1)[-1]
+    if "." in name and tail in _UNORDERED_FS_TAILS:
+        return _UNORDERED_FS_TAILS[tail]
+    return None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        head = dotted_name(node.func)
+        return head in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: a | b, a & b, a - b on sets stays a set; only treat
+        # it as one when either side visibly is
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _sorted_args(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[ast.AST]:
+    """Every node appearing as a direct argument of ``sorted(...)``."""
+    wrapped: set[ast.AST] = set()
+    for node in _own_statements(fn):
+        if (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func) == "sorted"
+            and node.args
+        ):
+            wrapped.add(node.args[0])
+    return wrapped
+
+
+class FoldDeterminismChecker(Checker):
+    id = "RA007"
+    title = "nondeterminism reachable from a fold path"
+
+    def check(self, sources: list[SourceFile], context: LintContext) -> list[Finding]:
+        graph: ProjectGraph = context.project_graph(sources)
+        roots = {
+            fqn
+            for fqn, info in graph.functions.items()
+            if info.cls is not None
+            and any(hint in info.cls for hint in _ROOT_CLASS_HINTS)
+            and (info.node.name == "sweep" or "fold" in info.node.name)
+        }
+        chains = graph.closure(roots)
+        findings: list[Finding] = []
+        for fqn, chain in chains.items():
+            info = graph.functions[fqn]
+            findings.extend(self._scan(graph, fqn, chain, info))
+        context.note("ra007_roots", len(roots))
+        context.note("ra007_reachable", len(chains))
+        return findings
+
+    def _scan(
+        self,
+        graph: ProjectGraph,
+        fqn: str,
+        chain: list[str],
+        info: FunctionInfo,
+    ) -> list[Finding]:
+        mod = graph.module_of(fqn)
+        qualname = fqn.partition(":")[2]
+        shown = [graph.display(hop, relative_to=mod) for hop in chain]
+        where = (
+            f"in {qualname}"
+            if len(chain) == 1
+            else f"in {qualname} (fold path: {' -> '.join(shown)})"
+        )
+
+        def finding(line: int, message: str) -> Finding:
+            return Finding(
+                path=graph.source_of(fqn).rel,
+                line=line,
+                checker=self.id,
+                symbol=qualname,
+                message=f"{message} {where}",
+            )
+
+        findings: list[Finding] = []
+        sorted_wrapped = _sorted_args(info.node)
+
+        # locals assigned a set expression in this function
+        set_locals: set[str] = set()
+        for node in _own_statements(info.node):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        set_locals.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_set_expr(node.value) and isinstance(
+                    node.target, ast.Name
+                ):
+                    set_locals.add(node.target.id)
+
+        def iter_is_unordered(expr: ast.expr) -> bool:
+            if expr in sorted_wrapped:
+                return False
+            if _is_set_expr(expr):
+                return True
+            return isinstance(expr, ast.Name) and expr.id in set_locals
+
+        for node in _own_statements(info.node):
+            if isinstance(node, ast.Call):
+                raw = dotted_name(node.func)
+                if raw is None:
+                    continue
+                reason = _classify_call(raw)
+                if reason is not None:
+                    findings.append(
+                        finding(
+                            node.lineno,
+                            f"{strip_self(raw)}() is nondeterministic "
+                            f"({reason})",
+                        )
+                    )
+                    continue
+                fs_reason = _classify_fs(raw)
+                if fs_reason is not None and node not in sorted_wrapped:
+                    findings.append(
+                        finding(
+                            node.lineno,
+                            f"{strip_self(raw)}() without sorted(): "
+                            f"{fs_reason}",
+                        )
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if iter_is_unordered(node.iter):
+                    findings.append(
+                        finding(
+                            node.lineno,
+                            "iterates a bare set (salted, per-process "
+                            "order); sort it before folding",
+                        )
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if iter_is_unordered(gen.iter):
+                        findings.append(
+                            finding(
+                                node.lineno,
+                                "comprehension over a bare set (salted, "
+                                "per-process order); sort it before folding",
+                            )
+                        )
+        return findings

@@ -1,0 +1,207 @@
+"""RA006: the error envelope must round-trip server -> wire -> client.
+
+``wire.error_payload`` ships failures as ``{"error_type": type(exc).__name__,
+"error": str(exc)}`` and the clients rebuild the original exception class by
+looking the name up in ``wire._ERROR_TYPES``.  That table is the contract's
+narrow waist, and it drifts in three ways this checker pins down statically:
+
+* a ``raise SomeError(...)`` reachable from a server ``_route`` handler —
+  through any number of helpers, across modules, via the project-wide call
+  graph — whose class name has no ``_ERROR_TYPES`` entry reaches the client
+  as a bare ``RuntimeError``, erasing the type the caller matches on;
+* ``RemoteSession`` / ``AsyncRemoteSession`` must actually route error
+  payloads through ``wire.raise_remote_error`` (the single decoder);
+* the decoder itself must consult ``_ERROR_TYPES`` — delete the table's use
+  and every entry silently stops mattering.
+
+Re-raises (bare ``raise``), raises of variables (``raise exc_type(msg)``,
+lowercase head), and ``assert`` statements are out of scope: the first two
+preserve an already-enveloped type, the last is a programming-error trap
+the envelope intentionally maps to 500.  When the tree under analysis has
+no ``_ERROR_TYPES`` table or no ``_route`` handler (fixture subsets), the
+checker is a no-op rather than flagging everything unreachable.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import ProjectGraph, _own_statements
+from repro.analysis.checkers import Checker, LintContext
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["ErrorEnvelopeChecker"]
+
+#: Client classes that must decode the envelope (exact class names).
+_CLIENT_CLASSES = ("RemoteSession", "AsyncRemoteSession")
+
+_DECODER = "raise_remote_error"
+
+
+def _error_table(tree: ast.Module) -> tuple[set[str], int] | None:
+    """``(keys, lineno)`` of a top-level ``_ERROR_TYPES = {...}`` dict."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+        else:
+            continue
+        if "_ERROR_TYPES" not in targets:
+            continue
+        if not isinstance(node.value, ast.Dict):
+            continue
+        keys = {
+            k.value
+            for k in node.value.keys
+            if isinstance(k, ast.Constant) and isinstance(k.value, str)
+        }
+        return keys, node.lineno
+    return None
+
+
+def _raised_name(node: ast.Raise) -> tuple[str, int] | None:
+    """Class name raised, or ``None`` for re-raises/variables/attributes."""
+    exc = node.exc
+    if exc is None:  # bare re-raise: preserves an already-checked type
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    while isinstance(exc, ast.Attribute):
+        exc = ast.Name(id=exc.attr, ctx=ast.Load(), lineno=node.lineno)
+    if not isinstance(exc, ast.Name):
+        return None
+    name = exc.id
+    if not name[:1].isupper():  # ``raise exc_type(message)`` — a variable
+        return None
+    return name, node.lineno
+
+
+class ErrorEnvelopeChecker(Checker):
+    id = "RA006"
+    title = "error-envelope contract drift"
+
+    def check(self, sources: list[SourceFile], context: LintContext) -> list[Finding]:
+        graph: ProjectGraph = context.project_graph(sources)
+
+        wire_mod = wire_source = table = None
+        for mod_name, mod_graph in graph.modules.items():
+            found = _error_table(mod_graph.source.tree)
+            if found is not None:
+                wire_mod, wire_source, table = mod_name, mod_graph.source, found[0]
+                break
+
+        routes = [fqn for fqn in graph.functions if fqn.endswith("._route")]
+        if table is None or not routes:
+            return []  # fixture subset without the full contract surface
+
+        findings: list[Finding] = []
+
+        # Leg 1: every raise reachable from a _route handler maps to a key.
+        chains = graph.closure(routes)
+        raise_sites = 0
+        for fqn, chain in chains.items():
+            info = graph.functions[fqn]
+            for node in _own_statements(info.node):
+                if not isinstance(node, ast.Raise):
+                    continue
+                named = _raised_name(node)
+                if named is None:
+                    continue
+                raise_sites += 1
+                name, line = named
+                if name in table:
+                    continue
+                mod = graph.module_of(fqn)
+                shown = [graph.display(hop, relative_to=mod) for hop in chain]
+                findings.append(
+                    Finding(
+                        path=graph.source_of(fqn).rel,
+                        line=line,
+                        checker=self.id,
+                        symbol=fqn.partition(":")[2],
+                        message=(
+                            f"raises {name} on a server path "
+                            f"({' -> '.join(shown)}) but "
+                            f"wire._ERROR_TYPES has no {name!r} entry; "
+                            "the client will see a bare RuntimeError — "
+                            "add the entry or raise a mapped type"
+                        ),
+                    )
+                )
+
+        # Leg 2: both clients must route errors through the decoder.
+        decoders = 0
+        for cls in _CLIENT_CLASSES:
+            calls_decoder = any(
+                info.cls == cls
+                and any(
+                    site.raw.rpartition(".")[2] == _DECODER
+                    for site in info.calls
+                )
+                for info in graph.functions.values()
+            )
+            has_class = any(
+                info.cls == cls for info in graph.functions.values()
+            )
+            if not has_class:
+                continue
+            if calls_decoder:
+                decoders += 1
+                continue
+            source, line = self._class_site(graph, cls)
+            findings.append(
+                Finding(
+                    path=source.rel,
+                    line=line,
+                    checker=self.id,
+                    symbol=cls,
+                    message=(
+                        f"{cls} never calls wire.{_DECODER}(); error "
+                        "envelopes from the server would surface as raw "
+                        "payload dicts instead of typed exceptions"
+                    ),
+                )
+            )
+
+        # Leg 3: the decoder must actually consult the table.
+        decoder_fqn = f"{wire_mod}:{_DECODER}"
+        decoder_info = graph.functions.get(decoder_fqn)
+        if decoder_info is not None:
+            uses_table = any(
+                isinstance(node, ast.Name) and node.id == "_ERROR_TYPES"
+                for node in _own_statements(decoder_info.node)
+            )
+            if not uses_table:
+                findings.append(
+                    Finding(
+                        path=wire_source.rel,
+                        line=decoder_info.node.lineno,
+                        checker=self.id,
+                        symbol=_DECODER,
+                        message=(
+                            f"{_DECODER}() no longer reads _ERROR_TYPES; "
+                            "every entry in the table is dead and all "
+                            "remote errors collapse to one type"
+                        ),
+                    )
+                )
+
+        context.note("ra006_error_types", len(table))
+        context.note("ra006_server_raises", raise_sites)
+        context.note("ra006_decoders", decoders)
+        return findings
+
+    @staticmethod
+    def _class_site(graph: ProjectGraph, cls: str) -> tuple[SourceFile, int]:
+        """Where ``cls`` is defined (its first method's source/line)."""
+        best: tuple[SourceFile, int] | None = None
+        for fqn, info in graph.functions.items():
+            if info.cls != cls:
+                continue
+            site = (graph.source_of(fqn), info.node.lineno)
+            if best is None or site[1] < best[1]:
+                best = site
+        assert best is not None
+        return best

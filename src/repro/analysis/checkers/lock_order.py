@@ -1,0 +1,307 @@
+"""RA005: lock-acquisition ordering across modules (ABBA deadlocks).
+
+Two threads that acquire the same pair of locks in opposite orders will,
+eventually, deadlock — the classic failure is two :class:`MemoCache`
+instances merging into each other from two threads.  ``merge_from`` dodges
+it with the documented snapshot-then-fold discipline (snapshot under the
+*source* lock, release, fold under *ours* — never holding both), and this
+checker is the machine proof that the discipline holds everywhere:
+
+* every ``with``/``async with`` on an expression whose final attribute
+  smells like a lock (``self._lock``, ``other._lock``, ``server.lock``,
+  module-level ``_LOCK``) is an **acquisition site**;
+* the lock's identity is its owning class (``self``/``cls`` -> the enclosing
+  class; parameters resolve through their annotations, across modules) plus
+  the attribute name — so ``self._lock`` and ``other._lock`` inside
+  ``MemoCache.merge_from`` are the *same* lock key held by *different*
+  instances;
+* nesting creates an ordered edge ``outer -> inner``; so does calling — via
+  the project-wide call graph — any function that (transitively) acquires a
+  lock while one is held;
+* any cycle in the resulting lock-order graph is a finding.  A same-key
+  edge counts only when the two receivers differ (``self`` then ``other``
+  is the two-instance deadlock; re-entering ``self._lock`` is what RLock is
+  for), and same-key edges are never inferred across calls (receivers
+  cannot be tracked through a call, and ``flush -> dump`` style reentrancy
+  would drown the signal in false positives).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import FunctionInfo, ProjectGraph, dotted_name
+from repro.analysis.checkers import Checker, LintContext
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["LockOrderChecker"]
+
+#: First dotted token of a type annotation: ``"MemoCache | str"`` -> MemoCache
+_ANNOTATION_HEAD = re.compile(r"[A-Za-z_][\w.]*")
+
+
+def _lock_expr(node: ast.expr) -> tuple[str, str] | None:
+    """``(receiver_root, attr)`` when ``node`` looks like a lock expression.
+
+    ``self._lock`` -> ("self", "_lock"); module-level ``_LOCK`` -> ("", "_LOCK").
+    """
+    if isinstance(node, ast.Attribute) and "lock" in node.attr.lower():
+        root = dotted_name(node.value)
+        if root is not None and "(" not in root and "[" not in root:
+            return (root, node.attr)
+    if isinstance(node, ast.Name) and "lock" in node.id.lower():
+        return ("", node.id)
+    return None
+
+
+def _annotation_head(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        match = _ANNOTATION_HEAD.search(node.value)
+        return match.group(0) if match else None
+    return dotted_name(node)
+
+
+@dataclass
+class _Acquisition:
+    key: str  #: canonical lock identity, e.g. ``mod:MemoCache._lock``
+    receiver: str  #: the receiver root as written (``self``, ``other``…)
+    line: int
+    fqn: str  #: function holding/acquiring
+
+
+@dataclass
+class _Edge:
+    outer: _Acquisition
+    inner: _Acquisition
+    via_call: str | None = None  #: callee fqn when the edge crosses a call
+
+
+class _FunctionScan(ast.NodeVisitor):
+    """Lock scopes and the calls made inside them, for one function body."""
+
+    def __init__(self, keyer):
+        self.keyer = keyer  #: (receiver_root, attr) -> key | None
+        self.held: list[_Acquisition] = []
+        self.acquisitions: list[_Acquisition] = []
+        self.nested: list[tuple[_Acquisition, _Acquisition]] = []
+        #: (held acquisition, ast.Call) for every call made under a lock
+        self.calls_under: list[tuple[_Acquisition, ast.Call]] = []
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: list[_Acquisition] = []
+        for item in node.items:
+            lock = _lock_expr(item.context_expr)
+            if lock is None:
+                continue
+            acq = self.keyer(lock[0], lock[1], item.context_expr.lineno)
+            if acq is None:
+                continue
+            acquired.append(acq)
+            self.acquisitions.append(acq)
+            for outer in self.held:
+                self.nested.append((outer, acq))
+            self.held.append(acq)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for outer in self.held:
+            self.calls_under.append((outer, node))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # a nested def is its own scope: it runs when *called*, not here —
+        # its body neither holds our locks nor contributes acquisitions
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+
+class LockOrderChecker(Checker):
+    id = "RA005"
+    title = "lock-order cycle (potential deadlock)"
+
+    def check(self, sources: list[SourceFile], context: LintContext) -> list[Finding]:
+        graph: ProjectGraph = context.project_graph(sources)
+        scans: dict[str, _FunctionScan] = {}
+        for fqn, info in graph.functions.items():
+            scans[fqn] = self._scan(graph, fqn, info)
+        direct_keys = {
+            fqn: {a.key for a in scan.acquisitions}
+            for fqn, scan in scans.items()
+        }
+
+        # locks transitively acquired from each function (cycle-safe BFS)
+        reach_cache: dict[str, frozenset[str]] = {}
+
+        def locks_reached(fqn: str) -> frozenset[str]:
+            cached = reach_cache.get(fqn)
+            if cached is not None:
+                return cached
+            seen = {fqn}
+            frontier = [fqn]
+            keys: set[str] = set()
+            while frontier:
+                current = frontier.pop()
+                keys |= direct_keys.get(current, set())
+                for _site, callee in graph.calls.get(current, ()):
+                    if callee is not None and callee not in seen:
+                        seen.add(callee)
+                        frontier.append(callee)
+            out = frozenset(keys)
+            reach_cache[fqn] = out
+            return out
+
+        edges: list[_Edge] = []
+        for fqn, scan in scans.items():
+            for outer, inner in scan.nested:
+                if outer.key != inner.key or outer.receiver != inner.receiver:
+                    edges.append(_Edge(outer, inner))
+            for outer, call in scan.calls_under:
+                raw = dotted_name(call.func)
+                if raw is None:
+                    continue
+                callee = None
+                for _site, resolved in graph.calls.get(fqn, ()):
+                    if _site.node is call:
+                        callee = resolved
+                        break
+                if callee is None:
+                    continue
+                for key in locks_reached(callee):
+                    if key != outer.key:  # same-key via call: untrackable
+                        inner = _Acquisition(
+                            key=key,
+                            receiver="<callee>",
+                            line=call.lineno,
+                            fqn=fqn,
+                        )
+                        edges.append(_Edge(outer, inner, via_call=callee))
+
+        findings = self._find_cycles(graph, edges)
+        context.note(
+            "ra005_lock_sites",
+            sum(len(s.acquisitions) for s in scans.values()),
+        )
+        context.note("ra005_lock_keys", len({a.key for s in scans.values() for a in s.acquisitions}))
+        context.note("ra005_order_edges", len(edges))
+        return findings
+
+    def _scan(
+        self, graph: ProjectGraph, fqn: str, info: FunctionInfo
+    ) -> _FunctionScan:
+        mod = graph.module_of(fqn)
+        annotations: dict[str, str | None] = {}
+        args = info.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            annotations[arg.arg] = _annotation_head(arg.annotation)
+
+        def keyer(receiver: str, attr: str, line: int) -> _Acquisition | None:
+            root = receiver.split(".")[0] if receiver else ""
+            if root in ("self", "cls") and info.cls is not None:
+                key = f"{mod}:{info.cls}.{attr}"
+            elif root == "":
+                key = f"{mod}:{attr}"  # module-level lock
+            else:
+                annotated = annotations.get(root)
+                located = (
+                    graph._locate_class(mod, annotated) if annotated else None
+                )
+                if located is None:
+                    return None  # untyped receiver: no sound identity
+                key = f"{located[0]}:{located[1]}.{attr}"
+            return _Acquisition(key=key, receiver=root, line=line, fqn=fqn)
+
+        scan = _FunctionScan(keyer)
+        for stmt in info.node.body:
+            scan.visit(stmt)
+        return scan
+
+    def _find_cycles(
+        self, graph: ProjectGraph, edges: list[_Edge]
+    ) -> list[Finding]:
+        adjacency: dict[str, set[str]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge.outer.key, set()).add(edge.inner.key)
+
+        def reaches(start: str, goal: str) -> bool:
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                for nxt in adjacency.get(frontier.pop(), ()):
+                    if nxt == goal:
+                        return True
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            return False
+
+        def shown(key: str) -> str:
+            return key.partition(":")[2]
+
+        findings: list[Finding] = []
+        reported: set[tuple[str, str]] = set()
+        for edge in edges:
+            a, b = edge.outer.key, edge.inner.key
+            if a == b:
+                # two instances of the same class, nested: the two-thread
+                # mirror image of this site is the deadlock
+                pair = (a, b)
+                if pair in reported:
+                    continue
+                reported.add(pair)
+                mod = graph.module_of(edge.inner.fqn)
+                findings.append(
+                    Finding(
+                        path=graph.source_of(edge.inner.fqn).rel,
+                        line=edge.inner.line,
+                        checker=self.id,
+                        symbol=edge.inner.fqn.partition(":")[2],
+                        message=(
+                            f"acquires {shown(a)} of one instance "
+                            f"({edge.inner.receiver!r}) while holding it on "
+                            f"another ({edge.outer.receiver!r}); two threads "
+                            "doing this in opposite directions deadlock — "
+                            "snapshot under one lock, then fold under the "
+                            "other (see MemoCache.merge_from)"
+                        ),
+                    )
+                )
+                continue
+            if not reaches(b, a):
+                continue
+            pair = tuple(sorted((a, b)))
+            if pair in reported:
+                continue
+            reported.add(pair)
+            via = (
+                f" via {graph.display(edge.via_call, relative_to=graph.module_of(edge.inner.fqn))}()"
+                if edge.via_call
+                else ""
+            )
+            findings.append(
+                Finding(
+                    path=graph.source_of(edge.inner.fqn).rel,
+                    line=edge.inner.line,
+                    checker=self.id,
+                    symbol=edge.inner.fqn.partition(":")[2],
+                    message=(
+                        f"lock-order cycle: {shown(a)} -> {shown(b)} here"
+                        f"{via}, but {shown(b)} -> {shown(a)} elsewhere; "
+                        "pick one global acquisition order or drop to the "
+                        "snapshot-then-fold pattern"
+                    ),
+                )
+            )
+        return findings

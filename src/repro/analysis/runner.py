@@ -10,10 +10,21 @@ Defaults are discovery-based so ``repro lint`` works from a checkout *and*
 against an installed package: the source root falls back to the ``repro``
 package directory, the docs/baseline to the enclosing repo root (the first
 ancestor holding ``pyproject.toml``) when one exists.
+
+Because the interesting checkers are *cross-module* (the project-wide call
+graph couples every file to every other), per-file incremental re-analysis
+would be unsound — editing ``wire.py`` can change a finding in
+``coordinator.py``.  The result cache is therefore whole-run: one entry
+keyed by the content hash of every input (file texts, docs, baseline,
+checker selection, and each checker's ``version``).  A warm run on an
+unchanged tree skips parsing and checking entirely — the hot path hashes
+file bytes and deserializes the previous result — and any edit anywhere
+invalidates the whole entry.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -27,9 +38,10 @@ from repro.analysis.findings import (
     save_baseline,
     scan_waivers,
 )
-from repro.analysis.source import SourceFile, collect_sources
+from repro.analysis.source import SourceFile, collect_source_texts
 
 __all__ = [
+    "CACHE_FILENAME",
     "LintOptions",
     "LintResult",
     "default_src_root",
@@ -38,6 +50,12 @@ __all__ = [
     "result_to_json",
     "run_lint",
 ]
+
+#: Whole-run result cache, one entry, written at the repo root by default.
+CACHE_FILENAME = ".repro-lint-cache.json"
+
+#: Bump to invalidate every cache entry (serialization format changes).
+_CACHE_VERSION = 1
 
 
 def default_src_root() -> Path:
@@ -62,6 +80,8 @@ class LintOptions:
     docs_path: Path | None = None
     baseline_path: Path | None = None
     select: set[str] | None = None  #: checker ids to run (None = all)
+    cache_path: Path | None = None  #: whole-run result cache location
+    use_cache: bool = True
 
     def resolve(self) -> "LintOptions":
         """Fill unset fields via discovery; explicit values always win."""
@@ -75,8 +95,16 @@ class LintOptions:
         if baseline is None and root is not None:
             candidate = root / "lint-baseline.json"
             baseline = candidate if candidate.exists() else None
+        cache = self.cache_path
+        if cache is None and self.use_cache and root is not None:
+            cache = root / CACHE_FILENAME
         return LintOptions(
-            paths=paths, docs_path=docs, baseline_path=baseline, select=self.select
+            paths=paths,
+            docs_path=docs,
+            baseline_path=baseline,
+            select=self.select,
+            cache_path=cache,
+            use_cache=self.use_cache,
         )
 
 
@@ -103,19 +131,133 @@ class LintResult:
         )
 
 
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8", "surrogateescape")).hexdigest()
+
+
+def _cache_key(
+    options: LintOptions, texts: list[tuple[str, str]], docs_text: str | None
+) -> dict:
+    """Everything that can change the result, content-addressed."""
+    return {
+        "version": _CACHE_VERSION,
+        "files": {rel: _sha256(text) for rel, text in texts},
+        "docs": _sha256(docs_text) if docs_text is not None else None,
+        "baseline": (
+            _sha256(options.baseline_path.read_text())
+            if options.baseline_path is not None and options.baseline_path.exists()
+            else None
+        ),
+        "select": sorted(options.select) if options.select else None,
+        "checkers": {c.id: c.version for c in ALL_CHECKERS},
+    }
+
+
+def _finding_to_cache(finding: Finding) -> dict:
+    return finding.to_dict()
+
+
+def _finding_from_cache(entry: dict) -> Finding:
+    return Finding(
+        path=entry["path"],
+        line=entry["line"],
+        checker=entry["checker"],
+        message=entry["message"],
+        symbol=entry.get("symbol", ""),
+    )
+
+
+def _result_to_cache(result: LintResult) -> dict:
+    return {
+        "findings": [_finding_to_cache(f) for f in result.findings],
+        "waived": [
+            {
+                "finding": _finding_to_cache(f),
+                "waiver": {**w.to_dict(), "applies_to": list(w.applies_to)},
+            }
+            for f, w in result.waived
+        ],
+        "baselined": [_finding_to_cache(f) for f in result.baselined],
+        "files": result.files,
+        "checkers": result.checkers,
+        "summary": result.summary,
+    }
+
+
+def _result_from_cache(payload: dict) -> LintResult:
+    waived = [
+        (
+            _finding_from_cache(entry["finding"]),
+            Waiver(
+                path=entry["waiver"]["path"],
+                line=entry["waiver"]["line"],
+                checkers=tuple(entry["waiver"]["checkers"]),
+                reason=entry["waiver"]["reason"],
+                applies_to=tuple(entry["waiver"].get("applies_to", ())),
+            ),
+        )
+        for entry in payload["waived"]
+    ]
+    return LintResult(
+        findings=[_finding_from_cache(e) for e in payload["findings"]],
+        waived=waived,
+        baselined=[_finding_from_cache(e) for e in payload["baselined"]],
+        files=list(payload["files"]),
+        checkers=list(payload["checkers"]),
+        summary=dict(payload["summary"]),
+    )
+
+
+def _cache_lookup(path: Path, key: dict) -> LintResult | None:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("key") != key:
+        return None
+    try:
+        return _result_from_cache(payload["result"])
+    except (KeyError, TypeError):  # truncated/foreign cache: treat as cold
+        return None
+
+
+def _cache_store(path: Path, key: dict, result: LintResult) -> None:
+    try:
+        path.write_text(
+            json.dumps({"key": key, "result": _result_to_cache(result)}) + "\n"
+        )
+    except OSError:  # read-only checkout: caching is best-effort
+        pass
+
+
 def run_lint(
     options: LintOptions | None = None, *, sources: list[SourceFile] | None = None
 ) -> LintResult:
     """Run the analysis pass; ``sources`` overrides file collection (tests)."""
     options = (options or LintOptions()).resolve()
-    if sources is None:
-        sources = []
-        for path in options.paths:
-            sources.extend(collect_sources(path))
-    context = LintContext(summary={})
+    docs_text: str | None = None
     if options.docs_path is not None and options.docs_path.exists():
+        docs_text = options.docs_path.read_text()
+
+    cache_key: dict | None = None
+    if sources is None:
+        # read texts first: on a warm cache the run ends here, without a
+        # single ast.parse — that is the entire speedup
+        texts: list[tuple[str, str]] = []
+        for path in options.paths:
+            texts.extend(collect_source_texts(path))
+        if options.use_cache and options.cache_path is not None:
+            cache_key = _cache_key(options, texts, docs_text)
+            cached = _cache_lookup(options.cache_path, cache_key)
+            if cached is not None:
+                cached.summary["cache"] = "hit"
+                return cached
+        sources = [SourceFile.from_text(text, rel) for rel, text in texts]
+
+    context = LintContext(summary={})
+    if docs_text is not None:
         context.docs_path = options.docs_path
-        context.docs_text = options.docs_path.read_text()
+        context.docs_text = docs_text
     findings: list[Finding] = []
     waivers: list[Waiver] = []
     checker_ids: list[str] = []
@@ -124,6 +266,10 @@ def run_lint(
             continue
         checker_ids.append(checker_cls.id)
         findings.extend(checker_cls().check(sources, context))
+    if context.graph is not None:
+        context.summary["cross_module_edges"] = len(
+            context.graph.cross_module_edges()
+        )
     for source in sources:
         file_waivers, malformed = scan_waivers(source.rel, source.text)
         waivers.extend(file_waivers)
@@ -137,7 +283,7 @@ def run_lint(
         sorted(set(findings)), waivers, baseline
     )
     context.summary["waivers"] = len(waivers)
-    return LintResult(
+    result = LintResult(
         findings=active,
         waived=waived,
         baselined=baselined,
@@ -145,6 +291,10 @@ def run_lint(
         checkers=checker_ids,
         summary=context.summary,
     )
+    if cache_key is not None and options.cache_path is not None:
+        result.summary["cache"] = "miss"
+        _cache_store(options.cache_path, cache_key, result)
+    return result
 
 
 def write_baseline(result: LintResult, path: Path) -> None:

@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: upload the log from CI with ``codeql-action/upload-sarif``
+and findings annotate the offending lines right in the PR diff.  The
+mapping is intentionally small:
+
+* each checker in ``ALL_CHECKERS`` becomes a rule (``RA001``…);
+* active findings become ``level: error`` results — they are exactly the
+  set that fails the build;
+* waived and baselined findings are emitted too, carrying a
+  ``suppressions`` entry (``inSource`` for inline waivers, ``external``
+  for the committed baseline), so code scanning shows them as dismissed
+  rather than silently dropping them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.findings import Finding, Waiver
+from repro.analysis.runner import LintResult
+
+__all__ = ["result_to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rules() -> list[dict]:
+    return [
+        {
+            "id": checker.id,
+            "name": checker.id,
+            "shortDescription": {"text": checker.title},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for checker in ALL_CHECKERS
+    ]
+
+
+def _result(
+    finding: Finding, *, suppression: dict | None = None
+) -> dict:
+    out = {
+        "ruleId": finding.checker,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+    }
+    if finding.symbol:
+        out["partialFingerprints"] = {
+            "reproLintKey/v1": "|".join(finding.key)
+        }
+    if suppression is not None:
+        out["suppressions"] = [suppression]
+    return out
+
+
+def _waiver_suppression(waiver: Waiver) -> dict:
+    return {
+        "kind": "inSource",
+        "justification": waiver.reason,
+        "location": {
+            "physicalLocation": {
+                "artifactLocation": {"uri": waiver.path},
+                "region": {"startLine": waiver.line},
+            }
+        },
+    }
+
+
+def result_to_sarif(result: LintResult) -> str:
+    results = [_result(f) for f in result.findings]
+    results.extend(
+        _result(f, suppression=_waiver_suppression(w)) for f, w in result.waived
+    )
+    results.extend(
+        _result(f, suppression={"kind": "external", "justification": "lint-baseline.json"})
+        for f in result.baselined
+    )
+    log = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rules(),
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -499,11 +499,50 @@ def cmd_client_stats(args) -> int:
     return 0
 
 
+#: Where ``--changed`` looks for lintable files — the same target set the
+#: CI gate lints.  Tests (and especially ``tests/analysis/fixtures/``, which
+#: contain seeded violations on purpose) are out of scope.
+_LINT_ROOTS = ("src/", "scripts/", "benchmarks/")
+
+
+def _changed_python_files(ref: str):
+    """Lintable Python files touched vs ``ref`` (committed, staged, and
+    untracked), restricted to the CI lint target set."""
+    import subprocess
+    from pathlib import Path
+
+    from repro.analysis.runner import discover_repo_root
+
+    root = discover_repo_root(Path.cwd()) or Path.cwd()
+    names: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            cmd, cwd=root, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"repro lint --changed: {' '.join(cmd)} failed: "
+                f"{proc.stderr.strip()}"
+            )
+        names.update(line.strip() for line in proc.stdout.splitlines())
+    return [
+        root / name
+        for name in sorted(names)
+        if name.endswith(".py")
+        and name.startswith(_LINT_ROOTS)
+        and (root / name).exists()
+    ]
+
+
 def cmd_lint(args) -> int:
     """Run the repo's own static-analysis pass (`repro lint`).
 
-    Four AST checkers (RA001-RA004) prove the service layer's concurrency
-    and wire contracts; see docs/development.md for the catalog and the
+    Seven AST checkers (RA001-RA007) prove the service layer's concurrency,
+    wire, and fold-determinism contracts — RA001/RA005/RA006/RA007 over one
+    project-wide call graph; see docs/development.md for the catalog and the
     waiver/baseline syntax.  Exits 1 when any unsuppressed finding remains.
     """
     from pathlib import Path
@@ -512,15 +551,28 @@ def cmd_lint(args) -> int:
         LintOptions,
         format_text,
         result_to_json,
+        result_to_sarif,
         run_lint,
     )
     from repro.analysis.runner import discover_repo_root, write_baseline
 
+    paths = [Path(p) for p in args.paths]
+    use_cache = not args.no_cache
+    if args.changed is not None:
+        changed = _changed_python_files(args.changed)
+        if not changed:
+            print(f"repro lint: no Python files changed vs {args.changed}")
+            return 0
+        paths = changed
+        # a subset run must not overwrite the whole-tree cache entry
+        use_cache = False
     options = LintOptions(
-        paths=[Path(p) for p in args.paths],
+        paths=paths,
         docs_path=Path(args.docs) if args.docs else None,
         baseline_path=Path(args.baseline) if args.baseline else None,
         select=set(args.select.split(",")) if args.select else None,
+        cache_path=Path(args.cache) if args.cache else None,
+        use_cache=use_cache,
     )
     result = run_lint(options)
     if args.write_baseline:
@@ -534,6 +586,8 @@ def cmd_lint(args) -> int:
         return 0
     if args.format == "json":
         print(result_to_json(result))
+    elif args.format == "sarif":
+        print(result_to_sarif(result))
     else:
         print(format_text(result, verbose=args.verbose))
     return 0 if result.ok else 1
@@ -705,7 +759,7 @@ def main(argv: list[str] | None = None) -> int:
     c_tail.set_defaults(func=cmd_client_tail_job)
 
     p_lint = sub.add_parser(
-        "lint", help="run the repo's static-analysis pass (checkers RA001-RA004)"
+        "lint", help="run the repo's static-analysis pass (checkers RA001-RA007)"
     )
     p_lint.add_argument(
         "paths",
@@ -720,7 +774,30 @@ def main(argv: list[str] | None = None) -> int:
         "(default: docs/service-api.md at the repo root, if present)",
     )
     p_lint.add_argument(
-        "--format", choices=("text", "json"), default="text", help="output format"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (sarif suits GitHub code scanning uploads)",
+    )
+    p_lint.add_argument(
+        "--changed",
+        nargs="?",
+        metavar="REF",
+        const="HEAD",
+        default=None,
+        help="lint only Python files changed vs REF (default HEAD) plus "
+        "untracked ones — the fast pre-commit mode",
+    )
+    p_lint.add_argument(
+        "--cache",
+        metavar="JSON",
+        help="result-cache file (default: .repro-lint-cache.json at the "
+        "repo root)",
+    )
+    p_lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the result cache",
     )
     p_lint.add_argument(
         "--baseline",

@@ -1,0 +1,47 @@
+"""RA005 fixture: lock-order cycles, plus the disciplined patterns.
+
+``AbbaPair`` seeds the classic two-lock inversion; ``TwoInstanceMerge``
+seeds the subtler same-class trap (hold *our* lock while taking the same
+lock on *another* instance) next to the snapshot-then-fold fix.
+"""
+
+import threading
+
+
+class AbbaPair:
+    def __init__(self):
+        self._state_lock = threading.Lock()
+        self._io_lock = threading.Lock()
+        self.state = {}
+
+    def forward(self):
+        with self._state_lock:
+            # SEEDED: state_lock -> io_lock here, io_lock -> state_lock in
+            # backward(): two threads deadlock
+            with self._io_lock:
+                self.state["io"] = True
+
+    def backward(self):
+        with self._io_lock:
+            with self._state_lock:
+                self.state["io"] = False
+
+
+class TwoInstanceMerge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def merge_bad(self, other: "TwoInstanceMerge"):
+        # SEEDED: holds self._lock while acquiring other._lock — the same
+        # lock on two instances; a.merge_bad(b) racing b.merge_bad(a) hangs
+        with self._lock:
+            with other._lock:
+                self._data.update(other._data)
+
+    def merge_good(self, other: "TwoInstanceMerge"):
+        # snapshot-then-fold: never holds both locks at once
+        with other._lock:
+            theirs = dict(other._data)
+        with self._lock:
+            self._data.update(theirs)

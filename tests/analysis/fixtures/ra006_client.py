@@ -1,0 +1,17 @@
+"""RA006 fixture: both client classes route errors through the decoder."""
+
+from fixsvc import wire
+
+
+class RemoteSession:
+    def _call(self, payload):
+        if "error_type" in payload:
+            wire.raise_remote_error(payload)
+        return payload
+
+
+class AsyncRemoteSession:
+    async def _call(self, payload):
+        if "error_type" in payload:
+            wire.raise_remote_error(payload)
+        return payload

@@ -1,0 +1,25 @@
+"""RA006 fixture: a server whose handler tree raises one unmapped type."""
+
+from fixsvc import wire
+
+
+class MiniServer:
+    async def _route(self, method, path, payload):
+        if path == "/v1/schema" and payload.get("v") != 1:
+            raise wire.SchemaVersionError("unsupported schema")
+        if path == "/v1/jobs":
+            return self._submit(payload)
+        raise LookupError(path)
+
+    def _submit(self, payload):
+        if "design" not in payload:
+            raise ValueError("missing design")
+        if payload.get("admin"):
+            # SEEDED: PermissionError has no _ERROR_TYPES entry — the
+            # client would see a bare RuntimeError
+            raise PermissionError("admin endpoints are disabled")
+        return {"ok": True}
+
+    def not_a_server_path(self):
+        # unreachable from _route: an unmapped raise here is fine
+        raise OSError("local-only failure")

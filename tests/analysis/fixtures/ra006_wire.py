@@ -1,0 +1,17 @@
+"""RA006 fixture: the miniature wire module (the error-envelope waist)."""
+
+
+class SchemaVersionError(ValueError):
+    pass
+
+
+_ERROR_TYPES: dict = {
+    "SchemaVersionError": SchemaVersionError,
+    "LookupError": LookupError,
+    "ValueError": ValueError,
+}
+
+
+def raise_remote_error(payload):
+    exc_type = _ERROR_TYPES.get(payload.get("error_type", ""), RuntimeError)
+    raise exc_type(payload.get("error", "remote failure"))

@@ -1,0 +1,36 @@
+"""RA007 fixture: a fold path with seeded nondeterminism beside clean code."""
+
+import time
+
+
+class MiniCoordinator:
+    def sweep(self, shards):
+        rows = []
+        for shard in shards:
+            rows.extend(self._fold_rows(shard))
+        rows.extend(self.sorted_fold(shards))
+        return rows
+
+    def _fold_rows(self, shard):
+        # SEEDED: iterating a bare set — salted, per-process order
+        seen = set(shard)
+        out = []
+        for item in seen:
+            out.append(self._stamp(item))
+        return out
+
+    def _stamp(self, item):
+        # SEEDED: wall-clock read two hops down the fold path
+        return (item, time.time())
+
+    def sorted_fold(self, shards):
+        # sorting the set restores a stable order: not a finding
+        return [item for item in sorted(set(shards))]
+
+
+class MiniSession:
+    def sweep(self, designs):
+        # Session classes are transport, not fold executors: retry jitter
+        # here is legitimate and must not be flagged
+        time.sleep(0.01)
+        return designs
