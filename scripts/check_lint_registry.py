@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Registry-drift gate: checkers, SARIF rules, and the docs catalog agree.
+
+The analysis pass has three views of "which checkers exist":
+
+1. the code registry — ``repro.analysis.checkers.ALL_CHECKERS``;
+2. the SARIF ``rules`` table emitted for GitHub code scanning
+   (``repro.analysis.sarif._rules``), which must advertise exactly the
+   registered checkers or code-scanning alerts point at ghost rules;
+3. the checker catalog table in ``docs/development.md``, which is what a
+   developer deciding whether to waive a finding actually reads.
+
+Adding a checker and forgetting one of the three is silent drift until a
+human trips over it, so CI runs this after ``repro lint``.  On
+disagreement the exit code is 1 and the diff names every side: which ids
+are code-only, docs-only, or missing from SARIF — readable enough to fix
+from the message alone.
+
+Locally::
+
+    PYTHONPATH=src python scripts/check_lint_registry.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: catalog rows look like ``| `RA008` | wire-taint | ... |``; the RA000
+#: pragma row counts — it renders in SARIF findings too (malformed waivers).
+_DOC_ROW_RE = re.compile(r"^\|\s*`(RA\d{3})`\s*\|", re.MULTILINE)
+
+
+def checker_ids() -> set[str]:
+    from repro.analysis.checkers import ALL_CHECKERS
+
+    return {checker.id for checker in ALL_CHECKERS}
+
+
+def sarif_rule_ids() -> set[str]:
+    from repro.analysis.sarif import _rules
+
+    return {rule["id"] for rule in _rules()}
+
+
+def docs_catalog_ids(docs_path: Path) -> set[str]:
+    return set(_DOC_ROW_RE.findall(docs_path.read_text()))
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--docs",
+        type=Path,
+        default=REPO / "docs" / "development.md",
+        help="catalog file to check (tests point this at doctored copies)",
+    )
+    args = parser.parse_args(argv)
+
+    code = checker_ids()
+    sarif = sarif_rule_ids()
+    docs = docs_catalog_ids(args.docs)
+    # RA000 is not a checker class (waiver scanning lives in the runner),
+    # but it emits findings, so docs and SARIF must still cover it
+    emitted = code | {"RA000"}
+
+    problems: list[str] = []
+    for missing in sorted(emitted - sarif):
+        problems.append(
+            f"{missing}: registered in ALL_CHECKERS but absent from the "
+            "SARIF rules table — its code-scanning alerts would point at a "
+            "ghost rule (fix repro/analysis/sarif.py)"
+        )
+    for ghost in sorted(sarif - emitted):
+        problems.append(
+            f"{ghost}: advertised in the SARIF rules table but not a "
+            "registered checker — remove it or register the checker"
+        )
+    for missing in sorted(emitted - docs):
+        problems.append(
+            f"{missing}: registered in ALL_CHECKERS but missing a catalog "
+            "row in docs/development.md — document it before shipping it"
+        )
+    for ghost in sorted(docs - emitted):
+        problems.append(
+            f"{ghost}: documented in docs/development.md but not a "
+            "registered checker — stale row, or the registration was lost"
+        )
+
+    if problems:
+        print("lint registry drift:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        print(
+            f"\n  code={sorted(emitted)}\n  sarif={sorted(sarif)}\n"
+            f"  docs={sorted(docs)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"lint registry consistent: {len(emitted)} rule(s) "
+        f"({', '.join(sorted(emitted))}) agree across code, SARIF, and docs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,12 @@
             ``wire._ERROR_TYPES`` and both clients decode them
 ``RA007``   fold determinism: no unordered iteration or unseeded
             randomness reachable from the sweep fold paths
+``RA008``   taint: unsanitized request input (body fields, query params,
+            path segments) reaching filesystem/cache/allocation/dispatch
+            sinks without a registered sanitizer
+``RA009``   resource lifecycle: tasks, pools, sockets, files, and service
+            threads released/awaited/handed-off on every path out of
+            their owning scope
 ==========  ================================================================
 
 A checker is a class with an ``id``, a ``title``, a ``version`` (bump it
@@ -81,9 +87,11 @@ def _registry() -> list[type[Checker]]:
     from repro.analysis.checkers.blocking import BlockingInAsyncChecker
     from repro.analysis.checkers.determinism import FoldDeterminismChecker
     from repro.analysis.checkers.error_contract import ErrorEnvelopeChecker
+    from repro.analysis.checkers.lifecycle import ResourceLifecycleChecker
     from repro.analysis.checkers.lock_order import LockOrderChecker
     from repro.analysis.checkers.locks import LockDisciplineChecker
     from repro.analysis.checkers.loop_affinity import LoopAffinityChecker
+    from repro.analysis.checkers.taint import TaintChecker
     from repro.analysis.checkers.wire_contract import WireContractChecker
 
     return [
@@ -94,6 +102,8 @@ def _registry() -> list[type[Checker]]:
         LockOrderChecker,
         ErrorEnvelopeChecker,
         FoldDeterminismChecker,
+        TaintChecker,
+        ResourceLifecycleChecker,
     ]
 
 

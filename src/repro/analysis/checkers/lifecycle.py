@@ -1,0 +1,227 @@
+"""RA009: acquired resources must be released on every path out of scope.
+
+Tasks, executors, sockets, files, server handles, and service threads all
+carry an acquire/release contract, and a path that exits the owning
+function without honouring it strands the resource: an uncancelled
+``create_task`` keeps running after its owner is gone, an unshut
+``ProcessPoolExecutor`` leaks worker processes, an unclosed writer holds a
+connection until the GC gets around to it.
+
+The checker runs the dataflow engine over every function and tracks each
+acquisition as a label flowing through the bindings.  A label is
+**discharged** by any of the release idioms this codebase actually uses:
+
+* ``with`` / ``async with`` on the acquisition (release by construction);
+* a release method on any binding that carries the label — ``cancel``,
+  ``close``, ``shutdown``, ``join``, ``stop``, ``wait_closed``,
+  ``kill``/``terminate``/``wait``/``communicate`` — anywhere in the
+  function, *including* inside ``finally`` blocks and exception handlers
+  (the walker folds every block into one environment), and including the
+  coordinator's lane-teardown shape: append each task into a list, then
+  ``for task in tasks: task.cancel()`` — container stores keep the label
+  on the list root, so the loop variable inherits and discharges it;
+* ``await`` on a stored task (awaiting *is* joining);
+* **ownership transfer**: returning or yielding the resource, storing it
+  on an attribute (``self._runner = asyncio.create_task(...)`` hands it to
+  the object's lifecycle), or passing it to a call
+  (``asyncio.gather(*workers, folder)``, a callback registry, an
+  ``ExitStack``) — the callee owns it now.
+
+This is deliberately a *may*-release analysis: one discharge site anywhere
+in the function counts, which keeps the sanctioned teardown idioms (cancel
+after ``await state.done.wait()``, not under ``finally``) clean while
+still catching the real failure — a resource with **no** discharge at all,
+the thing deleting a lane's cancel-on-exit produces.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import ProjectGraph, dotted_name, strip_self
+from repro.analysis.checkers import Checker, LintContext
+from repro.analysis.dataflow import EMPTY, Domain, FunctionWalker, Label
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["ResourceLifecycleChecker"]
+
+#: acquisition tails -> resource kind (matched on the stripped dotted tail).
+ACQUIRERS: dict[str, str] = {
+    "create_task": "task",
+    "ensure_future": "task",
+    "ProcessPoolExecutor": "process pool",
+    "ThreadPoolExecutor": "thread pool",
+    "open": "file",
+    "open_connection": "connection",
+    "start_server": "server",
+    "Popen": "subprocess",
+    "ServiceThread": "service thread",
+    "Thread": "thread",
+    "socket": "socket",
+    "create_connection": "socket",
+    "HTTPConnection": "http connection",
+    "HTTPSConnection": "http connection",
+}
+
+#: method tails that discharge a resource when called on a carrying binding.
+RELEASE_TAILS = frozenset(
+    {
+        "cancel",
+        "close",
+        "shutdown",
+        "join",
+        "stop",
+        "wait",
+        "wait_closed",
+        "kill",
+        "terminate",
+        "communicate",
+        "release",
+        "aclose",
+        "detach",
+    }
+)
+
+#: container stores: the label transfers to the container root instead of
+#: escaping, so a later iterate-and-release over the container discharges.
+_CONTAINER_TAILS = frozenset({"append", "add", "insert", "appendleft"})
+
+#: read-only builtins: passing a resource here inspects it, it does not
+#: take ownership — ``state.live_workers = len(workers)`` is not a release.
+_NO_TRANSFER = frozenset(
+    {
+        "len",
+        "isinstance",
+        "issubclass",
+        "bool",
+        "str",
+        "repr",
+        "print",
+        "id",
+        "type",
+        "format",
+        "max",
+        "min",
+        "enumerate",
+        "zip",
+        "hash",
+    }
+)
+
+
+class _LifecycleDomain(Domain):
+    def __init__(self, checker: "ResourceLifecycleChecker"):
+        self.checker = checker
+
+    def call(self, walker, node, raw, recv, args, kwargs):
+        tail = strip_self(raw).rsplit(".", 1)[-1] if raw else None
+
+        if tail in _CONTAINER_TAILS:
+            # workers.append(create_task(...)): the list owns the label now
+            root = None
+            if isinstance(node.func, ast.Attribute):
+                root = dotted_name(node.func.value)
+            moved = EMPTY
+            for _, values in args:
+                moved = moved | values
+            if root is not None and moved:
+                walker.env[root] = walker.env.get(root, EMPTY) | moved
+                return EMPTY
+        if tail in RELEASE_TAILS and recv:
+            self.checker.discharge(recv, "release call")
+        # any argument handed to any call transfers ownership to the
+        # callee — except read-only builtins, which only inspect it
+        if tail not in _NO_TRANSFER:
+            for _, values in args:
+                self.checker.discharge(values, "passed to a call")
+            for values in kwargs.values():
+                self.checker.discharge(values, "passed to a call")
+
+        if tail in ACQUIRERS and self.checker.acquire_ok(walker, node, raw, tail):
+            return frozenset(
+                {self.checker.acquire(walker, node, ACQUIRERS[tail], raw)}
+            )
+        return EMPTY
+
+    def with_item(self, walker, node, values):
+        self.checker.discharge(values, "with block")
+        return values
+
+    def await_value(self, walker, node, values):
+        # ``await task`` joins it; ``await create()`` merely produces it
+        if not isinstance(node.value, ast.Call):
+            self.checker.discharge(values, "awaited")
+        return values
+
+    def store(self, walker, root, values, node, target):
+        if target == "attribute":
+            self.checker.discharge(values, "stored on an attribute")
+
+    def returned(self, walker, node, values):
+        self.checker.discharge(values, "returned/yielded")
+
+
+class ResourceLifecycleChecker(Checker):
+    id = "RA009"
+    title = "resource acquired without a release on exit paths"
+    version = 1
+
+    def check(self, sources: list[SourceFile], context: LintContext) -> list[Finding]:
+        graph: ProjectGraph = context.project_graph(sources)
+        self._graph = graph
+        findings: list[Finding] = []
+        tracked = 0
+        leaked = 0
+        for fqn in sorted(graph.functions):
+            self._acquired: dict[Label, ast.Call] = {}
+            self._discharged: set[Label] = set()
+            FunctionWalker(graph, fqn, _LifecycleDomain(self)).run()
+            tracked += len(self._acquired)
+            for label in sorted(
+                self._acquired, key=lambda lb: (lb.line, lb.origin)
+            ):
+                if label in self._discharged:
+                    continue
+                leaked += 1
+                findings.append(
+                    Finding(
+                        path=graph.source_of(fqn).rel,
+                        line=label.line,
+                        checker=self.id,
+                        symbol=fqn.partition(":")[2],
+                        message=(
+                            f"{label.kind} acquired via {label.origin} has no "
+                            "release on any path out of this scope; cancel/"
+                            "close/shutdown it (try/finally and `with` count) "
+                            "or hand it off (return it, store it on an "
+                            "attribute, pass it to an owner)"
+                        ),
+                    )
+                )
+        context.note("ra009_resources", tracked)
+        context.note("ra009_leaks", leaked)
+        return findings
+
+    # -- callbacks --------------------------------------------------------
+    def acquire_ok(
+        self, walker: FunctionWalker, node: ast.Call, raw: str, tail: str
+    ) -> bool:
+        """Filter acquisition look-alikes: only the *builtin* ``open`` is an
+        acquisition here — ``webbrowser.open``/``os.open``-style tails are
+        not file handles with a ``close`` contract this checker can see."""
+        if tail == "open":
+            return raw == "open"
+        return True
+
+    def acquire(
+        self, walker: FunctionWalker, node: ast.Call, kind: str, raw: str
+    ) -> Label:
+        label = Label(kind=kind, origin=f"{raw}(...)", line=node.lineno)
+        self._acquired[label] = node
+        return label
+
+    def discharge(self, values: frozenset[Label], how: str) -> None:
+        for label in values:
+            if label in self._acquired:
+                self._discharged.add(label)

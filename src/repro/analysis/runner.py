@@ -15,17 +15,20 @@ Because the interesting checkers are *cross-module* (the project-wide call
 graph couples every file to every other), per-file incremental re-analysis
 would be unsound — editing ``wire.py`` can change a finding in
 ``coordinator.py``.  The result cache is therefore whole-run: one entry
-keyed by the content hash of every input (file texts, docs, baseline,
-checker selection, and each checker's ``version``).  A warm run on an
-unchanged tree skips parsing and checking entirely — the hot path hashes
-file bytes and deserializes the previous result — and any edit anywhere
-invalidates the whole entry.
+per *scope* (file set + checker selection), keyed by the content hash of
+every input (file texts, docs, baseline, checker selection, and each
+checker's ``version``).  A warm run on an unchanged tree skips parsing and
+checking entirely — the hot path hashes file bytes and deserializes the
+previous result — and any edit anywhere invalidates that scope's entry.
+Writes prune stale entries (older checker versions, superseded scopes) so
+the file never accretes dead results.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -51,11 +54,19 @@ __all__ = [
     "run_lint",
 ]
 
-#: Whole-run result cache, one entry, written at the repo root by default.
+#: Whole-run result cache, written at the repo root by default; the
+#: ``REPRO_LINT_CACHE`` environment variable (or ``--cache-path``) relocates
+#: it, so CI and local checkouts stop clobbering each other's entries.
 CACHE_FILENAME = ".repro-lint-cache.json"
 
 #: Bump to invalidate every cache entry (serialization format changes).
-_CACHE_VERSION = 1
+#: v2: multi-entry file ({"version", "entries": [...]}) with stale-key
+#: pruning on write.
+_CACHE_VERSION = 2
+
+#: One entry per (file set, checker selection) scope — full tree, a
+#: ``--select`` run, a subset — pruned oldest-first past this bound.
+_MAX_CACHE_ENTRIES = 8
 
 
 def default_src_root() -> Path:
@@ -96,8 +107,12 @@ class LintOptions:
             candidate = root / "lint-baseline.json"
             baseline = candidate if candidate.exists() else None
         cache = self.cache_path
-        if cache is None and self.use_cache and root is not None:
-            cache = root / CACHE_FILENAME
+        if cache is None and self.use_cache:
+            env_path = os.environ.get("REPRO_LINT_CACHE")
+            if env_path:
+                cache = Path(env_path)
+            elif root is not None:
+                cache = root / CACHE_FILENAME
         return LintOptions(
             paths=paths,
             docs_path=docs,
@@ -208,23 +223,56 @@ def _result_from_cache(payload: dict) -> LintResult:
     )
 
 
-def _cache_lookup(path: Path, key: dict) -> LintResult | None:
+def _cache_scope(key: dict) -> tuple:
+    """The identity of a cache entry *slot*: which files, which checkers.
+
+    Two runs over the same scope replace each other (only the newest result
+    per scope is worth keeping); runs over different scopes — the full tree
+    vs a ``--changed`` subset vs a ``--select`` pass — coexist.
+    """
+    return (tuple(sorted(key.get("files", {}))), tuple(key.get("select") or ()))
+
+
+def _load_cache_entries(path: Path) -> list[dict]:
     try:
         payload = json.loads(path.read_text())
     except (OSError, ValueError):
-        return None
-    if payload.get("key") != key:
-        return None
-    try:
-        return _result_from_cache(payload["result"])
-    except (KeyError, TypeError):  # truncated/foreign cache: treat as cold
-        return None
+        return []
+    if not isinstance(payload, dict) or payload.get("version") != _CACHE_VERSION:
+        return []  # v1 single-entry files (or foreign junk): start cold
+    entries = payload.get("entries")
+    return entries if isinstance(entries, list) else []
+
+
+def _cache_lookup(path: Path, key: dict) -> LintResult | None:
+    for entry in _load_cache_entries(path):
+        if entry.get("key") != key:
+            continue
+        try:
+            return _result_from_cache(entry["result"])
+        except (KeyError, TypeError):  # truncated entry: treat as cold
+            return None
+    return None
 
 
 def _cache_store(path: Path, key: dict, result: LintResult) -> None:
+    """Append the result, pruning as we go: entries written by an older
+    checker set (any id/version drift) or covering this run's scope are
+    stale — keeping them would only serve wrong answers or dead weight."""
+    current_checkers = {c.id: c.version for c in ALL_CHECKERS}
+    scope = _cache_scope(key)
+    entries = [
+        entry
+        for entry in _load_cache_entries(path)
+        if isinstance(entry.get("key"), dict)
+        and entry["key"].get("checkers") == current_checkers
+        and _cache_scope(entry["key"]) != scope
+    ]
+    entries.append({"key": key, "result": _result_to_cache(result)})
+    entries = entries[-_MAX_CACHE_ENTRIES:]
     try:
         path.write_text(
-            json.dumps({"key": key, "result": _result_to_cache(result)}) + "\n"
+            json.dumps({"version": _CACHE_VERSION, "entries": entries}) + "\n"
         )
     except OSError:  # read-only checkout: caching is best-effort
         pass

@@ -32,7 +32,7 @@ _SCHEMA = (
 
 
 def _rules() -> list[dict]:
-    return [
+    rules = [
         {
             "id": checker.id,
             "name": checker.id,
@@ -41,6 +41,18 @@ def _rules() -> list[dict]:
         }
         for checker in ALL_CHECKERS
     ]
+    # RA000 has no checker class (waiver scanning lives in the runner) but
+    # its findings carry ruleId RA000 — declare it or code scanning points
+    # every malformed-waiver alert at a ghost rule
+    rules.append(
+        {
+            "id": "RA000",
+            "name": "RA000",
+            "shortDescription": {"text": "malformed waiver pragma"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    return rules
 
 
 def _result(

@@ -434,7 +434,11 @@ def cmd_serve(args) -> int:
         # the file after every request would throttle the whole server
         autoflush=False,
     )
-    service = EvaluationService(session, max_queued_jobs=args.max_jobs)
+    service = EvaluationService(
+        session,
+        max_queued_jobs=args.max_jobs,
+        max_body_bytes=args.max_body_bytes,
+    )
 
     async def run() -> None:
         server = await service.start(args.host, args.port)
@@ -505,6 +509,15 @@ def cmd_client_stats(args) -> int:
 _LINT_ROOTS = ("src/", "scripts/", "benchmarks/")
 
 
+class _GitUnavailable(Exception):
+    """``--changed`` cannot compute a diff here — not an error, a note.
+
+    Raised for every shape of git trouble the hook meets in the wild: a
+    freshly ``git init``-ed repo with no commit yet, a missing/garbage REF,
+    a checkout that is not a git repo at all, or no ``git`` on PATH.  The
+    caller prints the note and exits 0 so pre-commit keeps working."""
+
+
 def _changed_python_files(ref: str):
     """Lintable Python files touched vs ``ref`` (committed, staged, and
     untracked), restricted to the CI lint target set."""
@@ -519,13 +532,17 @@ def _changed_python_files(ref: str):
         ["git", "diff", "--name-only", ref, "--"],
         ["git", "ls-files", "--others", "--exclude-standard"],
     ):
-        proc = subprocess.run(
-            cmd, cwd=root, capture_output=True, text=True, check=False
-        )
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, check=False
+            )
+        except OSError as exc:  # no git binary on PATH
+            raise _GitUnavailable(f"cannot run git ({exc})") from exc
         if proc.returncode != 0:
-            raise SystemExit(
-                f"repro lint --changed: {' '.join(cmd)} failed: "
-                f"{proc.stderr.strip()}"
+            detail = proc.stderr.strip().splitlines()
+            raise _GitUnavailable(
+                f"`{' '.join(cmd)}` failed"
+                + (f" ({detail[0]})" if detail else "")
             )
         names.update(line.strip() for line in proc.stdout.splitlines())
     return [
@@ -540,10 +557,12 @@ def _changed_python_files(ref: str):
 def cmd_lint(args) -> int:
     """Run the repo's own static-analysis pass (`repro lint`).
 
-    Seven AST checkers (RA001-RA007) prove the service layer's concurrency,
-    wire, and fold-determinism contracts — RA001/RA005/RA006/RA007 over one
-    project-wide call graph; see docs/development.md for the catalog and the
-    waiver/baseline syntax.  Exits 1 when any unsuppressed finding remains.
+    Nine AST checkers (RA001-RA009) prove the service layer's concurrency,
+    wire, fold-determinism, taint, and resource-lifecycle contracts —
+    RA001/RA005-RA009 over one project-wide call graph, with RA008/RA009
+    running the dataflow engine on top of it; see docs/development.md for
+    the catalog and the waiver/baseline syntax.  Exits 1 when any
+    unsuppressed finding remains.
     """
     from pathlib import Path
 
@@ -559,13 +578,19 @@ def cmd_lint(args) -> int:
     paths = [Path(p) for p in args.paths]
     use_cache = not args.no_cache
     if args.changed is not None:
-        changed = _changed_python_files(args.changed)
+        try:
+            changed = _changed_python_files(args.changed)
+        except _GitUnavailable as exc:
+            # a hook must not explode in a no-commit/detached/ref-less repo;
+            # there is nothing to diff against, so there is nothing to lint
+            print(f"repro lint: --changed skipped, {exc}")
+            return 0
         if not changed:
             print(f"repro lint: no Python files changed vs {args.changed}")
             return 0
+        # the v2 cache is scope-keyed, so a subset run gets its own entry
+        # and can never clobber the whole-tree one
         paths = changed
-        # a subset run must not overwrite the whole-tree cache entry
-        use_cache = False
     options = LintOptions(
         paths=paths,
         docs_path=Path(args.docs) if args.docs else None,
@@ -715,6 +740,13 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument(
         "--max-jobs", type=int, default=16, help="bound on the queued-sweep job queue"
     )
+    p_serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        help="request-body size ceiling; larger bodies get 413 before any "
+        "byte is buffered (default 8 MiB)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     url_parent = argparse.ArgumentParser(add_help=False)
@@ -759,7 +791,7 @@ def main(argv: list[str] | None = None) -> int:
     c_tail.set_defaults(func=cmd_client_tail_job)
 
     p_lint = sub.add_parser(
-        "lint", help="run the repo's static-analysis pass (checkers RA001-RA007)"
+        "lint", help="run the repo's static-analysis pass (checkers RA001-RA009)"
     )
     p_lint.add_argument(
         "paths",
@@ -790,9 +822,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_lint.add_argument(
         "--cache",
+        "--cache-path",
+        dest="cache",
         metavar="JSON",
-        help="result-cache file (default: .repro-lint-cache.json at the "
-        "repo root)",
+        help="result-cache file (default: $REPRO_LINT_CACHE, else "
+        ".repro-lint-cache.json at the repo root)",
     )
     p_lint.add_argument(
         "--no-cache",

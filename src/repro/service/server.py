@@ -171,10 +171,16 @@ class EvaluationService:
         max_kept_jobs: int = 256,
         rows_keepalive: float = 15.0,
         rows_drain_pace: float = 0.05,
+        max_body_bytes: int | None = None,
     ):
         self.session = session
         self.max_queued_jobs = max_queued_jobs
         self.max_kept_jobs = max_kept_jobs
+        #: request-body buffering ceiling: ``Content-Length`` past this is
+        #: refused with 413 before a single body byte is read
+        self.max_body_bytes = (
+            wire.MAX_BODY_BYTES if max_body_bytes is None else max_body_bytes
+        )
         #: default idle interval between ``{"row": "keepalive"}`` heartbeat
         #: frames on ``/rows`` long-polls; per-request ``?keepalive=`` wins
         self.rows_keepalive = rows_keepalive
@@ -230,8 +236,7 @@ class EvaluationService:
         await asyncio.get_running_loop().run_in_executor(None, self.session.flush)
 
     # -- HTTP plumbing --------------------------------------------------
-    @staticmethod
-    async def _read_request(reader: asyncio.StreamReader):
+    async def _read_request(self, reader: asyncio.StreamReader):
         request_line = await reader.readline()
         if not request_line or request_line in (b"\r\n", b"\n"):
             return None
@@ -247,7 +252,11 @@ class EvaluationService:
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         body = b""
-        length = int(headers.get("content-length", 0) or 0)
+        # the declared length is attacker-chosen: bound it *before* it sizes
+        # the readexactly buffer (413 past the ceiling, 400 on garbage)
+        length = wire.bounded_body(
+            headers.get("content-length"), self.max_body_bytes
+        )
         if length:
             body = await reader.readexactly(length)
         return method, path, headers, body
@@ -258,7 +267,8 @@ class EvaluationService:
     ) -> None:
         body = json.dumps(payload).encode()
         reason = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-                  409: "Conflict", 500: "Internal Server Error",
+                  409: "Conflict", 413: "Payload Too Large",
+                  500: "Internal Server Error",
                   503: "Service Unavailable"}.get(status, "OK")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
@@ -277,7 +287,18 @@ class EvaluationService:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except wire.PayloadTooLargeError as exc:
+                    # the body was never read, so the stream is desynced:
+                    # answer 413 and drop the connection
+                    self._json_response(writer, 413, wire.error_payload(exc))
+                    await writer.drain()
+                    break
+                except ValueError as exc:
+                    self._json_response(writer, 400, wire.error_payload(exc))
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 method, path, headers, body = request
@@ -323,7 +344,16 @@ class EvaluationService:
             return
         try:
             payload = json.loads(body) if body else {}
-        except json.JSONDecodeError as exc:
+            # every /v1 body is an object; a bare scalar/array would turn
+            # each ``payload.get`` downstream into a 500
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"request body must be a JSON object, got {type(payload).__name__}"
+                )
+        except (ValueError, RecursionError) as exc:
+            # ValueError covers JSONDecodeError and the UnicodeDecodeError a
+            # non-UTF-8 body raises; RecursionError is a deeply-nested body
+            # blowing the parser's stack — all hostile requests, all 400
             self._json_response(
                 writer, 400, wire.error_payload(ValueError(f"invalid JSON body: {exc}"))
             )
@@ -548,6 +578,14 @@ class EvaluationService:
         configs = payload.get("configs") or []
         for config in configs:
             wire.array_from_dict(config)
+        if len(items) * max(1, len(configs)) > wire.MAX_JOB_ITEMS:
+            # job_items caps the list; the workload x config product can
+            # still smuggle an unbounded sweep past the queue bound
+            raise ValueError(
+                f"job expands to {len(items) * max(1, len(configs))} "
+                f"(workload x config) items; jobs are capped at "
+                f"{wire.MAX_JOB_ITEMS}"
+            )
         if self.max_queued_jobs <= 0:
             # a server run with --max-jobs 0 has no job capacity at all;
             # the same 503 contract as a full queue, reported up front

@@ -40,7 +40,11 @@ from repro.perf.model import ArrayConfig
 __all__ = [
     "SCHEMA_HEADER",
     "ENGINE_OPTIONS",
+    "MAX_BODY_BYTES",
+    "MAX_JOB_ITEMS",
+    "PayloadTooLargeError",
     "ServiceBusyError",
+    "bounded_body",
     "engine_options",
     "statement_payload",
     "instantiate_statement",
@@ -67,6 +71,50 @@ class ServiceBusyError(RuntimeError):
     so callers (the sweep coordinator in particular) can react by falling
     back to ``evaluate_many`` instead of writing the server off as dead.
     """
+
+
+class PayloadTooLargeError(ValueError):
+    """HTTP 413: a request body larger than the server's buffering ceiling.
+
+    A subclass of :class:`ValueError` so generic client-error handling still
+    treats it as a malformed request, while the server can answer with the
+    specific status before reading a single body byte.
+    """
+
+
+#: Hard ceiling on the bytes of request body the server will buffer.  The
+#: ``/v1`` payloads are workload references and option blocks, not bulk
+#: data; anything near this size is a mistake or an attack, and without a
+#: ceiling a single ``Content-Length: 1e12`` request makes ``readexactly``
+#: buffer attacker-chosen amounts of memory.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Cap on the (workload × config) items one job submission may expand to —
+#: the queue holds whole jobs, so an unbounded item list smuggles an
+#: unbounded sweep past ``max_queued_jobs``.
+MAX_JOB_ITEMS = 1024
+
+
+def bounded_body(raw: Any, limit: int = MAX_BODY_BYTES) -> int:
+    """Validate a ``Content-Length`` value against the body-size ceiling.
+
+    The server's single sanitizer for request-sized allocations: returns the
+    length as a bounded ``int``, raising ``ValueError`` on garbage and
+    :class:`PayloadTooLargeError` (→ HTTP 413) past ``limit`` — *before* the
+    body is read, so an oversized request costs the server nothing.
+    """
+    try:
+        length = int(raw or 0)
+    except (TypeError, ValueError):
+        raise ValueError(f"invalid Content-Length {raw!r}") from None
+    if length < 0:
+        raise ValueError(f"negative Content-Length {length}")
+    if length > limit:
+        raise PayloadTooLargeError(
+            f"request body of {length} bytes exceeds this server's "
+            f"{limit}-byte limit"
+        )
+    return length
 
 
 #: ``options`` keys the design-space endpoints (``/v1/explore``, job
@@ -173,6 +221,11 @@ def job_items(payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     workloads = payload.get("workloads")
     if not isinstance(workloads, list) or not workloads:
         raise ValueError('job body needs a non-empty "workloads" list')
+    if len(workloads) > MAX_JOB_ITEMS:
+        raise ValueError(
+            f'job "workloads" lists {len(workloads)} items; '
+            f"jobs are capped at {MAX_JOB_ITEMS}"
+        )
     base_extents = payload.get("extents") or {}
     if not isinstance(base_extents, Mapping):
         raise ValueError('job "extents" must be an object')
@@ -294,6 +347,7 @@ _ERROR_TYPES: dict[str, type[BaseException]] = {
     "ValueError": ValueError,
     "TypeError": TypeError,
     "NotImplementedError": NotImplementedError,
+    "PayloadTooLargeError": PayloadTooLargeError,
 }
 
 

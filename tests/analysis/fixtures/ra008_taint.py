@@ -1,0 +1,63 @@
+"""RA008 fixture: request input reaching sinks, sanitized and not."""
+
+import json
+import subprocess
+
+
+class MiniServer:
+    async def _route(self, method, path, params, payload, writer):
+        if path == "/v1/report":
+            # SEEDED: a body field used as a filesystem path, unsanitized
+            destination = payload.get("report_path")
+            with open(destination, "w") as fh:
+                fh.write("{}")
+        elif path == "/v1/batch":
+            # SEEDED: an allocation sized by a raw body field — int() alone
+            # launders content, not magnitude
+            count = int(payload.get("count", 1))
+            buffers = [b""] * count
+            writer.write(b"%d" % len(buffers))
+        elif path == "/v1/lookup":
+            # SEEDED: query param steering dynamic dispatch
+            handler = getattr(self, params.get("op", "noop"))
+            handler()
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/") :]
+            self._job_tool(job_id)
+        elif path == "/v1/ok":
+            # clean: the item list passes the registered sanitizer, and the
+            # cursor passes _since_param, before either touches anything
+            items = self._job_items(payload)
+            cursor = self._since_param(params) or 0
+            writer.write(json.dumps({"items": len(items), "at": cursor}).encode())
+
+    async def _read_frame(self, reader):
+        raw = await reader.readline()
+        headers = json.loads(raw)
+        # SEEDED: wire-declared length sizing a read with no bound check
+        body = await reader.readexactly(int(headers.get("length", 0)))
+        return body
+
+    def _job_tool(self, job_id):
+        # SEEDED (via the one-level call summary from _route): the path
+        # segment reaches a subprocess argv
+        subprocess.run(["job-tool", job_id])
+
+    def _cache_probe(self, params, cache):
+        # SEEDED: a raw query param as a memo-cache key
+        return cache.get("designs", params.get("key"))
+
+    @staticmethod
+    def _job_items(payload):
+        items = payload.get("items") or []
+        if len(items) > 64:
+            raise ValueError("too many items")
+        return [str(i) for i in items]
+
+    @staticmethod
+    def _since_param(params):
+        raw = params.get("since")
+        return None if raw is None else int(raw)
+
+    def noop(self):
+        return None

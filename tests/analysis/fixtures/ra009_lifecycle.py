@@ -1,0 +1,59 @@
+"""RA009 fixture: resources leaked and resources correctly discharged."""
+
+import asyncio
+import json
+import subprocess
+from concurrent.futures import ProcessPoolExecutor
+
+
+class MiniCoordinator:
+    async def leaky_fanout(self, shards):
+        # SEEDED: tasks spawned and never cancelled/awaited/handed off
+        watchers = []
+        for shard in shards:
+            watchers.append(asyncio.create_task(self._watch(shard)))
+        await asyncio.sleep(1)
+
+    async def leaky_pool(self, items):
+        # SEEDED: a process pool with no shutdown on any path
+        pool = ProcessPoolExecutor(max_workers=2)
+        return [pool.submit(json.dumps, item) for item in items]
+
+    def leaky_probe(self, cmd):
+        # SEEDED: a subprocess spawned and abandoned
+        subprocess.Popen(cmd)
+        return True
+
+    async def clean_fanout(self, shards, state):
+        # the coordinator teardown idiom: cancel-by-iteration + gather,
+        # not under finally — may-release counts it
+        folder = asyncio.create_task(self._fold(state))
+        workers = []
+        for shard in shards:
+            workers.append(asyncio.create_task(self._watch(shard)))
+        await state.done.wait()
+        for task in workers:
+            task.cancel()
+        folder.cancel()
+        await asyncio.gather(*workers, folder, return_exceptions=True)
+
+    def clean_pool(self, items):
+        pool = ProcessPoolExecutor(max_workers=2)
+        try:
+            return [f.result() for f in [pool.submit(json.dumps, i) for i in items]]
+        finally:
+            pool.shutdown()
+
+    def clean_handoff(self):
+        # ownership transfer: stored on an attribute, the object owns it now
+        self._runner = asyncio.ensure_future(self._fold(None))
+
+    def clean_file(self, path):
+        with open(path) as fh:
+            return fh.read()
+
+    async def _watch(self, shard):
+        await asyncio.sleep(0)
+
+    async def _fold(self, state):
+        await asyncio.sleep(0)

@@ -14,9 +14,11 @@ from repro.analysis.checkers import LintContext
 from repro.analysis.checkers.blocking import BlockingInAsyncChecker, classify_blocking
 from repro.analysis.checkers.determinism import FoldDeterminismChecker
 from repro.analysis.checkers.error_contract import ErrorEnvelopeChecker
+from repro.analysis.checkers.lifecycle import ResourceLifecycleChecker
 from repro.analysis.checkers.lock_order import LockOrderChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.loop_affinity import LoopAffinityChecker
+from repro.analysis.checkers.taint import TaintChecker
 from repro.analysis.checkers.wire_contract import WireContractChecker
 from repro.analysis.findings import scan_waivers
 from repro.analysis.source import SourceFile, load_source
@@ -328,6 +330,123 @@ class TestFoldDeterminismChecker:
         ), findings
 
 
+class TestTaintChecker:
+    def test_seeded_flows_caught(self):
+        findings = check_one(TaintChecker(), fixture_source("ra008_taint.py"))
+        assert {f.line for f in findings} == {12, 18, 22, 38, 44, 48}, findings
+        by_line = {f.line: f.message for f in findings}
+        assert "filesystem path" in by_line[12]
+        assert "sequence-repeat allocation" in by_line[18]
+        assert "dynamic attribute dispatch" in by_line[22]
+        assert "read sized by the value" in by_line[38]
+        assert "subprocess invocation" in by_line[44]
+        assert "memo-cache key" in by_line[48]
+
+    def test_int_launders_content_but_not_magnitude(self):
+        # /v1/batch wraps the body field in int() and still fires: int()
+        # clears the string-content taint, not the attacker-sized magnitude
+        findings = check_one(TaintChecker(), fixture_source("ra008_taint.py"))
+        batch = [f for f in findings if f.line == 18]
+        assert batch, findings
+
+    def test_one_level_summary_crosses_into_helpers(self):
+        # the /v1/jobs/ path segment only reaches subprocess.run inside
+        # _job_tool — caught via the call-summary walk, reported there
+        findings = check_one(TaintChecker(), fixture_source("ra008_taint.py"))
+        helper = [f for f in findings if f.symbol == "MiniServer._job_tool"]
+        assert len(helper) == 1, findings
+        assert "request 'path'" in helper[0].message
+
+    def test_sanitized_route_is_clean(self):
+        # /v1/ok routes everything through _job_items/_since_param: no
+        # finding may point at the clean branch (lines 27-32)
+        findings = check_one(TaintChecker(), fixture_source("ra008_taint.py"))
+        assert not [f for f in findings if 27 <= f.line <= 32], findings
+
+    def test_no_route_class_is_a_noop(self):
+        findings = check_one(TaintChecker(), fixture_source("ra003_locks.py"))
+        assert findings == []
+
+    def test_real_server_is_clean_and_not_vacuous(self):
+        context = LintContext(summary={})
+        findings = TaintChecker().check(real_service_sources(), context)
+        assert findings == [], findings
+        assert context.summary["ra008_sources"] >= 5
+
+    def test_deletion_sensitivity_body_bound(self):
+        """Replacing the bounded_body() call with a raw int() of the wire
+        header must trip RA008: content-length then sizes readexactly with
+        its magnitude unchecked."""
+        sources = surgically(
+            real_service_sources(),
+            "service/server.py",
+            "length = wire.bounded_body(\n"
+            '            headers.get("content-length"), self.max_body_bytes\n'
+            "        )",
+            'length = int(headers.get("content-length", 0) or 0)',
+        )
+        findings = check_one(TaintChecker(), *sources)
+        assert any(
+            f.symbol == "EvaluationService._read_request"
+            and "read sized by the value" in f.message
+            for f in findings
+        ), findings
+
+
+class TestResourceLifecycleChecker:
+    def test_seeded_leaks_caught(self):
+        findings = check_one(
+            ResourceLifecycleChecker(), fixture_source("ra009_lifecycle.py")
+        )
+        assert {f.line for f in findings} == {14, 19, 24}, findings
+        kinds = {f.line: f.message.split(" acquired")[0] for f in findings}
+        assert kinds == {14: "task", 19: "process pool", 24: "subprocess"}
+
+    def test_release_idioms_are_clean(self):
+        # clean_fanout (cancel-by-iteration + gather), clean_pool
+        # (finally: shutdown), clean_handoff (attribute store), clean_file
+        # (with): none may fire
+        findings = check_one(
+            ResourceLifecycleChecker(), fixture_source("ra009_lifecycle.py")
+        )
+        clean = {"MiniCoordinator.clean_fanout", "MiniCoordinator.clean_pool",
+                 "MiniCoordinator.clean_handoff", "MiniCoordinator.clean_file"}
+        assert not [f for f in findings if f.symbol in clean], findings
+
+    def test_counts_resources_not_just_leaks(self):
+        context = LintContext(summary={})
+        ResourceLifecycleChecker().check(
+            [fixture_source("ra009_lifecycle.py")], context
+        )
+        assert context.summary["ra009_resources"] == 8
+        assert context.summary["ra009_leaks"] == 3
+
+    def test_real_sources_are_clean_and_not_vacuous(self):
+        context = LintContext(summary={})
+        findings = ResourceLifecycleChecker().check(real_service_sources(), context)
+        assert findings == [], findings
+        assert context.summary["ra009_resources"] >= 8
+
+    def test_deletion_sensitivity_lane_teardown(self):
+        """Deleting the coordinator's cancel-on-exit block leaves the worker
+        tasks and the folder task with no discharge — RA009 must fire."""
+        sources = surgically(
+            real_service_sources(),
+            "service/coordinator.py",
+            "            for task in workers:\n"
+            "                task.cancel()\n"
+            "            folder.cancel()\n"
+            "            await asyncio.gather(*workers, folder, "
+            "return_exceptions=True)\n",
+            "",
+        )
+        findings = check_one(ResourceLifecycleChecker(), *sources)
+        assert any(
+            f.symbol == "SweepCoordinator._sweep_async" and "task" in f.message
+            for f in findings
+        ), findings
+
+
 class TestWaivers:
     def test_waiver_suppresses_inline_and_standalone(self):
         source = fixture_source("waivers.py")
@@ -452,6 +571,8 @@ class TestCli:
         "ra006_server.py",
         "ra006_client.py",
         "ra007_fold.py",
+        "ra008_taint.py",
+        "ra009_lifecycle.py",
         "waivers.py",
     ],
 )

@@ -1,0 +1,271 @@
+"""Unit tests for the forward dataflow engine under the RA008/RA009 checkers.
+
+Each test builds a tiny module as text, runs :class:`FunctionWalker` with a
+recording domain, and asserts on the final environment — the engine's only
+output.  Checker-level behaviour (sinks, sanitizers, releases) is covered in
+``test_checkers.py``; here we pin the propagation semantics those checkers
+lean on: strong vs weak updates, branch merging, tuple unpacking, chain
+rooting, call binding, and loop-carried flow.
+"""
+
+import ast
+
+from repro.analysis.callgraph import ProjectGraph
+from repro.analysis.dataflow import (
+    EMPTY,
+    Domain,
+    FunctionWalker,
+    Label,
+    bind_arguments,
+)
+from repro.analysis.source import SourceFile
+
+TAINT = Label(kind="t", origin="seed", line=1)
+
+
+class SeedDomain(Domain):
+    """Taints one parameter by name; records every returned value set."""
+
+    def __init__(self, param="payload"):
+        self.param = param
+        self.returned_values = []
+
+    def seed_params(self, fqn, info):
+        names = {a.arg for a in info.node.args.posonlyargs + info.node.args.args}
+        return {self.param: frozenset({TAINT})} if self.param in names else {}
+
+    def returned(self, walker, node, values):
+        self.returned_values.append(values)
+
+
+def walk(text: str, fqn_tail: str, domain: Domain | None = None):
+    """Build a one-module graph, walk ``mod:<fqn_tail>``, return (env, domain)."""
+    graph = ProjectGraph([SourceFile.from_text(text, rel="mod.py")])
+    domain = domain or SeedDomain()
+    walker = FunctionWalker(graph, f"mod:{fqn_tail}", domain)
+    return walker.run(), domain
+
+
+class TestPropagation:
+    def test_assignment_chain_carries_labels(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    a = payload\n"
+            "    b = a\n"
+            "    c = b.field\n",
+            "f",
+        )
+        assert env["a"] == {TAINT}
+        assert env["b"] == {TAINT}
+        assert env["c"] == {TAINT}
+
+    def test_strong_update_kills_straight_line_facts(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    a = payload\n"
+            "    a = 0\n",
+            "f",
+        )
+        assert env["a"] == EMPTY
+
+    def test_aug_assign_accumulates(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    total = 0\n"
+            "    total += payload\n",
+            "f",
+        )
+        assert env["total"] == {TAINT}
+
+    def test_tuple_unpack_is_element_wise_for_literal_rhs(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    a, b = payload, 1\n",
+            "f",
+        )
+        assert env["a"] == {TAINT}
+        assert env["b"] == EMPTY
+
+    def test_tuple_unpack_smears_for_opaque_rhs(self):
+        # non-literal RHS: arity is unknowable, every target gets the union
+        env, _ = walk(
+            "def f(payload):\n"
+            "    a, b = payload\n",
+            "f",
+        )
+        assert env["a"] == {TAINT}
+        assert env["b"] == {TAINT}
+
+    def test_attribute_store_is_weak(self):
+        # weak update: the chain root accumulates, it is not replaced
+        env, _ = walk(
+            "def f(self, payload):\n"
+            "    self.box = payload\n"
+            "    self.box = 0\n",
+            "f",
+        )
+        assert env["self.box"] == {TAINT}
+
+    def test_subscript_store_taints_the_container_root(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    headers = {}\n"
+            "    headers['x'] = payload\n"
+            "    probe = headers\n",
+            "f",
+        )
+        assert env["probe"] == {TAINT}
+
+    def test_chain_lookup_inherits_prefix_facts(self):
+        # job.payload carries whatever job carries (prefix union)
+        env, _ = walk(
+            "def f(payload):\n"
+            "    job = payload\n"
+            "    field = job.inner.deep\n",
+            "f",
+        )
+        assert env["field"] == {TAINT}
+
+
+class TestControlFlow:
+    def test_branch_arms_merge_pointwise(self):
+        env, _ = walk(
+            "def f(payload, flag):\n"
+            "    x = 0\n"
+            "    if flag:\n"
+            "        x = payload\n"
+            "    else:\n"
+            "        y = payload\n",
+            "f",
+        )
+        assert env["x"] == {TAINT}  # either-arm fact survives the join
+        assert env["y"] == {TAINT}
+
+    def test_loop_carried_flow_needs_the_second_pass(self):
+        # `carry` is poisoned at the *bottom* of the loop and read at the
+        # top — only the second pass over the body text sees it
+        env, _ = walk(
+            "def f(payload, items):\n"
+            "    carry = 0\n"
+            "    for item in items:\n"
+            "        use = carry\n"
+            "        carry = payload\n",
+            "f",
+        )
+        assert env["use"] == {TAINT}
+
+    def test_for_target_inherits_iterable_facts(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    for item in payload:\n"
+            "        got = item\n",
+            "f",
+        )
+        assert env["got"] == {TAINT}
+
+    def test_try_folds_finally_into_one_env(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    try:\n"
+            "        x = 1\n"
+            "    finally:\n"
+            "        x = payload\n",
+            "f",
+        )
+        assert env["x"] == {TAINT}
+
+    def test_comprehension_target_bound_from_iterable(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    out = [str(i) for i in payload]\n",
+            "f",
+        )
+        assert env["out"] == {TAINT}
+
+    def test_nested_def_is_a_separate_scope(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    def inner():\n"
+            "        leak = payload\n"
+            "    return inner\n",
+            "f",
+        )
+        assert "leak" not in env
+
+    def test_fstring_and_ifexp_carry_facts(self):
+        env, _ = walk(
+            "def f(payload, flag):\n"
+            "    msg = f'got {payload}'\n"
+            "    pick = payload if flag else 0\n",
+            "f",
+        )
+        assert env["msg"] == {TAINT}
+        assert env["pick"] == {TAINT}
+
+
+class TestCallsAndReturns:
+    def test_default_call_semantics_propagate_arguments(self):
+        env, _ = walk(
+            "def f(payload):\n"
+            "    out = str(payload)\n",
+            "f",
+        )
+        assert env["out"] == {TAINT}
+
+    def test_returned_hook_sees_shipped_facts(self):
+        _, domain = walk(
+            "def f(payload):\n"
+            "    return payload\n",
+            "f",
+        )
+        assert domain.returned_values
+        assert domain.returned_values[-1] == {TAINT}
+
+    def test_resolved_callee_comes_from_the_project_graph(self):
+        text = (
+            "def helper(x):\n"
+            "    return x\n"
+            "\n"
+            "def f(payload):\n"
+            "    helper(payload)\n"
+        )
+        graph = ProjectGraph([SourceFile.from_text(text, rel="mod.py")])
+
+        seen = {}
+
+        class Recorder(SeedDomain):
+            def call(self, walker, node, raw, recv, args, kwargs):
+                seen[raw] = walker.resolved_callee(node)
+                return super().call(walker, node, raw, recv, args, kwargs)
+
+        FunctionWalker(graph, "mod:f", Recorder()).run()
+        assert seen == {"helper": "mod:helper"}
+
+    def test_bind_arguments_skips_self_and_maps_keywords(self):
+        text = (
+            "class C:\n"
+            "    def callee(self, first, second, *, flag=None):\n"
+            "        return first\n"
+        )
+        graph = ProjectGraph([SourceFile.from_text(text, rel="mod.py")])
+        info = graph.functions["mod:C.callee"]
+        call = ast.parse("obj.callee(a, flag=b)").body[0].value
+        bound = bind_arguments(
+            info,
+            call,
+            args=[(call.args[0], frozenset({TAINT}))],
+            kwargs={"flag": frozenset({TAINT})},
+        )
+        assert bound == {"first": {TAINT}, "flag": {TAINT}}
+
+    def test_seed_overrides_flow_into_the_walk(self):
+        text = "def callee(first):\n    echo = first\n"
+        graph = ProjectGraph([SourceFile.from_text(text, rel="mod.py")])
+        walker = FunctionWalker(
+            graph,
+            "mod:callee",
+            Domain(),
+            seed={"first": frozenset({TAINT})},
+        )
+        env = walker.run()
+        assert env["echo"] == {TAINT}

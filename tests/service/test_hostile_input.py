@@ -1,0 +1,193 @@
+"""Property-style fuzz of the ``/v1`` body decoding path.
+
+The server's contract for hostile input is a *clean* client error: malformed,
+oversized, deeply nested, or wrong-typed bodies must come back as enveloped
+4xx responses — never a 500, never a hung connection.  The body bound
+(:func:`repro.service.wire.bounded_body`, ``--max-body-bytes``) and the
+nesting guard (``RecursionError`` folded into the invalid-JSON 400) are what
+RA008 proves statically; these tests prove them dynamically.
+
+The service fixture runs with a deliberately small 4 KiB body bound so the
+oversize paths are cheap to exercise.
+"""
+
+import http.client
+import json
+import socket
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import LocalSession
+from repro.perf.model import ArrayConfig
+from repro.service import ServiceThread
+from repro.service import wire
+
+BODY_LIMIT = 4096
+
+#: JSON documents that are *shaped wrong* for every /v1 route: scalars where
+#: objects belong, objects with junk keys, wrong-typed field values.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+_wrong_typed = st.one_of(
+    _scalars,
+    st.lists(_scalars, max_size=4),
+    st.dictionaries(st.text(max_size=8), _scalars, max_size=4),
+    st.fixed_dictionaries(
+        {
+            "workload": _scalars,
+            "dataflow": st.lists(_scalars, max_size=3),
+            "extents": _scalars,
+        }
+    ),
+    st.fixed_dictionaries({"workloads": _scalars, "configs": _scalars}),
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    session = LocalSession(ArrayConfig(rows=2, cols=2))
+    with ServiceThread(session, max_body_bytes=BODY_LIMIT) as thread:
+        yield thread
+
+
+def _post(service, path, body, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=timeout)
+    try:
+        conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestOversizedBody:
+    def test_body_past_the_bound_is_413(self, service):
+        body = b'{"pad": "' + b"x" * (BODY_LIMIT + 100) + b'"}'
+        status, raw = _post(service, "/v1/evaluate", body)
+        assert status == 413
+        payload = json.loads(raw)
+        assert payload["error_type"] == "PayloadTooLargeError"
+        assert str(BODY_LIMIT) in payload["error"]
+
+    def test_server_survives_an_oversized_body(self, service):
+        _post(service, "/v1/evaluate", b"x" * (BODY_LIMIT * 4))
+        # the service answers the *next* connection normally
+        conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=30)
+        conn.request("GET", "/v1/healthz")
+        assert conn.getresponse().status == 200
+        conn.close()
+
+    def test_garbage_content_length_is_400(self, service):
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: banana\r\n\r\n"
+            )
+            head = sock.recv(64)
+        assert b"400" in head.split(b"\r\n", 1)[0]
+
+    def test_negative_content_length_is_400(self, service):
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: -5\r\n\r\n"
+            )
+            head = sock.recv(64)
+        assert b"400" in head.split(b"\r\n", 1)[0]
+
+
+class TestDeeplyNestedBody:
+    def test_nesting_past_the_recursion_limit_is_400(self, service):
+        depth = 2000  # > CPython's default recursion limit, < the body bound
+        body = b"[" * depth + b"]" * depth
+        assert len(body) <= BODY_LIMIT
+        status, raw = _post(service, "/v1/evaluate", body)
+        assert status == 400
+        assert "invalid JSON" in json.loads(raw)["error"]
+
+    def test_nested_inside_a_field_is_400_not_500(self, service):
+        nest = "[" * 1900 + "]" * 1900
+        body = ('{"extents": ' + nest + "}").encode()
+        status, _ = _post(service, "/v1/evaluate", body)
+        assert status == 400
+
+
+class TestWrongTypedBodies:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(document=_wrong_typed)
+    def test_wrong_typed_json_is_a_clean_4xx(self, service, document):
+        body = json.dumps(document).encode()
+        if len(body) > BODY_LIMIT:
+            body = b"{}"
+        for path in ("/v1/evaluate", "/v1/jobs"):
+            status, raw = _post(service, path, body)
+            assert 400 <= status < 500, (path, document, status, raw)
+            payload = json.loads(raw)
+            assert "error" in payload and "error_type" in payload
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(junk=st.binary(min_size=1, max_size=256))
+    def test_raw_bytes_never_500_or_hang(self, service, junk):
+        status, raw = _post(service, "/v1/evaluate", junk)
+        assert 400 <= status < 500, (junk, status, raw)
+
+
+class TestJobCap:
+    def test_job_expansion_past_the_cap_is_400(self, service):
+        # 60 workloads x 20 configs = 1200 expanded items > MAX_JOB_ITEMS,
+        # from a compact body (bare workload names inherit job extents)
+        body = json.dumps(
+            {
+                "workloads": ["gemm"] * 60,
+                "extents": {"m": 4, "n": 4, "k": 4},
+                "configs": [{"rows": 2, "cols": 2}] * 20,
+            }
+        ).encode()
+        assert len(body) <= BODY_LIMIT
+        status, raw = _post(service, "/v1/jobs", body)
+        assert status == 400
+        payload = json.loads(raw)
+        assert "capped" in payload["error"]
+
+    def test_oversized_workloads_list_is_400(self, service):
+        body = json.dumps({"workloads": ["g"] * (wire.MAX_JOB_ITEMS + 1)}).encode()
+        if len(body) > BODY_LIMIT:
+            # past the body bound it is refused even earlier, as a 413
+            status, _ = _post(service, "/v1/jobs", body)
+            assert status == 413
+        else:
+            status, raw = _post(service, "/v1/jobs", body)
+            assert status == 400
+            assert "capped" in json.loads(raw)["error"]
+
+    def test_bounded_body_unit_contract(self):
+        assert wire.bounded_body("123") == 123
+        assert wire.bounded_body(None) == 0
+        with pytest.raises(ValueError):
+            wire.bounded_body("banana")
+        with pytest.raises(ValueError):
+            wire.bounded_body("-1")
+        with pytest.raises(wire.PayloadTooLargeError):
+            wire.bounded_body(str(wire.MAX_BODY_BYTES + 1))
+        assert issubclass(wire.PayloadTooLargeError, ValueError)
