@@ -1,0 +1,131 @@
+"""Crash-only smoke test: SIGKILL a journaled server mid-sweep, restart it,
+and the sweep must finish with **zero repeated evaluations**.
+
+The acceptance scenario for ``--journal-dir`` + ``restart_grace``, as CI
+runs it.  Two real ``repro serve`` subprocesses, both journaled; a watcher
+thread SIGKILLs the victim once a few of its rows are durably journaled,
+then restarts it **on the same port**.  The coordinator (``restart_grace``
+set) must ride the outage: find the journal-rebuilt job, resume the
+long-poll from its last folded ``seq``, and fold results bit-identical to
+``LocalSession.sweep()`` — with the victim's journaled rows *adopted*, not
+re-evaluated, so the fleet evaluates every design exactly once.  Finally
+both servers get SIGINT and must exit 0 with the clean-shutdown banner.
+
+Run:  PYTHONPATH=src python scripts/restart_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+WORKLOADS = ["gemm", "batched_gemv", "depthwise_conv"]
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    sys.path.insert(0, str(REPO))  # for the shared fault-injection harness
+
+    from repro.api import LocalSession
+    from repro.perf.model import ArrayConfig
+    from repro.service import SweepCoordinator
+    from tests.service.faultlib import ServerProcess, journaled_rows, wait_for
+
+    array = ArrayConfig(rows=8, cols=8)
+
+    print(f"local reference sweep over {WORKLOADS} ...")
+    local = LocalSession(array).sweep(WORKLOADS)
+    local_evaluated = sum(r.stats.evaluated for r in local)
+    print(f"local sweep: {local_evaluated} designs evaluated")
+
+    with tempfile.TemporaryDirectory(prefix="repro-restart-smoke-") as tmp:
+        victim = ServerProcess(journal_dir=Path(tmp) / "victim").start()
+        survivor = ServerProcess(journal_dir=Path(tmp) / "survivor").start()
+        print(f"servers up at {victim.url} (victim) and {survivor.url} (survivor)")
+
+        events: list[dict] = []
+        outage: dict[str, float] = {}
+
+        def killer() -> None:
+            # "mid-sweep" means rows durably on disk, not merely produced
+            if not wait_for(lambda: journaled_rows(Path(tmp) / "victim") >= 4):
+                return  # the assertions below will fail loudly
+            victim.kill()
+            outage["killed_at"] = time.monotonic()
+            print(f"SIGKILLed {victim.url} mid-sweep "
+                  f"({journaled_rows(Path(tmp) / 'victim')} rows journaled)")
+            victim.restart()
+            outage["back_at"] = time.monotonic()
+            print(f"victim back on {victim.url} after "
+                  f"{outage['back_at'] - outage['killed_at']:.1f}s")
+
+        try:
+            coordinator = SweepCoordinator(
+                [victim.url, survivor.url],
+                array=array,
+                restart_grace=60.0,
+                retries=1,
+                backoff=0.05,
+                on_event=lambda e: events.append(dict(e)),
+            )
+            watcher = threading.Thread(target=killer)
+            watcher.start()
+            results = coordinator.sweep(WORKLOADS)
+            watcher.join(timeout=120)
+            report = coordinator.last_report
+            coordinator.close()
+            print(f"coordinated sweep done: {report}")
+
+            assert "killed_at" in outage, "victim never journaled 4 rows"
+            assert "back_at" in outage, "victim never came back up"
+
+            # resumed, not reassigned: the crashed shard was never forfeited
+            kinds = [e["event"] for e in events]
+            assert report["resumed"] >= 1, (report, kinds)
+            assert report["reassigned"] == 0, report
+            assert report["servers_lost"] == 0, report
+            assert "job_resumed" in kinds, kinds
+
+            # fold bit-identical to local ...
+            assert [r.workload for r in results] == [r.workload for r in local]
+            assert [[(p.name, p.metrics()) for p in r] for r in results] == [
+                [(p.name, p.metrics()) for p in r] for r in local
+            ], "resumed fold differs from LocalSession.sweep()"
+            assert [len(r.failures) for r in results] == [
+                len(r.failures) for r in local
+            ]
+
+            # ... with zero repeated evaluations: journaled rows were adopted,
+            # the fleet evaluated exactly the remainder
+            fleet_evaluated = sum(r.stats.evaluated for r in results)
+            assert fleet_evaluated + report["rows_replayed"] == local_evaluated, (
+                fleet_evaluated, report["rows_replayed"], local_evaluated
+            )
+            print(f"fold identical across {len(results)} results; "
+                  f"{fleet_evaluated} evaluated + {report['rows_replayed']} "
+                  f"replayed == {local_evaluated} (zero repeats)")
+        finally:
+            for name, server in (("victim", victim), ("survivor", survivor)):
+                if server.alive():
+                    tail = server.interrupt()
+                    assert server.proc is not None
+                    assert server.proc.returncode == 0, (
+                        f"{name} exited {server.proc.returncode}: {tail}"
+                    )
+                    assert "shutdown complete" in tail, (
+                        f"no clean-shutdown banner from {name}: {tail!r}"
+                    )
+                else:
+                    server.stop()
+        print("both servers clean shutdown ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

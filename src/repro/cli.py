@@ -287,6 +287,7 @@ def cmd_sweep(args) -> int:
         cache=args.cache,
         shard_size=args.shard_size,
         max_inflight=args.max_inflight,
+        restart_grace=args.restart_grace,
         # surface per-shard retry/reassignment events instead of folding
         # them silently into the final counters
         on_event=_coordinator_event_printer() if args.verbose else None,
@@ -307,6 +308,12 @@ def cmd_sweep(args) -> int:
         f"evaluate_many fallback(s), {report['reassigned']} reassigned, "
         f"{report['servers_lost']} server(s) lost"
     )
+    if report.get("resumed"):
+        print(
+            f"resumed {report['resumed']} job(s) across server restarts "
+            f"({report['rows_replayed']} journaled row(s) replayed without "
+            "re-evaluation)"
+        )
     if args.cache:
         folded = report.get("cache_entries_folded", 0)
         print(f"folded {folded} remote memo-cache entries into {args.cache}")
@@ -438,6 +445,7 @@ def cmd_serve(args) -> int:
         session,
         max_queued_jobs=args.max_jobs,
         max_body_bytes=args.max_body_bytes,
+        journal_dir=args.journal_dir,
     )
 
     async def run() -> None:
@@ -694,6 +702,16 @@ def main(argv: list[str] | None = None) -> int:
         "amortize queue overhead on fleets with many small workloads",
     )
     p_sweep.add_argument(
+        "--restart-grace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wait this long for a crashed server to restart and resume its "
+        "jobs in place (needs servers running with --journal-dir) before "
+        "falling back to reassigning the shard (default 0: reassign "
+        "immediately)",
+    )
+    p_sweep.add_argument(
         "--verbose",
         action="store_true",
         help="print per-shard dispatch/retry/reassignment events to stderr",
@@ -746,6 +764,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="request-body size ceiling; larger bodies get 413 before any "
         "byte is buffered (default 8 MiB)",
+    )
+    p_serve.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="append-only NDJSON job journal directory: jobs (rows, results, "
+        "status, submit_key dedup) survive a hard crash + restart; "
+        "interrupted jobs resume without re-evaluating journaled designs",
     )
     p_serve.set_defaults(func=cmd_serve)
 

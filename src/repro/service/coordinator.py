@@ -49,7 +49,12 @@ How a sweep runs
    elsewhere.  A shard that keeps failing raises after ``max_retries``
    reassignments — work is never silently dropped.  Every
    retry/reassignment is surfaced through the ``on_event`` hook
-   (``repro sweep --verbose``).
+   (``repro sweep --verbose``).  With ``restart_grace > 0`` reassignment
+   becomes the *last* resort: a crashed server is first probed until the
+   grace deadline, and when it comes back with its jobs rebuilt from
+   ``--journal-dir``, the row stream resumes from the last consumed ``seq``
+   (``job_resumed`` event) — the partial fold and every already-evaluated
+   design survive the crash with zero repeated evaluations.
 6. **Cache fold** — when the coordinator owns a :class:`MemoCache`, each
    surviving server's memo cache is pulled over ``GET /v1/cache`` and merged
    in, so the *next* sweep starts warm without shipping cache files around.
@@ -280,6 +285,19 @@ class SweepCoordinator:
         missed heartbeats (``5 * stream_keepalive``) of total silence
         before declaring the connection dead and resuming/reassigning;
         ``0`` disables both the heartbeat and the idle timeout.
+    restart_grace:
+        Seconds to wait for a crashed server to come back before forfeiting
+        its shards (default ``0``: forfeit immediately — the pre-journal
+        behavior).  With a grace, a dead row stream probes the server until
+        the deadline; if the job answers again (rebuilt from ``--journal-dir``
+        across a restart), the long-poll resumes from the last *consumed*
+        ``seq`` with a ``job_resumed`` event and **zero repeated
+        evaluations** — the partial fold survives.  A server that answers
+        but no longer knows the job gets the shard resubmitted under the
+        *same* ``submit_key`` (same attempt), so the replacement job's
+        deterministic rows realign with the live cursor instead of resetting
+        the fold.  Only past the deadline does the legacy
+        reassign-and-re-run path take over.
     on_row:
         Optional per-row hook, called by the folder lane with each folded
         :class:`DesignPoint` (coroutine functions are awaited — they apply
@@ -288,8 +306,9 @@ class SweepCoordinator:
     on_event:
         Optional observer for dispatch-loop events; called with one dict per
         event (``{"event": "reassigned" | "server_lost" | "fallback" |
-        "cursor_reset" | "job_vanished", ...}``).  ``repro sweep --verbose``
-        prints these; exceptions from the hook are the caller's problem.
+        "cursor_reset" | "job_vanished" | "job_resumed", ...}``).
+        ``repro sweep --verbose`` prints these; exceptions from the hook
+        are the caller's problem.
     session_factory:
         ``url -> RemoteSession``-like, for tests that inject failures;
         defaults to building :class:`RemoteSession` with this coordinator's
@@ -312,6 +331,7 @@ class SweepCoordinator:
         fallback_chunk: int = 64,
         fold_queue: int = 256,
         stream_keepalive: float = 2.0,
+        restart_grace: float = 0.0,
         timeout: float = 300.0,
         retries: int = 2,
         backoff: float = 0.1,
@@ -330,6 +350,8 @@ class SweepCoordinator:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if fold_queue < 1:
             raise ValueError(f"fold_queue must be >= 1, got {fold_queue}")
+        if restart_grace < 0:
+            raise ValueError(f"restart_grace must be >= 0, got {restart_grace}")
         self.array = array or ArrayConfig()
         self.width = width
         self.cost_params = cost_params
@@ -344,6 +366,7 @@ class SweepCoordinator:
         self.fallback_chunk = fallback_chunk
         self.fold_queue = fold_queue
         self.stream_keepalive = stream_keepalive
+        self.restart_grace = restart_grace
         self.on_event = on_event
         self.on_row = on_row
         self._executor: ThreadPoolExecutor | None = None
@@ -402,6 +425,8 @@ class SweepCoordinator:
             "servers_lost": 0,
             "rows_streamed": 0,
             "fold_queue_peak": 0,
+            "resumed": 0,
+            "rows_replayed": 0,
         }
         if not shards:
             return []
@@ -625,55 +650,109 @@ class SweepCoordinator:
         snapshot (per-item stats), which rides the queue behind every row
         it must follow — a poll round-trip happens only as the fallback
         for streams that end without one.
+
+        With ``restart_grace`` set, a dead stream is not an immediate
+        forfeit: the server is probed until the grace deadline, and a job
+        that answers again — rebuilt from its ``--journal-dir`` across a
+        restart — resumes the long-poll from the last seq *this consumer*
+        enqueued (not ``shard.cursor``: rows still crossing the fold queue
+        must not be fetched twice), keeping the partial fold and every
+        journaled evaluation.  A live server that forgot the job gets it
+        resubmitted under the original ``submit_key`` (same attempt): dedup
+        returns the rebuilt job when the journal survived, and otherwise the
+        replacement job's deterministic rows realign with the held cursor —
+        the long-poll simply waits for the re-run to catch up.
         """
         idle_timeout = (
             5 * self.stream_keepalive if self.stream_keepalive > 0 else None
-        )
-        stream = server.session.job_rows_async(
-            job_id,
-            since=shard.cursor,
-            keepalive=self.stream_keepalive,
-            idle_timeout=idle_timeout,
         )
         cursor = shard.cursor
         status: str | None = None
         error: str | None = None
         snapshot: Mapping[str, Any] | None = None
-        try:
-            async for frame in stream:
-                kind = frame.get("row")
-                if kind == "start":
-                    if frame.get("cursor_reset"):
+        resumes = 0
+        while True:
+            stream = server.session.job_rows_async(
+                job_id,
+                since=cursor,
+                keepalive=self.stream_keepalive,
+                idle_timeout=idle_timeout,
+            )
+            try:
+                async for frame in stream:
+                    kind = frame.get("row")
+                    if kind == "start":
+                        if frame.get("cursor_reset"):
+                            cursor = 0
+                            await self._enqueue(
+                                state, ("reset", shard, epoch, server.url)
+                            )
+                        continue
+                    if kind == "reset":
                         cursor = 0
                         await self._enqueue(state, ("reset", shard, epoch, server.url))
-                    continue
-                if kind == "reset":
-                    cursor = 0
-                    await self._enqueue(state, ("reset", shard, epoch, server.url))
-                    continue
-                if kind == "keepalive":
-                    continue
-                if kind == "end":
-                    status = frame.get("status")
-                    error = frame.get("error")
-                    # the server sends the terminal snapshot on the end frame
-                    # (records + stats, no rows) — stream consumers close the
-                    # shard without a follow-up poll round-trip
-                    snapshot = frame.get("job")
-                    break
-                if "seq" in frame:
-                    cursor = int(frame["seq"])
-                await self._enqueue(state, ("row", shard, epoch, frame))
-        except _STREAM_LOST:
-            server.inflight.pop(job_id, None)
-            self._lose_server(server, shard, state)
-            return
-        except LookupError:
-            # the server answered but no longer knows the job — it
-            # restarted (or pruned it), so the row cursor is void too
-            server.inflight.pop(job_id, None)
-            self._vanish(server, shard, job_id, state)
-            return
+                        continue
+                    if kind == "keepalive":
+                        continue
+                    if kind == "end":
+                        status = frame.get("status")
+                        error = frame.get("error")
+                        # the server sends the terminal snapshot on the end
+                        # frame (records + stats, no rows) — stream consumers
+                        # close the shard without a follow-up poll round-trip
+                        snapshot = frame.get("job")
+                        break
+                    if "seq" in frame:
+                        cursor = int(frame["seq"])
+                    await self._enqueue(state, ("row", shard, epoch, frame))
+            except _STREAM_LOST:
+                server.inflight.pop(job_id, None)
+                if self._may_resume(resumes):
+                    verdict = await self._await_restart(server, job_id)
+                    if verdict == "resume":
+                        resumes += 1
+                        server.inflight[job_id] = shard
+                        self._note_resume(server, shard, job_id, cursor)
+                        continue
+                    if verdict == "resubmit":
+                        new_id = await self._resubmit_job(server, shard, state)
+                        if new_id is not None:
+                            resumes += 1
+                            self._emit(
+                                "job_vanished",
+                                server=server.url,
+                                job=job_id,
+                                shard=shard.describe(),
+                            )
+                            job_id = new_id
+                            server.inflight[job_id] = shard
+                            self._note_resume(server, shard, job_id, cursor)
+                            continue
+                self._lose_server(server, shard, state)
+                return
+            except LookupError:
+                # the server answered but no longer knows the job — it
+                # restarted (or pruned it)
+                server.inflight.pop(job_id, None)
+                if self._may_resume(resumes):
+                    new_id = await self._resubmit_job(server, shard, state)
+                    if new_id is not None:
+                        resumes += 1
+                        self._emit(
+                            "job_vanished",
+                            server=server.url,
+                            job=job_id,
+                            shard=shard.describe(),
+                        )
+                        job_id = new_id
+                        server.inflight[job_id] = shard
+                        self._note_resume(server, shard, job_id, cursor)
+                        continue
+                # without a grace (or past the resume budget) the row cursor
+                # is void too: re-run from scratch
+                self._vanish(server, shard, job_id, state)
+                return
+            break  # the stream finished (end frame, or ran dry)
         server.inflight.pop(job_id, None)
         if status == "done":
             if snapshot is None or "results" not in snapshot:
@@ -691,6 +770,12 @@ class SweepCoordinator:
                     self._vanish(server, shard, job_id, state)
                     return
             server.completed += 1
+            # the zero-repeats meter: journaled rows the server adopted
+            # instead of re-evaluating (snapshot["replayed_rows"] is only
+            # present on a journal-resumed job)
+            self.last_report["rows_replayed"] += int(
+                (snapshot or {}).get("replayed_rows") or 0
+            )
             await self._enqueue(state, ("finish", shard, epoch, (server.url, snapshot)))
         elif status in ("failed", "cancelled"):
             shard.reset_fold()
@@ -717,6 +802,82 @@ class SweepCoordinator:
         depth = state.queue.qsize()
         if depth > state.queue_peak:
             state.queue_peak = depth
+
+    # -- crash/restart resume (restart_grace > 0) -------------------------
+    def _may_resume(self, resumes: int) -> bool:
+        """Whether this consumer may try another in-place resume."""
+        return self.restart_grace > 0 and resumes < max(1, self.max_retries)
+
+    def _note_resume(
+        self, server: _Server, shard: _Shard, job_id: str, cursor: int
+    ) -> None:
+        self.last_report["resumed"] += 1
+        self._emit(
+            "job_resumed",
+            server=server.url,
+            job=job_id,
+            shard=shard.describe(),
+            since=cursor,
+        )
+
+    async def _await_restart(self, server: _Server, job_id: str) -> str:
+        """Probe a dead server until ``restart_grace`` runs out.
+
+        Returns ``"resume"`` when the job answers again (the journal rebuilt
+        it across the restart), ``"resubmit"`` when the server is back but
+        the job is gone, ``"dead"`` once the grace deadline passes with the
+        server still unreachable.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.restart_grace
+        pause = min(0.25, max(self.restart_grace / 10, 0.02))
+        while True:
+            probe = functools.partial(server.session.job, job_id)
+            try:
+                assert server.lock is not None
+                async with server.lock:
+                    await self._blocking(probe)
+            except LookupError:
+                return "resubmit"
+            except _SERVER_LOST:
+                if loop.time() >= deadline:
+                    return "dead"
+                await asyncio.sleep(pause)
+                continue
+            return "resume"
+
+    async def _resubmit_job(
+        self, server: _Server, shard: _Shard, state: _SweepState
+    ) -> str | None:
+        """Resubmit a vanished job under its *original* submit key.
+
+        Same sweep token, same shard, same attempt: a journal-rebuilt job
+        dedups straight back to its old id, and a genuinely lost one is
+        re-enqueued as a fresh job whose deterministic rows carry the same
+        seqs — either way the caller keeps its fold and cursor.  Returns the
+        job id, or ``None`` when the server cannot take the job (busy or
+        gone again), letting the caller fall back to the legacy forfeit.
+        """
+        submit = functools.partial(
+            server.session.submit_job,
+            [dict(item.payload) for item in shard.items],
+            configs=[shard.config],
+            stream_rows=True,
+            submit_key=(
+                f"{self._sweep_token}:{shard.items[0].index}:{shard.attempts}"
+            ),
+            **state.options,
+        )
+        try:
+            assert server.lock is not None
+            async with server.lock:
+                job = await self._blocking(submit)
+        except ServiceBusyError:
+            return None
+        except _SERVER_LOST:
+            return None
+        self.last_report["jobs"] += 1
+        return job["id"]
 
     async def _folder(self, state: _SweepState) -> None:
         """The single fold lane.

@@ -55,6 +55,8 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import os
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -73,6 +75,14 @@ _CLIENT_ERRORS = (LookupError, KeyError, ValueError, TypeError)
 
 #: Shared with the sweep coordinator via :mod:`repro.service.wire`.
 _engine_options = wire.engine_options
+
+_JOB_ID_RE = re.compile(r"^job-(\d+)$")
+
+
+def _job_number(job_id: str) -> int:
+    """Numeric part of a ``job-<n>`` id; 0 for foreign ids (sorts first)."""
+    match = _JOB_ID_RE.match(job_id)
+    return int(match.group(1)) if match else 0
 
 
 @dataclass
@@ -110,6 +120,12 @@ class Job:
     rows: list[dict[str, Any]] = field(default_factory=list)
     #: Whether this job records :attr:`rows` (``stream_rows``/``include_rows``).
     keep_rows: bool = False
+    #: True for a job rebuilt from a journal that had no terminal entry: it
+    #: was queued or running when the server died and re-enters the queue.
+    resumed: bool = False
+    #: Rows a resumed run adopted from the journal *instead of re-evaluating*
+    #: their designs — the observable "zero repeated evaluations" meter.
+    replayed_rows: int = 0
     #: Set (on the loop thread) the moment :attr:`status` turns terminal —
     #: lets a ``/rows`` stream cut its micro-batch pause short the instant
     #: the job ends instead of sleeping the pause out.
@@ -142,6 +158,11 @@ class Job:
             out["cancel_requested"] = True
         if self.cancelled_while is not None:
             out["cancelled_while"] = self.cancelled_while
+        if self.resumed:
+            # rebuilt from a journal after a restart: replayed_rows counts
+            # the journaled designs adopted without re-evaluation
+            out["resumed"] = True
+            out["replayed_rows"] = self.replayed_rows
         if self.status in ("done", "cancelled") and self.results:
             out["results"] = self.results
         if since is not None:
@@ -160,6 +181,115 @@ class Job:
         return out
 
 
+class _JobJournal:
+    """Append-only NDJSON durability log: one file per job, fsync-batched.
+
+    Producers — the submit handler on the event loop, the job runner on its
+    executor thread — never touch the filesystem: :meth:`append` only queues
+    the encoded line under a lock.  All the blocking I/O (open, write,
+    fsync, unlink) happens in :meth:`flush`, which the service drives from
+    an executor thread on the ``rows_drain_pace`` tick — so journaling adds
+    one batched fsync per tick, not one per row, and the event loop never
+    blocks on the disk.  A crash between ticks can only lose the queued
+    (unsynced) tail; replay after restart then re-evaluates exactly those
+    designs — deterministic enumeration regenerates identical rows, so the
+    row log and its ``seq`` cursor stay bit-identical either way.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self._lock = threading.Lock()  # guards _pending/_discard queues
+        self._io_lock = threading.Lock()  # serializes flush/close/discard I/O
+        self._pending: list[tuple[str, bytes]] = []
+        self._discard: set[str] = set()
+        self._files: dict[str, Any] = {}  # job id -> open append handle
+
+    # -- producer side (any thread, no I/O) -----------------------------
+    def append(self, job_id: str, kind: str, fields: Mapping[str, Any]) -> None:
+        line = wire.encode_journal_entry(wire.journal_entry(kind, fields))
+        with self._lock:
+            self._pending.append((job_id, line))
+
+    def discard(self, job_id: str) -> None:
+        """Queue a pruned job's journal for deletion (next flush unlinks it)."""
+        with self._lock:
+            self._discard.add(job_id)
+
+    @property
+    def dirty(self) -> bool:
+        with self._lock:
+            return bool(self._pending or self._discard)
+
+    # -- consumer side (executor threads only: blocking file I/O) --------
+    def prepare(self) -> list[dict[str, Any]]:
+        """Create the directory and replay every surviving job journal."""
+        os.makedirs(self.directory, exist_ok=True)
+        replayed: list[dict[str, Any]] = []
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(wire.JOURNAL_SUFFIX):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                continue
+            fields = wire.replay_journal(wire.decode_journal(data))
+            # the file stem is the id the *server* wrote; a renamed or foreign
+            # file whose header disagrees is not a journal this server owns
+            if fields is not None and name == fields["id"] + wire.JOURNAL_SUFFIX:
+                replayed.append(fields)
+        return replayed
+
+    def _handle(self, job_id: str):
+        """The job's open append handle, opened and adopted on first use
+        (:meth:`flush` closes it on discard, :meth:`close` closes the rest).
+        Called only from :meth:`flush`'s ``_io_lock`` region; the plain (not
+        reentrant) lock cannot be re-taken here."""
+        # repro-lint: waive[RA003] every call site already holds _io_lock (flush's I/O region); a plain Lock is not reentrant, so taking it here would deadlock
+        handle = self._files.get(job_id)
+        if handle is None:
+            path = os.path.join(self.directory, job_id + wire.JOURNAL_SUFFIX)
+            handle = open(path, "ab")
+            # repro-lint: waive[RA003] same _io_lock-held call-site invariant as the read above
+            self._files[job_id] = handle
+        return handle
+
+    def flush(self) -> None:
+        """Write queued lines, one batched fsync per touched job file."""
+        with self._lock:
+            batch, self._pending = self._pending, []
+            drop, self._discard = self._discard, set()
+        with self._io_lock:
+            touched: dict[str, Any] = {}
+            for job_id, line in batch:
+                if job_id in drop:
+                    continue
+                handle = self._handle(job_id)
+                handle.write(line)
+                touched[job_id] = handle
+            for handle in touched.values():
+                handle.flush()
+                os.fsync(handle.fileno())
+            for job_id in drop:
+                handle = self._files.pop(job_id, None)
+                if handle is not None:
+                    handle.close()
+                try:
+                    os.unlink(
+                        os.path.join(self.directory, job_id + wire.JOURNAL_SUFFIX)
+                    )
+                except OSError:
+                    pass  # never journaled, or already gone
+
+    def close(self) -> None:
+        self.flush()
+        with self._io_lock:
+            for handle in self._files.values():
+                handle.close()
+            self._files.clear()
+
+
 class EvaluationService:
     """Serve a :class:`LocalSession` over HTTP/JSON (see module docstring)."""
 
@@ -172,6 +302,7 @@ class EvaluationService:
         rows_keepalive: float = 15.0,
         rows_drain_pace: float = 0.05,
         max_body_bytes: int | None = None,
+        journal_dir: str | os.PathLike | None = None,
     ):
         self.session = session
         self.max_queued_jobs = max_queued_jobs
@@ -192,6 +323,15 @@ class EvaluationService:
         #: an idle stream still pushes immediately, and the job's terminal
         #: event preempts the pace, so only mid-burst batching coarsens.
         self.rows_drain_pace = rows_drain_pace
+        #: Durability log (``--journal-dir``): every job's header, rows,
+        #: records and terminal status are appended to one NDJSON file per
+        #: job, and :meth:`start` rebuilds ``self.jobs`` from the directory —
+        #: making ``GET /v1/jobs/<id>``, ``/rows`` cursors and ``submit_key``
+        #: dedup survive a hard crash + restart.  ``None`` keeps jobs
+        #: memory-only (the pre-journal behavior).  Construction does no
+        #: I/O; the directory is created on :meth:`start`, off-loop.
+        self._journal = None if journal_dir is None else _JobJournal(str(journal_dir))
+        self._journal_pacer: asyncio.Task | None = None
         self.jobs: dict[str, Job] = {}
         self._job_ids = itertools.count(1)
         self._job_queue: asyncio.Queue[Job] | None = None
@@ -209,9 +349,62 @@ class EvaluationService:
         self._loop = asyncio.get_running_loop()
         self._rows_wake = asyncio.Event()
         self._job_queue = asyncio.Queue(maxsize=self.max_queued_jobs)
+        if self._journal is not None:
+            # blocking directory scan + file reads: on the executor, then
+            # rebuild jobs on the loop thread before any request can race it
+            replayed = await self._loop.run_in_executor(None, self._journal.prepare)
+            self._restore_jobs(replayed)
+            self._journal_pacer = asyncio.create_task(self._pace_journal())
         self._runner = asyncio.create_task(self._run_jobs())
         self._server = await asyncio.start_server(self._handle_connection, host, port)
         return self._server
+
+    def _restore_jobs(self, replayed: list[dict[str, Any]]) -> None:
+        """Rebuild :attr:`jobs` from journal replays (loop thread, pre-serve).
+
+        Terminal jobs come back exactly as their last snapshot; a job with no
+        terminal entry was queued or running at the crash — it re-enters the
+        queue flagged ``resumed``, and the runner adopts its journaled rows
+        instead of re-evaluating them (see :meth:`_run_sweep_job`).
+        """
+        highest = 0
+        for fields in sorted(replayed, key=lambda f: _job_number(f["id"])):
+            highest = max(highest, _job_number(fields["id"]))
+            job = Job(
+                id=fields["id"],
+                payload=fields["payload"],
+                total_items=fields["total_items"],
+                keep_rows=fields["keep_rows"],
+            )
+            job.rows = fields["rows"]
+            job.results = fields["results"]
+            job.error = fields["error"]
+            job.cancelled_while = fields["cancelled_while"]
+            if fields["status"] is None:
+                job.resumed = True
+                try:
+                    self._job_queue.put_nowait(job)  # type: ignore[union-attr]
+                except asyncio.QueueFull:
+                    job.status = "failed"
+                    job.error = "job queue full during journal recovery"
+                    job.done.set()
+            else:
+                job.status = fields["status"]
+                job.done.set()
+            self.jobs[job.id] = job
+        if highest:
+            # new ids continue after every journaled one: a transport-retried
+            # POST dedups against the rebuilt job instead of colliding ids
+            self._job_ids = itertools.count(highest + 1)
+
+    async def _pace_journal(self) -> None:
+        """Flush+fsync the journal's queued lines on the drain-pace tick."""
+        assert self._journal is not None and self._loop is not None
+        pace = max(self.rows_drain_pace, 0.005)
+        while True:
+            await asyncio.sleep(pace)
+            if self._journal.dirty:
+                await self._loop.run_in_executor(None, self._journal.flush)
 
     @property
     def port(self) -> int:
@@ -231,6 +424,18 @@ class EvaluationService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._journal_pacer is not None:
+            self._journal_pacer.cancel()
+            try:
+                await self._journal_pacer
+            except asyncio.CancelledError:
+                pass
+            self._journal_pacer = None
+        if self._journal is not None:
+            # final flush + handle close, off-loop like every journal write
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._journal.close
+            )
         # flush() is file I/O under the memo-cache lock: on the executor, so
         # a big cache never stalls the loop's own shutdown sequence
         await asyncio.get_running_loop().run_in_executor(None, self.session.flush)
@@ -623,6 +828,20 @@ class EvaluationService:
             )
             return
         self.jobs[job.id] = job
+        # the header entry is what makes submit_key dedup survive a restart:
+        # replay rebuilds the job (payload included) before any retried POST
+        # can reach the dedup scan above
+        self._journal_append(
+            job,
+            "job",
+            {
+                "schema_version": SCHEMA_VERSION,
+                "id": job.id,
+                "payload": job.payload,
+                "total_items": job.total_items,
+                "keep_rows": job.keep_rows,
+            },
+        )
         self._prune_jobs()
         self._json_response(writer, 202, {"job": job.snapshot()})
 
@@ -657,6 +876,7 @@ class EvaluationService:
                 job.cancelled_while = "queued"
                 job.status = "cancelled"
                 job.done.set()
+                self._journal_end(job)
                 self._poke_rows_streams()
             elif job.status == "running":
                 job.cancel_requested = True
@@ -804,6 +1024,28 @@ class EvaluationService:
         self._write_chunk(writer, json.dumps(end_row).encode() + b"\n")
         writer.write(b"0\r\n\r\n")
 
+    def _journal_append(self, job: Job, kind: str, fields: Mapping[str, Any]) -> None:
+        """Queue one journal entry for ``job`` (no-op without ``journal_dir``).
+
+        Memory-only and thread-safe: callable from the loop thread (submit,
+        cancel, terminal flips) and from the job runner's executor thread
+        (rows, records) alike; the pacer task does the actual file I/O.
+        """
+        if self._journal is not None:
+            self._journal.append(job.id, kind, fields)
+
+    def _journal_end(self, job: Job) -> None:
+        """Queue a job's terminal journal entry."""
+        self._journal_append(
+            job,
+            "end",
+            {
+                "status": job.status,
+                "error": job.error,
+                "cancelled_while": job.cancelled_while,
+            },
+        )
+
     def _prune_jobs(self) -> None:
         """Drop the oldest finished jobs beyond ``max_kept_jobs``."""
         finished = [
@@ -813,6 +1055,11 @@ class EvaluationService:
         ]
         for job_id in finished[: max(0, len(self.jobs) - self.max_kept_jobs)]:
             del self.jobs[job_id]
+            if self._journal is not None:
+                # compaction: a pruned terminal job's journal is deleted on
+                # the next flush tick, bounding --journal-dir to the same
+                # max_kept_jobs window as the in-memory job table
+                self._journal.discard(job_id)
 
     def _poke_rows_streams(self) -> None:
         """Ring the ``/rows`` doorbell, from any thread (no-op before start)."""
@@ -852,6 +1099,12 @@ class EvaluationService:
                     job.status = "cancelled"
                     if job.cancelled_while is None:
                         job.cancelled_while = "running"
+            self._journal_end(job)
+            if self._journal is not None:
+                # make the terminal state durable before /rows end frames can
+                # report it: a crash after the flip then replays as terminal,
+                # never as a silently re-runnable job
+                await loop.run_in_executor(None, self._journal.flush)
             job.done.set()
             self._poke_rows_streams()
 
@@ -883,27 +1136,65 @@ class EvaluationService:
         options = _engine_options(payload)
         include_rows = bool(payload.get("include_rows", False))
         items = wire.job_items(payload)
+        # journal resume state: a job rebuilt from a crashed run skips every
+        # item whose record survived, and adopts the in-flight item's
+        # journaled rows instead of re-evaluating their designs
+        completed_items: set[int] = set()
+        replay_by_item: dict[int, list[dict[str, Any]]] = {}
+        if job.resumed:
+            completed_items = {int(rec.get("item", -1)) for rec in job.results}
+            for row in job.rows:
+                replay_by_item.setdefault(int(row.get("item", -1)), []).append(row)
         item_index = -1
         for config in configs:
             engine = self.session.engine_for(config)
             for item in items:
                 item_index += 1
+                if item_index in completed_items:
+                    continue  # record (and rows) already adopted from journal
                 if job.cancel_requested:
                     return False
                 statement = wire.instantiate_statement(item)
                 stats = EvaluationStats()
                 points: list = []
                 failures: list = []
-                # seq_start aligns every point's engine seq with its position
-                # in the job-global row log, so row["seq"] IS the cursor
-                for point in engine.stream(
-                    statement, stats=stats, seq_start=len(job.rows), **options
-                ):
+                replay = replay_by_item.get(item_index, ())
+                for row in replay:
+                    # adopt the journaled design verbatim — deterministic
+                    # enumeration means re-running it would produce this exact
+                    # row, so decoding it back to a point IS the evaluation
+                    point = wire.row_to_point(row, statement)
+                    (points if point.ok else failures).append(point)
+                job.replayed_rows += len(replay)
+                if replay:
+                    # resume mid-item: skip the already-journaled prefix of
+                    # the design space (enumeration is cheap; evaluation is
+                    # what the journal saves) and stream only the remainder
+                    remainder = itertools.islice(
+                        engine.iter_space(statement, stats=stats, **options),
+                        len(replay),
+                        None,
+                    )
+                    stream = engine.stream(
+                        statement,
+                        specs=remainder,
+                        stats=stats,
+                        seq_start=len(job.rows),
+                    )
+                else:
+                    # seq_start aligns every point's engine seq with its
+                    # position in the job-global row log, so row["seq"] IS
+                    # the cursor
+                    stream = engine.stream(
+                        statement, stats=stats, seq_start=len(job.rows), **options
+                    )
+                for point in stream:
                     (points if point.ok else failures).append(point)
                     if job.keep_rows:
                         row = wire.point_to_row(point)
                         row["item"] = item_index
                         job.rows.append(row)
+                        self._journal_append(job, "row", row)
                         self._poke_rows_streams()
                     if job.cancel_requested:
                         return False
@@ -934,6 +1225,7 @@ class EvaluationService:
                         wire.point_to_row(p) for p in result.points
                     ] + [wire.point_to_row(p) for p in result.failures]
                 job.results.append(record)
+                self._journal_append(job, "record", record)
         return not job.cancel_requested
 
 

@@ -16,12 +16,20 @@ specific and must be identical on both ends:
 - **error payloads** — exceptions cross the wire as
   ``{"error", "error_type"}`` and are re-raised client-side as the matching
   built-in type, so ``RemoteSession`` surfaces the same ``LookupError`` /
-  ``ValueError`` / :class:`SchemaVersionError` a ``LocalSession`` would.
+  ``ValueError`` / :class:`SchemaVersionError` a ``LocalSession`` would;
+- **job journal entries** — the durable-job NDJSON log (``repro serve
+  --journal-dir``): one ``job`` header entry per submission, then every wire
+  row and per-item record *as produced*, then one terminal ``end`` entry.
+  :func:`decode_journal` tolerates a torn final line (the crash-consistency
+  contract of an append-only log) and :func:`replay_journal` folds the
+  entries back into the exact field set a server needs to rebuild the
+  ``Job`` after a hard restart.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Any, Mapping, NoReturn
 
 from repro.api.types import SchemaVersionError
@@ -57,6 +65,12 @@ __all__ = [
     "row_to_stats",
     "error_payload",
     "raise_remote_error",
+    "JOURNAL_SUFFIX",
+    "JOURNAL_KINDS",
+    "journal_entry",
+    "encode_journal_entry",
+    "decode_journal",
+    "replay_journal",
 ]
 
 #: Request header carrying the client's wire-format version; the server
@@ -333,6 +347,105 @@ def row_to_stats(row: Mapping[str, Any]) -> EvaluationStats:
     data = {k: v for k, v in row.items() if k != "row"}
     data["enum"] = EnumerationStats(**data.get("enum", {}))
     return EvaluationStats(**data)
+
+
+# ----------------------------------------------------------------------
+# Job journals (repro serve --journal-dir)
+# ----------------------------------------------------------------------
+#: File suffix of one job's append-only journal inside ``--journal-dir``.
+#: The name stem is the server-generated job id (``job-<n>``) — never a
+#: request-derived value, so journal paths need no sanitizing.
+JOURNAL_SUFFIX = ".ndjson"
+
+#: Entry kinds a job journal may contain, in the order a job's life writes
+#: them: one ``job`` header, interleaved ``row``/``record`` entries as the
+#: runner produces them, then one terminal ``end`` entry.
+JOURNAL_KINDS = ("job", "row", "record", "end")
+
+
+def journal_entry(kind: str, fields: Mapping[str, Any]) -> dict[str, Any]:
+    """One journal entry: the payload dict tagged with its ``journal`` kind.
+
+    ``row`` entries embed the exact ``/v1/explore``-format wire row (with its
+    ``seq`` and ``item`` keys), ``record`` entries the exact per-item result
+    record — both are flat merges, which is what lets :func:`replay_journal`
+    hand them straight back to a rebuilt ``Job`` without a second codec.
+    """
+    if kind not in JOURNAL_KINDS:
+        raise ValueError(f"unknown journal entry kind {kind!r}; known: {JOURNAL_KINDS}")
+    return {"journal": kind, **fields}
+
+
+def encode_journal_entry(entry: Mapping[str, Any]) -> bytes:
+    """One NDJSON journal line, newline-terminated (the torn-line sentinel)."""
+    return json.dumps(entry).encode() + b"\n"
+
+
+def decode_journal(data: bytes) -> list[dict[str, Any]]:
+    """Decode a journal file's bytes, tolerating a torn tail.
+
+    A crash can leave the final line half-written (no trailing newline, or
+    bytes that no longer parse); anything from the first damaged line on is
+    dropped — every line *before* it was written and fsynced whole, so the
+    decoded prefix is exactly the durable history.  An empty (or fully torn)
+    file decodes to ``[]``.
+    """
+    entries: list[dict[str, Any]] = []
+    complete, _, _tail = data.rpartition(b"\n")
+    for line in complete.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            break  # a damaged line voids everything after it
+        if not isinstance(entry, dict) or entry.get("journal") not in JOURNAL_KINDS:
+            break
+        entries.append(entry)
+    return entries
+
+
+def replay_journal(entries: list[dict[str, Any]]) -> dict[str, Any] | None:
+    """Fold decoded journal entries back into a job's rebuildable field set.
+
+    Returns ``None`` when the journal never got a ``job`` header (an empty or
+    fully torn file — the job id was never durably created).  Otherwise the
+    returned dict carries ``id``/``payload``/``total_items``/``keep_rows``
+    from the header, the replayed ``rows`` and per-item ``results``, and the
+    terminal ``status``/``error``/``cancelled_while`` — with ``status=None``
+    when no ``end`` entry survived, i.e. the job was still queued or running
+    when the server died and must be resumed.
+    """
+    fields: dict[str, Any] | None = None
+    for entry in entries:
+        kind = entry["journal"]
+        if kind == "job":
+            fields = {
+                "id": str(entry.get("id", "")),
+                "payload": dict(entry.get("payload") or {}),
+                "total_items": int(entry.get("total_items", 0)),
+                "keep_rows": bool(entry.get("keep_rows", False)),
+                "rows": [],
+                "results": [],
+                "status": None,
+                "error": None,
+                "cancelled_while": None,
+            }
+            continue
+        if fields is None:
+            return None  # entries before a header: not a journal we wrote
+        body = {k: v for k, v in entry.items() if k != "journal"}
+        if kind == "row":
+            fields["rows"].append(body)
+        elif kind == "record":
+            fields["results"].append(body)
+        else:  # "end"
+            fields["status"] = body.get("status")
+            fields["error"] = body.get("error")
+            fields["cancelled_while"] = body.get("cancelled_while")
+    if fields is None or not fields["id"]:
+        return None
+    return fields
 
 
 # ----------------------------------------------------------------------
